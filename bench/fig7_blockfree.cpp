@@ -1,0 +1,63 @@
+// Figure 7 — sequential block-free experiments (paper §4.2).
+//
+// Single thread, no tiling. 1D 3-point heat across problem sizes ranging
+// from L1 cache to main memory, for every vectorization method. Two total
+// step counts are reported: the default (paper T=1000, scaled to 100 here)
+// and 10x that (paper Fig. 7(b), T=10000) which amortizes DLT's global
+// transform — pass --long to run only the 10x variant, --paper-scale for the
+// published sizes/steps.
+//
+// Expected shape (paper): our 2-step variant wins everywhere; our 1-step
+// scheme beats multiload/reorg at every level; DLT is competitive only at
+// small sizes with long T; multiload is the slowest vectorized method.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+constexpr tsv::Method kMethods[] = {
+    tsv::Method::kMultiLoad, tsv::Method::kReorg,     tsv::Method::kDlt,
+    tsv::Method::kTranspose, tsv::Method::kTransposeUJ};
+
+void sweep(tsv::index steps, const Config& cfg) {
+  std::printf("T = %td (single thread, no blocking)\n", steps);
+  std::printf("%-5s %10s | %10s %10s %10s %10s %10s\n", "level", "nx",
+              "multiload", "reorg", "dlt", "our", "our(2stp)");
+  CsvSink csv(cfg.csv_path, "fig,steps,level,nx,method,gflops");
+
+  for (const SizeRung& rung : storage_ladder()) {
+    const tsv::index nx = cfg.paper_scale ? 10240000 : rung.nx;
+    std::printf("%-5s %10td |", rung.level, nx);
+    for (tsv::Method m : kMethods) {
+      tsv::Grid1D<double> g(nx, 1);
+      g.fill([](tsv::index x) { return 0.25 + 1e-4 * static_cast<double>(x % 101); });
+      tsv::Options o;
+      o.method = m;
+      o.isa = tsv::best_isa();
+      o.steps = steps;
+      const auto s = tsv::make_1d3p(1.0 / 3.0);
+      const double gf = time_run(g, s, o, nx);
+      std::printf(" %10.2f", gf);
+      std::fflush(stdout);
+      csv.row("7,%td,%s,%td,%s,%.3f", steps, rung.level, nx,
+              tsv::method_name(m), gf);
+    }
+    std::printf("\n");
+    if (cfg.paper_scale) break;  // paper uses one (large) size per T
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header("Figure 7: sequential block-free performance (1D heat)");
+  const tsv::index base = cfg.paper_scale ? 1000 : 100;
+  if (!cfg.long_t) sweep(base, cfg);       // Fig. 7(a)
+  sweep(base * 10, cfg);                   // Fig. 7(b)
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 8 — multicore cache-blocking experiments (paper §4.3).
+//
+// 1D 3-point heat with temporal tiling on all cores. Four contenders:
+// SDSL (DLT + split tiling), Tessellation (+compiler vectorization),
+// Our (transpose layout + tessellation), Our (2 steps). Two spatial blocking
+// sizes are compared — an L1-sized block (paper's 2000, here 2048) and an
+// L2-sized block (16384) — across problem sizes in L3 and main memory, for
+// T and 10T (pass --long for only the 10x variant).
+//
+// Expected shape (paper): Our(2stp) > Our > Tessellation > SDSL everywhere;
+// L1 blocking beats L2 blocking; the gap grows when the problem spills L3.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+struct Blocking {
+  const char* name;
+  tsv::index bx, bt;
+};
+
+void sweep(tsv::index steps, const Config& cfg) {
+  const Blocking blockings[] = {{"L1", 2048, 128}, {"L2", 16384, 512}};
+  const auto ladder = storage_ladder();
+  const SizeRung rungs[] = {ladder[2], ladder[3]};  // L3 and memory
+
+  CsvSink csv(cfg.csv_path, "fig,steps,blocking,level,nx,method,gflops");
+  std::printf("T = %td, %d threads\n", steps, cfg.threads);
+  std::printf("%-4s %-5s %10s |", "blk", "level", "nx");
+  for (const auto& c : contenders()) std::printf(" %12s", c.name);
+  std::printf("\n");
+
+  for (const Blocking& blk : blockings)
+    for (const SizeRung& rung : rungs) {
+      const tsv::index nx = cfg.paper_scale ? 10240000 : rung.nx;
+      tsv::Problem p{.name = "1d3p", .kind = tsv::StencilKind::k1d3p,
+                     .nx = nx, .ny = 1, .nz = 1, .steps = steps,
+                     .bx = blk.bx, .by = 1, .bz = 1, .bt = blk.bt};
+      std::printf("%-4s %-5s %10td |", blk.name, rung.level, nx);
+      for (const auto& c : contenders()) {
+        const double gf = run_problem_best(p, c.method, c.tiling, tsv::best_isa(),
+                                      cfg.threads);
+        std::printf(" %12.1f", gf);
+        std::fflush(stdout);
+        csv.row("8,%td,%s,%s,%td,%s,%.3f", steps, blk.name, rung.level, nx,
+                c.name, gf);
+      }
+      std::printf("\n");
+    }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header("Figure 8: multicore cache-blocking (1D heat, tiled)");
+  const tsv::index base = cfg.paper_scale ? 1000 : 240;
+  if (!cfg.long_t) sweep(base, cfg);  // Fig. 8(a)
+  sweep(base * 10, cfg);              // Fig. 8(b)
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9 — scalability of all six stencils with AVX2 and AVX-512
+// instructions (paper §4.4): GFLOP/s vs core count for SDSL, Tessellation,
+// Our and Our (2 steps), on the Table-1 problems.
+//
+// Expected shape (paper): near-linear scaling in 1D for every method; the
+// ordering Our(2stp) > Our > Tessellation > SDSL at every core count;
+// scalability flattens with growing dimensionality/order; AVX-512 curves sit
+// above AVX-2 for the same method.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header("Figure 9: scalability across stencils and ISAs");
+
+  const int maxc = cfg.threads;
+  std::vector<int> cores;
+  for (int c = 1; c < maxc; c *= 2) cores.push_back(c);
+  cores.push_back(maxc);
+
+  CsvSink csv(cfg.csv_path, "fig,stencil,isa,method,cores,gflops");
+
+  for (const tsv::Problem& p : tsv::table1_problems(cfg.paper_scale)) {
+    for (tsv::Isa isa : {tsv::Isa::kAvx2, tsv::Isa::kAvx512}) {
+      if (!tsv::isa_supported(isa)) continue;
+      std::printf("%s (%s), %tdx%tdx%td, T=%td, block %tdx%tdx%td/bt=%td\n",
+                  p.name.c_str(), tsv::isa_name(isa), p.nx, p.ny, p.nz,
+                  p.steps, p.bx, p.by, p.bz, p.bt);
+      std::printf("  %-13s", "cores:");
+      for (int c : cores) std::printf(" %8d", c);
+      std::printf("\n");
+      for (const auto& con : contenders()) {
+        std::printf("  %-13s", con.name);
+        for (int c : cores) {
+          const double gf = run_problem_best(p, con.method, con.tiling, isa, c);
+          std::printf(" %8.1f", gf);
+          std::fflush(stdout);
+          csv.row("9,%s,%s,%s,%d,%.3f", p.name.c_str(), tsv::isa_name(isa),
+                  con.name, c, gf);
+        }
+        std::printf("\n");
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

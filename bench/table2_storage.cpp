@@ -1,0 +1,55 @@
+// Table 2 — performance improvements per storage level, single thread,
+// block-free (paper §4.2). Speedups are normalized to the multiple-loads
+// method, exactly as the paper's Table 2 columns:
+//     | Data Reorganization | DLT | Our | Our (2 steps) |
+//
+// Expected shape (paper): reorg ~1.1x, DLT ~1.35x (strong in L1, <1 in L3),
+// Our ~2x, Our-2step ~2.8x on average.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header("Table 2: speedup over multiload per storage level");
+
+  const tsv::index steps = cfg.paper_scale ? 1000 : (cfg.long_t ? 1000 : 100);
+  const auto s = tsv::make_1d3p(1.0 / 3.0);
+  constexpr tsv::Method kMethods[] = {
+      tsv::Method::kMultiLoad, tsv::Method::kReorg, tsv::Method::kDlt,
+      tsv::Method::kTranspose, tsv::Method::kTransposeUJ};
+
+  CsvSink csv(cfg.csv_path, "table,level,method,speedup_vs_multiload");
+  std::printf("%-7s | %8s %8s %8s %8s   (paper: 1.11x 1.35x 1.98x 2.81x mean)\n",
+              "level", "reorg", "dlt", "our", "our2");
+
+  double mean[5] = {0, 0, 0, 0, 0};
+  int nlev = 0;
+  for (const SizeRung& rung : storage_ladder()) {
+    double gf[5] = {0, 0, 0, 0, 0};
+    int i = 0;
+    for (tsv::Method m : kMethods) {
+      tsv::Grid1D<double> g(rung.nx, 1);
+      g.fill([](tsv::index x) { return 0.25 + 1e-4 * static_cast<double>(x % 101); });
+      tsv::Options o;
+      o.method = m;
+      o.isa = tsv::best_isa();
+      o.steps = steps;
+      gf[i++] = time_run(g, s, o, rung.nx);
+    }
+    std::printf("%-7s |", rung.level);
+    for (int k = 1; k < 5; ++k) {
+      const double sp = gf[k] / gf[0];
+      mean[k] += sp;
+      std::printf(" %7.2fx", sp);
+      csv.row("2,%s,%s,%.3f", rung.level, tsv::method_name(kMethods[k]), sp);
+    }
+    std::printf("\n");
+    ++nlev;
+  }
+  std::printf("%-7s |", "mean");
+  for (int k = 1; k < 5; ++k) std::printf(" %7.2fx", mean[k] / nlev);
+  std::printf("\n");
+  return 0;
+}

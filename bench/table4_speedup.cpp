@@ -1,0 +1,64 @@
+// Table 4 — average performance improvement per stencil and ISA (paper
+// §4.4), plus the many-core speedup over a single core.
+//
+// Rows (paper): speedup over SDSL (AVX-2 columns) / over Tessellation
+// (AVX-512 columns, where SDSL has no implementation) for Tessellation, Our,
+// Our*; and per-method speedup of the full machine over one core.
+//
+// Expected shape (paper): Our* 3.52x (1D3P/AVX2) tapering to 1.76x
+// (3D27P/AVX2); AVX-512 gains 1.24x-1.98x over Tessellation; near-ideal
+// many-core scaling for 1D, degrading with dimension.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bench;
+  setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header("Table 4: average speedups per stencil and ISA");
+
+  const int maxc = cfg.threads;
+  CsvSink csv(cfg.csv_path, "table,stencil,isa,method,metric,value");
+
+  for (tsv::Isa isa : {tsv::Isa::kAvx2, tsv::Isa::kAvx512}) {
+    if (!tsv::isa_supported(isa)) continue;
+    const char* base_name = (isa == tsv::Isa::kAvx2) ? "SDSL" : "Tessellation";
+    const int base_idx = (isa == tsv::Isa::kAvx2) ? 0 : 1;
+    std::printf("[%s] speedup over %s at %d cores / scaling vs 1 core\n",
+                tsv::isa_name(isa), base_name, maxc);
+    std::printf("  %-8s", "stencil");
+    for (const auto& c : contenders()) std::printf(" %12s", c.name);
+    std::printf("   | scaling:");
+    for (const auto& c : contenders()) std::printf(" %10s", c.name);
+    std::printf("\n");
+
+    for (const tsv::Problem& p : tsv::table1_problems(cfg.paper_scale)) {
+      double gf_max[4], gf_one[4];
+      for (int k = 0; k < 4; ++k) {
+        const auto& c = contenders()[k];
+        gf_max[k] = run_problem_best(p, c.method, c.tiling, isa, maxc);
+        gf_one[k] = run_problem_best(p, c.method, c.tiling, isa, 1);
+      }
+      std::printf("  %-8s", p.name.c_str());
+      for (int k = 0; k < 4; ++k) {
+        std::printf(" %11.2fx", gf_max[k] / gf_max[base_idx]);
+        csv.row("4,%s,%s,%s,speedup,%.3f", p.name.c_str(),
+                tsv::isa_name(isa), contenders()[k].name,
+                gf_max[k] / gf_max[base_idx]);
+      }
+      std::printf("   |         ");
+      for (int k = 0; k < 4; ++k) {
+        std::printf(" %9.1fx", gf_max[k] / gf_one[k]);
+        csv.row("4,%s,%s,%s,scaling,%.3f", p.name.c_str(),
+                tsv::isa_name(isa), contenders()[k].name,
+                gf_max[k] / gf_one[k]);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper AVX2 Our* over SDSL: 3.52x 1D3P ... 1.76x 3D27P;\n"
+              " paper AVX512 Our* over Tessellation: 1.24x-1.98x)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Iterated 9-point box smoothing of an image — the paper's motivating case
+// for *small* time-step counts (§2.2): a global DLT transform cannot be
+// amortized over a handful of sweeps, while the register-block transpose
+// pays only two in-register passes.
+//
+// The "image" is a synthetic noisy gradient; we apply a few Gaussian-like
+// smoothing iterations (each = normalized 3x3 box) with the DLT baseline and
+// with the transpose scheme and report both runtimes.
+//
+//   ./examples/image_smoothing [width] [height] [iterations]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tsv/tsv.hpp"
+
+namespace {
+
+double noisy_gradient(tsv::index x, tsv::index y) {
+  // Deterministic noise (hash-ish) over a diagonal gradient.
+  const unsigned h = static_cast<unsigned>(x * 2654435761u ^ y * 40503u);
+  return 0.5 * (x + y) + ((h >> 8) % 1000) * 0.05;
+}
+
+double roughness(const tsv::Grid2D<double>& g) {
+  // Mean squared difference between horizontal neighbours — drops as the
+  // image smooths.
+  double acc = 0;
+  for (tsv::index y = 0; y < g.ny(); ++y)
+    for (tsv::index x = 0; x + 1 < g.nx(); ++x) {
+      const double d = g.at(x + 1, y) - g.at(x, y);
+      acc += d * d;
+    }
+  return acc / (static_cast<double>(g.nx() - 1) * g.ny());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tsv::index w = tsv::round_up(argc > 1 ? std::atoll(argv[1]) : 1920, 64);
+  const tsv::index h = argc > 2 ? std::atoll(argv[2]) : 1080;
+  const tsv::index iters = argc > 3 ? std::atoll(argv[3]) : 6;
+
+  std::printf("box smoothing of a %td x %td image, %td iterations\n\n", w, h,
+              iters);
+
+  // Normalized 3x3 box: all nine weights 1/9.
+  const auto box = tsv::make_2d9p(1.0 / 9, 1.0 / 9, 1.0 / 9);
+
+  double before = 0, after = 0;
+  double t_dlt = 0, t_transpose = 0;
+  for (tsv::Method m : {tsv::Method::kDlt, tsv::Method::kTranspose}) {
+    tsv::Grid2D<double> img(w, h, 1);
+    img.fill(noisy_gradient);
+    before = roughness(img);
+    tsv::Timer timer;
+    tsv::run(img, box, {.method = m, .isa = tsv::best_isa(), .steps = iters});
+    (m == tsv::Method::kDlt ? t_dlt : t_transpose) = timer.seconds();
+    after = roughness(img);
+  }
+
+  std::printf("roughness: %.2f -> %.2f\n", before, after);
+  std::printf("DLT (global transform each way):  %8.4f s\n", t_dlt);
+  std::printf("transpose layout (in-register):   %8.4f s\n", t_transpose);
+  std::printf("speedup at T=%td: %.2fx  (the DLT transform cannot be "
+              "amortized over few sweeps)\n",
+              iters, t_dlt / t_transpose);
+  return after < before ? 0 : 1;
+}

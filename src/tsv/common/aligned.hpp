@@ -1,0 +1,117 @@
+#pragma once
+// Cache-line-aligned storage primitives used by every grid and scratch buffer.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace tsv {
+
+/// Signed index type used for all loop arithmetic (Core Guidelines ES.102/107).
+using index = std::ptrdiff_t;
+
+/// Hot per-vector-set helpers must be inlined even in large translation
+/// units, or their Vec-array parameters round-trip through the stack.
+#if defined(__GNUC__)
+#define TSV_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define TSV_ALWAYS_INLINE inline
+#endif
+
+/// Top-level run drivers must NOT be inlined into callers: a caller invoking
+/// several methods would otherwise become one giant function whose size
+/// exhausts the optimizer's budget and degrades every hot loop inside it.
+#if defined(__GNUC__)
+#define TSV_NOINLINE __attribute__((noinline))
+#else
+#define TSV_NOINLINE
+#endif
+
+/// always_inline spelled for lambda declarators (empty where unsupported).
+#if defined(__GNUC__)
+#define TSV_ALWAYS_INLINE_LAMBDA __attribute__((always_inline))
+#else
+#define TSV_ALWAYS_INLINE_LAMBDA
+#endif
+
+/// Alignment used for all numeric storage. 64 bytes covers one cache line and
+/// the widest vector register we target (AVX-512).
+inline constexpr std::size_t kAlignment = 64;
+
+/// Rounds @p n up to the next multiple of @p m (m > 0).
+constexpr index round_up(index n, index m) { return (n + m - 1) / m * m; }
+
+/// RAII owner of a 64-byte-aligned array of trivially-copyable elements.
+///
+/// Unlike std::vector this guarantees the *first element* is aligned, which
+/// the SIMD kernels rely on for aligned loads/stores.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer only holds trivially copyable element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocates @p n zero-initialized elements.
+  explicit AlignedBuffer(index n) : size_(n) {
+    if (n < 0) throw std::invalid_argument("AlignedBuffer: negative size");
+    if (n == 0) return;
+    const std::size_t bytes =
+        static_cast<std::size_t>(round_up(n * static_cast<index>(sizeof(T)),
+                                          static_cast<index>(kAlignment)));
+    data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(data_, 0, bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0)
+      std::memcpy(data_, other.data_,
+                  static_cast<std::size_t>(size_) * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  index size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](index i) noexcept { return data_[i]; }
+  const T& operator[](index i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  index size_ = 0;
+};
+
+}  // namespace tsv

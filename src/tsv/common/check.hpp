@@ -1,0 +1,36 @@
+#pragma once
+// Precondition checking shared by the public entry points.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsv {
+
+/// Throws std::invalid_argument with @p message when @p cond is false.
+/// Used at API boundaries; hot loops use assertions instead.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename Head, typename... Tail>
+void format_into(std::ostringstream& os, const Head& head,
+                 const Tail&... tail) {
+  os << head;
+  format_into(os, tail...);
+}
+}  // namespace detail
+
+/// require() with streamed message parts: require_fmt(ok, "nx=", nx, " bad").
+template <typename... Parts>
+void require_fmt(bool cond, const Parts&... parts) {
+  if (!cond) {
+    std::ostringstream os;
+    detail::format_into(os, parts...);
+    throw std::invalid_argument(os.str());
+  }
+}
+
+}  // namespace tsv

@@ -1,0 +1,113 @@
+#include "tsv/common/cpu.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace tsv {
+namespace {
+
+// Parses sysfs cache sizes like "32K" / "25344K". Returns 0 on failure.
+index read_sysfs_cache_bytes(int cpu, int idx) {
+  const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                           "/cache/index" + std::to_string(idx) + "/";
+  std::ifstream type_f(base + "type");
+  std::string type;
+  if (!(type_f >> type)) return 0;
+  if (type == "Instruction") return 0;
+  std::ifstream size_f(base + "size");
+  std::string size;
+  if (!(size_f >> size)) return 0;
+  index mult = 1;
+  if (!size.empty() && (size.back() == 'K' || size.back() == 'k')) {
+    mult = 1024;
+    size.pop_back();
+  } else if (!size.empty() && (size.back() == 'M' || size.back() == 'm')) {
+    mult = 1024 * 1024;
+    size.pop_back();
+  }
+  try {
+    return static_cast<index>(std::stoll(size)) * mult;
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+index read_sysfs_cache_level(int cpu, int idx) {
+  const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                           "/cache/index" + std::to_string(idx) + "/level";
+  std::ifstream f(base);
+  index level = 0;
+  f >> level;
+  return level;
+}
+
+CpuInfo detect() {
+  CpuInfo info;
+  info.has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  info.has_avx512f = __builtin_cpu_supports("avx512f") != 0;
+  info.logical_cores =
+      static_cast<index>(std::thread::hardware_concurrency());
+  if (info.logical_cores <= 0) info.logical_cores = 1;
+
+  for (int idx = 0; idx < 8; ++idx) {
+    const index bytes = read_sysfs_cache_bytes(0, idx);
+    if (bytes == 0) continue;
+    switch (read_sysfs_cache_level(0, idx)) {
+      case 1: info.l1_bytes = bytes; break;
+      case 2: info.l2_bytes = bytes; break;
+      case 3: info.l3_bytes = bytes; break;
+      default: break;
+    }
+  }
+  // Conservative fallbacks (Skylake-SP-class, matching the paper's testbed)
+  // so size sweeps still cover every cache level on locked-down systems.
+  if (info.l1_bytes == 0) info.l1_bytes = 32 * 1024;
+  if (info.l2_bytes == 0) info.l2_bytes = 1024 * 1024;
+  if (info.l3_bytes == 0) info.l3_bytes = 24 * 1024 * 1024;
+  return info;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+index isa_width(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return 1;
+    case Isa::kAvx2: return 4;
+    case Isa::kAvx512: return 8;
+  }
+  return 1;
+}
+
+const CpuInfo& cpu_info() {
+  static const CpuInfo info = detect();
+  return info;
+}
+
+Isa best_isa() {
+  const CpuInfo& info = cpu_info();
+  if (info.has_avx512f) return Isa::kAvx512;
+  if (info.has_avx2) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return cpu_info().has_avx2;
+    case Isa::kAvx512: return cpu_info().has_avx512f;
+  }
+  return false;
+}
+
+}  // namespace tsv

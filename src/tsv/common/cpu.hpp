@@ -1,0 +1,47 @@
+#pragma once
+// Runtime CPU capability and cache-hierarchy discovery.
+//
+// The benchmark harness uses cache sizes to pick the problem sizes that land
+// in L1/L2/L3/memory (paper Figs. 7-8), and the executor uses the feature
+// flags to choose the widest available kernel.
+
+#include <cstddef>
+#include <string>
+
+#include "tsv/common/aligned.hpp"
+
+namespace tsv {
+
+/// Instruction-set families evaluated by the paper.
+enum class Isa {
+  kScalar,  ///< generic C++ (compiler may still auto-vectorize)
+  kAvx2,    ///< 256-bit vectors, 4 doubles
+  kAvx512,  ///< 512-bit vectors, 8 doubles
+};
+
+/// Human-readable name ("scalar", "avx2", "avx512").
+const char* isa_name(Isa isa);
+
+/// Vector length in doubles for @p isa (1, 4 or 8).
+index isa_width(Isa isa);
+
+struct CpuInfo {
+  bool has_avx2 = false;
+  bool has_avx512f = false;
+  index logical_cores = 1;
+  // Per-core data-cache capacities in bytes; zero when undiscoverable.
+  index l1_bytes = 0;
+  index l2_bytes = 0;
+  index l3_bytes = 0;  // shared
+};
+
+/// Queries CPUID + sysfs once and caches the result.
+const CpuInfo& cpu_info();
+
+/// Widest ISA supported by this machine.
+Isa best_isa();
+
+/// True when kernels specialized for @p isa can run on this machine.
+bool isa_supported(Isa isa);
+
+}  // namespace tsv

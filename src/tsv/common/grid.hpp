@@ -1,0 +1,213 @@
+#pragma once
+// Row-major grid containers with symmetric halos.
+//
+// Layout guarantees relied upon by the SIMD kernels:
+//  * the first interior element of every unit-stride row is 64-byte aligned;
+//  * the x stride between consecutive rows/planes is a multiple of the widest
+//    vector length, so aligned row kernels stay aligned on every row.
+//
+// Halo semantics: halo cells hold Dirichlet boundary values. The stencil
+// drivers never write halo cells, so they are constant in time.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "tsv/common/aligned.hpp"
+#include "tsv/common/check.hpp"
+
+namespace tsv {
+
+namespace detail {
+template <typename T>
+constexpr index align_elems() {
+  return static_cast<index>(kAlignment / sizeof(T));
+}
+}  // namespace detail
+
+/// One-dimensional grid: interior x in [0, nx), halo x in [-halo, 0) and
+/// [nx, nx+halo).
+template <typename T>
+class Grid1D {
+ public:
+  Grid1D(index nx, index halo) : nx_(nx), halo_(halo) {
+    require(nx > 0 && halo >= 0, "Grid1D: need nx > 0, halo >= 0");
+    lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
+    buf_ = AlignedBuffer<T>(lead_ + nx + lead_);
+  }
+
+  index nx() const { return nx_; }
+  index halo() const { return halo_; }
+
+  /// Pointer to x = 0 (64-byte aligned).
+  T* x0() { return buf_.data() + lead_; }
+  const T* x0() const { return buf_.data() + lead_; }
+
+  T& at(index x) { return x0()[x]; }
+  const T& at(index x) const { return x0()[x]; }
+
+  /// Applies f(x) to every cell including halo.
+  template <typename F>
+  void fill(F&& f) {
+    for (index x = -halo_; x < nx_ + halo_; ++x) at(x) = f(x);
+  }
+
+  /// Copies halo cells (both sides) from @p other.
+  void copy_halo_from(const Grid1D& other) {
+    for (index x = -halo_; x < 0; ++x) at(x) = other.at(x);
+    for (index x = nx_; x < nx_ + halo_; ++x) at(x) = other.at(x);
+  }
+
+  /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
+  void swap_storage(Grid1D& other) {
+    require(nx_ == other.nx_ && halo_ == other.halo_,
+            "swap_storage: shape mismatch");
+    buf_.swap(other.buf_);
+  }
+
+ private:
+  index nx_, halo_, lead_;
+  AlignedBuffer<T> buf_;
+};
+
+/// Two-dimensional grid, row-major, x unit-stride.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D(index nx, index ny, index halo) : nx_(nx), ny_(ny), halo_(halo) {
+    require(nx > 0 && ny > 0 && halo >= 0, "Grid2D: bad extents");
+    lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
+    stride_ = lead_ + round_up(nx + std::max<index>(halo, 1),
+                               detail::align_elems<T>());
+    buf_ = AlignedBuffer<T>(stride_ * (ny + 2 * halo_) + lead_);
+  }
+
+  index nx() const { return nx_; }
+  index ny() const { return ny_; }
+  index halo() const { return halo_; }
+  /// Distance in elements between (x, y) and (x, y+1).
+  index row_stride() const { return stride_; }
+
+  /// Pointer to (0, y); y in [-halo, ny+halo). 64-byte aligned.
+  T* row(index y) { return buf_.data() + lead_ + (y + halo_) * stride_; }
+  const T* row(index y) const {
+    return buf_.data() + lead_ + (y + halo_) * stride_;
+  }
+
+  T& at(index x, index y) { return row(y)[x]; }
+  const T& at(index x, index y) const { return row(y)[x]; }
+
+  template <typename F>
+  void fill(F&& f) {
+    for (index y = -halo_; y < ny_ + halo_; ++y)
+      for (index x = -halo_; x < nx_ + halo_; ++x) at(x, y) = f(x, y);
+  }
+
+  void copy_halo_from(const Grid2D& other) {
+    for (index y = -halo_; y < ny_ + halo_; ++y)
+      for (index x = -halo_; x < nx_ + halo_; ++x)
+        if (y < 0 || y >= ny_ || x < 0 || x >= nx_) at(x, y) = other.at(x, y);
+  }
+
+  /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
+  void swap_storage(Grid2D& other) {
+    require(nx_ == other.nx_ && ny_ == other.ny_ && halo_ == other.halo_,
+            "swap_storage: shape mismatch");
+    buf_.swap(other.buf_);
+  }
+
+ private:
+  index nx_, ny_, halo_, lead_, stride_;
+  AlignedBuffer<T> buf_;
+};
+
+/// Three-dimensional grid, x unit-stride, then y, then z.
+template <typename T>
+class Grid3D {
+ public:
+  Grid3D(index nx, index ny, index nz, index halo)
+      : nx_(nx), ny_(ny), nz_(nz), halo_(halo) {
+    require(nx > 0 && ny > 0 && nz > 0 && halo >= 0, "Grid3D: bad extents");
+    lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
+    stride_ = lead_ + round_up(nx + std::max<index>(halo, 1),
+                               detail::align_elems<T>());
+    plane_ = stride_ * (ny + 2 * halo_);
+    buf_ = AlignedBuffer<T>(plane_ * (nz + 2 * halo_) + lead_);
+  }
+
+  index nx() const { return nx_; }
+  index ny() const { return ny_; }
+  index nz() const { return nz_; }
+  index halo() const { return halo_; }
+  index row_stride() const { return stride_; }
+  index plane_stride() const { return plane_; }
+
+  /// Pointer to (0, y, z). 64-byte aligned.
+  T* row(index y, index z) {
+    return buf_.data() + lead_ + (z + halo_) * plane_ + (y + halo_) * stride_;
+  }
+  const T* row(index y, index z) const {
+    return buf_.data() + lead_ + (z + halo_) * plane_ + (y + halo_) * stride_;
+  }
+
+  T& at(index x, index y, index z) { return row(y, z)[x]; }
+  const T& at(index x, index y, index z) const { return row(y, z)[x]; }
+
+  template <typename F>
+  void fill(F&& f) {
+    for (index z = -halo_; z < nz_ + halo_; ++z)
+      for (index y = -halo_; y < ny_ + halo_; ++y)
+        for (index x = -halo_; x < nx_ + halo_; ++x)
+          at(x, y, z) = f(x, y, z);
+  }
+
+  void copy_halo_from(const Grid3D& other) {
+    for (index z = -halo_; z < nz_ + halo_; ++z)
+      for (index y = -halo_; y < ny_ + halo_; ++y)
+        for (index x = -halo_; x < nx_ + halo_; ++x)
+          if (z < 0 || z >= nz_ || y < 0 || y >= ny_ || x < 0 || x >= nx_)
+            at(x, y, z) = other.at(x, y, z);
+  }
+
+  /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
+  void swap_storage(Grid3D& other) {
+    require(nx_ == other.nx_ && ny_ == other.ny_ && nz_ == other.nz_ &&
+                halo_ == other.halo_,
+            "swap_storage: shape mismatch");
+    buf_.swap(other.buf_);
+  }
+
+ private:
+  index nx_, ny_, nz_, halo_, lead_, stride_, plane_;
+  AlignedBuffer<T> buf_;
+};
+
+/// Largest |a-b| over the interior of two grids (used by the test suite).
+template <typename T>
+T max_abs_diff(const Grid1D<T>& a, const Grid1D<T>& b) {
+  T m = 0;
+  for (index x = 0; x < a.nx(); ++x)
+    m = std::max(m, std::abs(a.at(x) - b.at(x)));
+  return m;
+}
+
+template <typename T>
+T max_abs_diff(const Grid2D<T>& a, const Grid2D<T>& b) {
+  T m = 0;
+  for (index y = 0; y < a.ny(); ++y)
+    for (index x = 0; x < a.nx(); ++x)
+      m = std::max(m, std::abs(a.at(x, y) - b.at(x, y)));
+  return m;
+}
+
+template <typename T>
+T max_abs_diff(const Grid3D<T>& a, const Grid3D<T>& b) {
+  T m = 0;
+  for (index z = 0; z < a.nz(); ++z)
+    for (index y = 0; y < a.ny(); ++y)
+      for (index x = 0; x < a.nx(); ++x)
+        m = std::max(m, std::abs(a.at(x, y, z) - b.at(x, y, z)));
+  return m;
+}
+
+}  // namespace tsv

@@ -1,0 +1,26 @@
+#pragma once
+// Monotonic wall-clock timing for the benchmark harness.
+
+#include <chrono>
+
+namespace tsv {
+
+/// Thin wrapper over std::chrono::steady_clock. Started at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tsv

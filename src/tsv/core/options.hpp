@@ -1,0 +1,43 @@
+#pragma once
+// Public run options: which vectorization method, which tiling framework,
+// which ISA, and the blocking parameters.
+
+#include <string>
+
+#include "tsv/common/aligned.hpp"
+#include "tsv/common/cpu.hpp"
+
+namespace tsv {
+
+/// Vectorization schemes evaluated by the paper.
+enum class Method {
+  kScalar,       ///< plain scalar reference
+  kAutoVec,      ///< compiler auto-vectorization (pragma simd)
+  kMultiLoad,    ///< unaligned load per shifted vector (paper §2.1)
+  kReorg,        ///< aligned loads + register shuffles (paper §2.1)
+  kDlt,          ///< dimension-lifting transpose (Henretty; paper §2.2)
+  kTranspose,    ///< register-block transpose layout (paper §3.2) — "Our"
+  kTransposeUJ,  ///< + time unroll-and-jam, k=2 (paper §3.3) — "Our (2 steps)"
+};
+
+/// Tiling frameworks.
+enum class Tiling {
+  kNone,        ///< untiled sweeps (paper §4.2 block-free experiments)
+  kTessellate,  ///< tessellate tiling (paper §3.4; Yuan SC'17)
+  kSplit,       ///< split tiling over DLT layout (SDSL baseline)
+};
+
+const char* method_name(Method m);
+const char* tiling_name(Tiling t);
+
+struct Options {
+  Method method = Method::kTranspose;
+  Tiling tiling = Tiling::kNone;
+  Isa isa = Isa::kAvx512;   ///< vector width; checked against the host
+  index steps = 1;          ///< time steps T
+  index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (tiled runs)
+  index bt = 0;             ///< temporal block (time range per tile round)
+  int threads = 0;          ///< OpenMP threads; 0 = library default
+};
+
+}  // namespace tsv

@@ -1,0 +1,53 @@
+#include "tsv/core/problems.hpp"
+
+namespace tsv {
+
+std::vector<Problem> table1_problems(bool paper_scale) {
+  // Paper Table 1, with x extents rounded up to a multiple of 64 (= W^2 for
+  // AVX-512 doubles) so every layout-constrained method accepts them.
+  // Scaled defaults keep the same cache-level placement on one machine while
+  // finishing in minutes; --paper-scale restores the published sizes.
+  std::vector<Problem> v;
+  if (paper_scale) {
+    v.push_back({.name = "1d3p", .kind = StencilKind::k1d3p,
+                 .nx = 10240000, .ny = 1, .nz = 1, .steps = 1000,
+                 .bx = 2048, .by = 1, .bz = 1, .bt = 1000});
+    v.push_back({.name = "1d5p", .kind = StencilKind::k1d5p,
+                 .nx = 10240000, .ny = 1, .nz = 1, .steps = 1000,
+                 .bx = 2048, .by = 1, .bz = 1, .bt = 500});
+    v.push_back({.name = "2d5p", .kind = StencilKind::k2d5p,
+                 .nx = 3072, .ny = 3000, .nz = 1, .steps = 1000,
+                 .bx = 256, .by = 200, .bz = 1, .bt = 50});
+    v.push_back({.name = "2d9p", .kind = StencilKind::k2d9p,
+                 .nx = 3072, .ny = 3000, .nz = 1, .steps = 1000,
+                 .bx = 128, .by = 128, .bz = 1, .bt = 60});
+    v.push_back({.name = "3d7p", .kind = StencilKind::k3d7p,
+                 .nx = 128, .ny = 128, .nz = 128, .steps = 1000,
+                 .bx = 64, .by = 23, .bz = 23, .bt = 10});
+    v.push_back({.name = "3d27p", .kind = StencilKind::k3d27p,
+                 .nx = 128, .ny = 128, .nz = 128, .steps = 1000,
+                 .bx = 64, .by = 23, .bz = 23, .bt = 10});
+  } else {
+    v.push_back({.name = "1d3p", .kind = StencilKind::k1d3p,
+                 .nx = 1024000, .ny = 1, .nz = 1, .steps = 100,
+                 .bx = 2048, .by = 1, .bz = 1, .bt = 100});
+    v.push_back({.name = "1d5p", .kind = StencilKind::k1d5p,
+                 .nx = 1024000, .ny = 1, .nz = 1, .steps = 100,
+                 .bx = 2048, .by = 1, .bz = 1, .bt = 50});
+    v.push_back({.name = "2d5p", .kind = StencilKind::k2d5p,
+                 .nx = 1024, .ny = 1000, .nz = 1, .steps = 100,
+                 .bx = 256, .by = 100, .bz = 1, .bt = 24});
+    v.push_back({.name = "2d9p", .kind = StencilKind::k2d9p,
+                 .nx = 1024, .ny = 1000, .nz = 1, .steps = 100,
+                 .bx = 128, .by = 128, .bz = 1, .bt = 30});
+    v.push_back({.name = "3d7p", .kind = StencilKind::k3d7p,
+                 .nx = 128, .ny = 96, .nz = 96, .steps = 100,
+                 .bx = 64, .by = 23, .bz = 23, .bt = 10});
+    v.push_back({.name = "3d27p", .kind = StencilKind::k3d27p,
+                 .nx = 128, .ny = 96, .nz = 96, .steps = 100,
+                 .bx = 64, .by = 23, .bz = 23, .bt = 10});
+  }
+  return v;
+}
+
+}  // namespace tsv

@@ -1,0 +1,26 @@
+#pragma once
+// Named problem presets (paper Table 1).
+
+#include <string>
+#include <vector>
+
+#include "tsv/common/aligned.hpp"
+
+namespace tsv {
+
+enum class StencilKind { k1d3p, k1d5p, k2d5p, k2d9p, k3d7p, k3d27p };
+
+struct Problem {
+  std::string name;
+  StencilKind kind{};
+  index nx = 0, ny = 1, nz = 1;  ///< interior extents (ny/nz == 1 for lower rank)
+  index steps = 0;               ///< total time steps T
+  index bx = 0, by = 0, bz = 0;  ///< spatial blocking sizes (Table 1)
+  index bt = 0;                  ///< temporal block (time range per tile stage)
+};
+
+/// The six stencil problems of Table 1. @p paper_scale selects the published
+/// sizes; the default is a scaled configuration with identical structure.
+std::vector<Problem> table1_problems(bool paper_scale = false);
+
+}  // namespace tsv

@@ -1,0 +1,27 @@
+#include "tsv/core/run.hpp"
+
+namespace tsv {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kScalar: return "scalar";
+    case Method::kAutoVec: return "autovec";
+    case Method::kMultiLoad: return "multiload";
+    case Method::kReorg: return "reorg";
+    case Method::kDlt: return "dlt";
+    case Method::kTranspose: return "transpose";
+    case Method::kTransposeUJ: return "transpose-uj2";
+  }
+  return "?";
+}
+
+const char* tiling_name(Tiling t) {
+  switch (t) {
+    case Tiling::kNone: return "none";
+    case Tiling::kTessellate: return "tessellate";
+    case Tiling::kSplit: return "split";
+  }
+  return "?";
+}
+
+}  // namespace tsv

@@ -1,0 +1,53 @@
+#pragma once
+// Scalar reference implementations — the ground truth every optimized method
+// is tested against. Intentionally simple; no vectorization pragmas, no
+// parallelism (multicore execution in this library always goes through a
+// tiling framework, as in the paper's experiments).
+
+#include "tsv/common/grid.hpp"
+#include "tsv/kernels/stencil.hpp"
+
+namespace tsv {
+
+template <int R>
+void reference_step(const Grid1D<double>& in, Grid1D<double>& out,
+                    const Stencil1D<R>& s) {
+  const double* ip = in.x0();
+  double* op = out.x0();
+  for (index x = 0; x < in.nx(); ++x) op[x] = s.apply(ip + x);
+}
+
+template <int R, int NR>
+void reference_step(const Grid2D<double>& in, Grid2D<double>& out,
+                    const Stencil2D<R, NR>& s) {
+  for (index y = 0; y < in.ny(); ++y) {
+    double* op = out.row(y);
+    for (index x = 0; x < in.nx(); ++x)
+      op[x] = s.apply([&](int dy) { return in.row(y + dy); }, x);
+  }
+}
+
+template <int R, int NR>
+void reference_step(const Grid3D<double>& in, Grid3D<double>& out,
+                    const Stencil3D<R, NR>& s) {
+  for (index z = 0; z < in.nz(); ++z)
+    for (index y = 0; y < in.ny(); ++y) {
+      double* op = out.row(y, z);
+      for (index x = 0; x < in.nx(); ++x)
+        op[x] =
+            s.apply([&](int dy, int dz) { return in.row(y + dy, z + dz); }, x);
+    }
+}
+
+/// Advances @p g by @p steps Jacobi steps; result (including untouched halo)
+/// ends up back in @p g. Works for all three grid ranks.
+template <typename Grid, typename S>
+void reference_run(Grid& g, const S& s, index steps) {
+  Grid tmp = g;  // copies shape, interior and halo
+  for (index t = 0; t < steps; ++t) {
+    reference_step(g, tmp, s);
+    g.swap_storage(tmp);
+  }
+}
+
+}  // namespace tsv

@@ -1,0 +1,59 @@
+// Dedicated translation unit for the hot sweep kernels.
+//
+// GCC's inlining and scalar-replacement heuristics are sensitive to total
+// unit size: in a TU that instantiates many drivers, the kernels' Vec
+// register arrays end up materialized on the stack and every sweep runs ~2x
+// slower (see the extern template comments in the kernel headers). Keeping
+// the instantiations here — and nothing else — guarantees clean codegen for
+// every consumer.
+#define TSV_KERNELS_TU 1
+
+#include "tsv/vectorize/blocked_m.hpp"
+#include "tsv/vectorize/dlt_method.hpp"
+#include "tsv/vectorize/transpose_vs.hpp"
+#include "tsv/vectorize/unroll_jam.hpp"
+
+namespace tsv {
+
+#define TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, R, NR)                          \
+  template void transpose_sweep_row_region<V, R, NR>(                     \
+      const std::array<const double*, NR>&, double*,                      \
+      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
+      index);
+
+#define TSV_INSTANTIATE_DLT_SWEEP(V, R, NR)                                \
+  template void dlt_sweep_row_region<V, R, NR>(                           \
+      const std::array<const double*, NR>&, double*,                      \
+      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
+      index);
+
+#define TSV_INSTANTIATE_UJ_SWEEP(V, R, K)             \
+  template void unroll_jam_sweep_row<V, R, K>(        \
+      double*, const std::array<double, 2 * R + 1>&, index);
+
+#define TSV_INSTANTIATE_ALL_FOR(V)        \
+  TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 1, 1) \
+  TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 2, 1) \
+  TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 1, 3) \
+  TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 1, 5) \
+  TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 1, 9) \
+  TSV_INSTANTIATE_DLT_SWEEP(V, 1, 1)       \
+  TSV_INSTANTIATE_DLT_SWEEP(V, 2, 1)       \
+  TSV_INSTANTIATE_DLT_SWEEP(V, 1, 3)       \
+  TSV_INSTANTIATE_DLT_SWEEP(V, 1, 5)       \
+  TSV_INSTANTIATE_DLT_SWEEP(V, 1, 9)       \
+  TSV_INSTANTIATE_UJ_SWEEP(V, 1, 1)        \
+  TSV_INSTANTIATE_UJ_SWEEP(V, 1, 2)        \
+  TSV_INSTANTIATE_UJ_SWEEP(V, 1, 3)        \
+  TSV_INSTANTIATE_UJ_SWEEP(V, 1, 4)        \
+  TSV_INSTANTIATE_UJ_SWEEP(V, 2, 2)
+
+TSV_INSTANTIATE_ALL_FOR(VecD2)
+#if defined(__AVX2__)
+TSV_INSTANTIATE_ALL_FOR(VecD4)
+#endif
+#if defined(__AVX512F__)
+TSV_INSTANTIATE_ALL_FOR(VecD8)
+#endif
+
+}  // namespace tsv

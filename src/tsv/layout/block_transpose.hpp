@@ -1,0 +1,79 @@
+#pragma once
+// The paper's register-block ("locally transposed") layout, §3.2.
+//
+// A unit-stride row whose interior length is a multiple of W² is split into
+// blocks of W² elements. Inside block b (base B = b·W²) element B + i·W + j
+// moves to position B + j·W + i — i.e. each block is transposed as a W×W
+// matrix. One aligned vector at B + j·W (the j-th vector of the block's
+// *vector set*) then holds elements {B + j, B + W + j, ..., B + (W-1)·W + j}.
+//
+// Halo cells and any x >= nx tail stay in original layout; the transforms
+// below touch interior cells only.
+
+#include "tsv/common/check.hpp"
+#include "tsv/common/grid.hpp"
+#include "tsv/simd/transpose.hpp"
+
+namespace tsv {
+
+/// Elements per block for vector width W.
+template <int W>
+constexpr index block_elems = static_cast<index>(W) * W;
+
+/// Position of interior element @p x inside a block-transposed row.
+/// Involution: applying it twice yields x.
+template <int W>
+constexpr index block_transposed_offset(index x) {
+  const index base = x / block_elems<W> * block_elems<W>;
+  const index e = x - base;
+  const index i = e / W, j = e % W;
+  return base + j * W + i;
+}
+
+/// Transposes every W² block of @p row[0 .. n). @p n must be a multiple of
+/// W²; @p row must be 64-byte aligned. The transform is its own inverse.
+template <typename T, int W>
+void block_transpose_row(T* row, index n) {
+  require_fmt(n % block_elems<W> == 0, "block_transpose_row: n=", n,
+              " not a multiple of W^2=", block_elems<W>);
+  for (index b = 0; b < n; b += block_elems<W>)
+    transpose_block_inplace<T, W>(row + b);
+}
+
+/// Converts @p g between original and transpose layout (self-inverse).
+///
+/// For rank >= 2 the transform covers the y/z *halo rows* as well: stencil
+/// kernels read neighbour rows at the same transposed offsets, so every row a
+/// kernel can touch must share the layout. The x halo of every row stays in
+/// original order — boundary assembly reads scalars from it.
+template <typename T, int W>
+void block_transpose_grid(Grid1D<T>& g) {
+  block_transpose_row<T, W>(g.x0(), g.nx());
+}
+
+template <typename T, int W>
+void block_transpose_grid(Grid2D<T>& g) {
+  for (index y = -g.halo(); y < g.ny() + g.halo(); ++y)
+    block_transpose_row<T, W>(g.row(y), g.nx());
+}
+
+template <typename T, int W>
+void block_transpose_grid(Grid3D<T>& g) {
+  for (index z = -g.halo(); z < g.nz() + g.halo(); ++z)
+    for (index y = -g.halo(); y < g.ny() + g.halo(); ++y)
+      block_transpose_row<T, W>(g.row(y, z), g.nx());
+}
+
+/// Reads interior element @p x from a block-transposed row (boundary and
+/// test helper; hot paths use vector loads).
+template <typename T, int W>
+T load_transposed(const T* row, index x) {
+  return row[block_transposed_offset<W>(x)];
+}
+
+template <typename T, int W>
+void store_transposed(T* row, index x, T v) {
+  row[block_transposed_offset<W>(x)] = v;
+}
+
+}  // namespace tsv

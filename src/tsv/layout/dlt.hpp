@@ -1,0 +1,88 @@
+#pragma once
+// Dimension-Lifting Transpose (Henretty CC'11) — the baseline layout the
+// paper compares against.
+//
+// A row of interior length n (multiple of W) is viewed as a W × (n/W) matrix
+// in row-major order and globally transposed: element j·L + i (lane j,
+// column i, L = n/W) moves to position i·W + j. A vectorized stencil then
+// loads aligned vectors at (i±s)·W with no lane conflicts; only the W-1 lane
+// seams (columns 0 and L-1) need cross-lane assembly.
+//
+// As the paper notes (§2.2), DLT is impractical to apply in place, so the
+// transforms are out-of-place into a caller-provided scratch row.
+
+#include "tsv/common/check.hpp"
+#include "tsv/common/grid.hpp"
+
+namespace tsv {
+
+/// Position of interior element @p x in the DLT layout of a row of length n.
+template <int W>
+constexpr index dlt_offset(index x, index n) {
+  const index L = n / W;
+  const index j = x / L;  // lane
+  const index i = x % L;  // column
+  return i * W + j;
+}
+
+/// dst[i*W + j] = src[j*L + i]. n must be a multiple of W.
+template <typename T, int W>
+void dlt_forward_row(const T* src, T* dst, index n) {
+  require_fmt(n % W == 0, "dlt_forward_row: n=", n, " not a multiple of W=",
+              static_cast<index>(W));
+  const index L = n / W;
+  for (index i = 0; i < L; ++i)
+    for (index j = 0; j < W; ++j) dst[i * W + j] = src[j * L + i];
+}
+
+/// Inverse of dlt_forward_row.
+template <typename T, int W>
+void dlt_backward_row(const T* src, T* dst, index n) {
+  require_fmt(n % W == 0, "dlt_backward_row: n=", n, " not a multiple of W=",
+              static_cast<index>(W));
+  const index L = n / W;
+  for (index i = 0; i < L; ++i)
+    for (index j = 0; j < W; ++j) dst[j * L + i] = src[i * W + j];
+}
+
+/// Whole-grid DLT; @p dst must have the same shape as @p src. For rank >= 2
+/// the y/z halo rows are transformed too (neighbour-row loads must share the
+/// layout); the x halo of each row keeps original order and is read by the
+/// seam-handling code.
+template <typename T, int W>
+void dlt_forward_grid(const Grid1D<T>& src, Grid1D<T>& dst) {
+  dlt_forward_row<T, W>(src.x0(), dst.x0(), src.nx());
+}
+
+template <typename T, int W>
+void dlt_backward_grid(const Grid1D<T>& src, Grid1D<T>& dst) {
+  dlt_backward_row<T, W>(src.x0(), dst.x0(), src.nx());
+}
+
+template <typename T, int W>
+void dlt_forward_grid(const Grid2D<T>& src, Grid2D<T>& dst) {
+  for (index y = -src.halo(); y < src.ny() + src.halo(); ++y)
+    dlt_forward_row<T, W>(src.row(y), dst.row(y), src.nx());
+}
+
+template <typename T, int W>
+void dlt_backward_grid(const Grid2D<T>& src, Grid2D<T>& dst) {
+  for (index y = -src.halo(); y < src.ny() + src.halo(); ++y)
+    dlt_backward_row<T, W>(src.row(y), dst.row(y), src.nx());
+}
+
+template <typename T, int W>
+void dlt_forward_grid(const Grid3D<T>& src, Grid3D<T>& dst) {
+  for (index z = -src.halo(); z < src.nz() + src.halo(); ++z)
+    for (index y = -src.halo(); y < src.ny() + src.halo(); ++y)
+      dlt_forward_row<T, W>(src.row(y, z), dst.row(y, z), src.nx());
+}
+
+template <typename T, int W>
+void dlt_backward_grid(const Grid3D<T>& src, Grid3D<T>& dst) {
+  for (index z = -src.halo(); z < src.nz() + src.halo(); ++z)
+    for (index y = -src.halo(); y < src.ny() + src.halo(); ++y)
+      dlt_backward_row<T, W>(src.row(y, z), dst.row(y, z), src.nx());
+}
+
+}  // namespace tsv

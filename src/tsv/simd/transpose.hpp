@@ -1,0 +1,139 @@
+#pragma once
+// In-register W x W matrix transpose (paper §3.5).
+//
+// The paper's observation: the information-theoretic lower bound is
+// W·log2(W) shuffles, but *which* shuffles come first matters. Lane-crossing
+// instructions (vperm2f128 / vshuff64x2) have 3-cycle latency while in-lane
+// unpacks are single-cycle, so issuing the lane-crossing stage first lets its
+// latency overlap the dependent single-cycle stage ("improved" schedule,
+// Fig. 6). The conventional schedule (unpack first, lane-crossing last —
+// Hormati-style) leaves the long-latency instructions exposed at the end;
+// the paper measures ~25% overhead for it. Both schedules are provided so
+// bench/ablation_transpose can reproduce the comparison.
+//
+// transpose(v): v[j] becomes the j-th column of the input matrix whose rows
+// were v[0..W-1]; i.e. out[j].lane[i] = in[i].lane[j].
+
+#include "tsv/simd/vec.hpp"
+
+namespace tsv {
+
+/// Portable transpose for any width (reference semantics for the tests).
+template <typename T, int W>
+inline void transpose(Vec<T, W> (&v)[W]) {
+  T m[W][W];
+  for (int i = 0; i < W; ++i)
+    for (int j = 0; j < W; ++j) m[i][j] = v[i].lane[j];
+  for (int j = 0; j < W; ++j)
+    for (int i = 0; i < W; ++i) v[j].lane[i] = m[i][j];
+}
+
+template <typename T, int W>
+inline void transpose_baseline(Vec<T, W> (&v)[W]) {
+  transpose(v);
+}
+
+#if defined(__AVX2__)
+/// Improved schedule (paper Fig. 6): lane-crossing vperm2f128 stage first,
+/// single-cycle unpacks second. 8 shuffles total = 4·log2(4).
+inline void transpose(Vec<double, 4> (&v)[4]) {
+  const __m256d p0 = _mm256_permute2f128_pd(v[0].v, v[2].v, 0x20);  // a0 a1 c0 c1
+  const __m256d p1 = _mm256_permute2f128_pd(v[1].v, v[3].v, 0x20);  // b0 b1 d0 d1
+  const __m256d p2 = _mm256_permute2f128_pd(v[0].v, v[2].v, 0x31);  // a2 a3 c2 c3
+  const __m256d p3 = _mm256_permute2f128_pd(v[1].v, v[3].v, 0x31);  // b2 b3 d2 d3
+  v[0].v = _mm256_unpacklo_pd(p0, p1);  // a0 b0 c0 d0
+  v[1].v = _mm256_unpackhi_pd(p0, p1);  // a1 b1 c1 d1
+  v[2].v = _mm256_unpacklo_pd(p2, p3);  // a2 b2 c2 d2
+  v[3].v = _mm256_unpackhi_pd(p2, p3);  // a3 b3 c3 d3
+}
+
+/// Conventional schedule: in-lane unpacks first, lane-crossing last. Same 8
+/// shuffles, but the two 3-cycle vperm2f128 chains end the dependency graph.
+inline void transpose_baseline(Vec<double, 4> (&v)[4]) {
+  const __m256d u0 = _mm256_unpacklo_pd(v[0].v, v[1].v);  // a0 b0 a2 b2
+  const __m256d u1 = _mm256_unpackhi_pd(v[0].v, v[1].v);  // a1 b1 a3 b3
+  const __m256d u2 = _mm256_unpacklo_pd(v[2].v, v[3].v);  // c0 d0 c2 d2
+  const __m256d u3 = _mm256_unpackhi_pd(v[2].v, v[3].v);  // c1 d1 c3 d3
+  v[0].v = _mm256_permute2f128_pd(u0, u2, 0x20);  // a0 b0 c0 d0
+  v[1].v = _mm256_permute2f128_pd(u1, u3, 0x20);  // a1 b1 c1 d1
+  v[2].v = _mm256_permute2f128_pd(u0, u2, 0x31);  // a2 b2 c2 d2
+  v[3].v = _mm256_permute2f128_pd(u1, u3, 0x31);  // a3 b3 c3 d3
+}
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// Three-stage 8x8 transpose: 24 shuffles = 8·log2(8). The single-cycle
+/// in-lane unpacks are issued first; the two vshuff64x2 (lane-crossing)
+/// stages follow, each of whose latency overlaps the other's throughput.
+inline void transpose(Vec<double, 8> (&v)[8]) {
+  // Stage 1: pair rows within 128-bit lanes.
+  const __m512d t0 = _mm512_unpacklo_pd(v[0].v, v[1].v);
+  const __m512d t1 = _mm512_unpackhi_pd(v[0].v, v[1].v);
+  const __m512d t2 = _mm512_unpacklo_pd(v[2].v, v[3].v);
+  const __m512d t3 = _mm512_unpackhi_pd(v[2].v, v[3].v);
+  const __m512d t4 = _mm512_unpacklo_pd(v[4].v, v[5].v);
+  const __m512d t5 = _mm512_unpackhi_pd(v[4].v, v[5].v);
+  const __m512d t6 = _mm512_unpacklo_pd(v[6].v, v[7].v);
+  const __m512d t7 = _mm512_unpackhi_pd(v[6].v, v[7].v);
+  // Stage 2: gather column pairs {c, c+4} for row quads.
+  const __m512d m0 = _mm512_shuffle_f64x2(t0, t2, 0x88);  // cols {0,4} rows 0-3
+  const __m512d m1 = _mm512_shuffle_f64x2(t4, t6, 0x88);  // cols {0,4} rows 4-7
+  const __m512d m2 = _mm512_shuffle_f64x2(t1, t3, 0x88);  // cols {1,5} rows 0-3
+  const __m512d m3 = _mm512_shuffle_f64x2(t5, t7, 0x88);  // cols {1,5} rows 4-7
+  const __m512d m4 = _mm512_shuffle_f64x2(t0, t2, 0xDD);  // cols {2,6} rows 0-3
+  const __m512d m5 = _mm512_shuffle_f64x2(t4, t6, 0xDD);  // cols {2,6} rows 4-7
+  const __m512d m6 = _mm512_shuffle_f64x2(t1, t3, 0xDD);  // cols {3,7} rows 0-3
+  const __m512d m7 = _mm512_shuffle_f64x2(t5, t7, 0xDD);  // cols {3,7} rows 4-7
+  // Stage 3: splice row quads into full columns.
+  v[0].v = _mm512_shuffle_f64x2(m0, m1, 0x88);
+  v[4].v = _mm512_shuffle_f64x2(m0, m1, 0xDD);
+  v[1].v = _mm512_shuffle_f64x2(m2, m3, 0x88);
+  v[5].v = _mm512_shuffle_f64x2(m2, m3, 0xDD);
+  v[2].v = _mm512_shuffle_f64x2(m4, m5, 0x88);
+  v[6].v = _mm512_shuffle_f64x2(m4, m5, 0xDD);
+  v[3].v = _mm512_shuffle_f64x2(m6, m7, 0x88);
+  v[7].v = _mm512_shuffle_f64x2(m6, m7, 0xDD);
+}
+
+/// Alternative AVX-512 schedule built from four 4x4 sub-transposes via
+/// 256-bit extract/insert — more instructions, all lane-crossing; serves as
+/// the unoptimized comparator in bench/ablation_transpose.
+inline void transpose_baseline(Vec<double, 8> (&v)[8]) {
+  Vec<double, 4> lo[4], hi[4], lo2[4], hi2[4];
+  for (int i = 0; i < 4; ++i) {
+    lo[i].v = _mm512_castpd512_pd256(v[i].v);
+    hi[i].v = _mm512_extractf64x4_pd(v[i].v, 1);
+    lo2[i].v = _mm512_castpd512_pd256(v[i + 4].v);
+    hi2[i].v = _mm512_extractf64x4_pd(v[i + 4].v, 1);
+  }
+  transpose_baseline(lo);   // block (rows 0-3, cols 0-3)
+  transpose_baseline(hi);   // block (rows 0-3, cols 4-7)
+  transpose_baseline(lo2);  // block (rows 4-7, cols 0-3)
+  transpose_baseline(hi2);  // block (rows 4-7, cols 4-7)
+  for (int i = 0; i < 4; ++i) {
+    v[i].v = _mm512_insertf64x4(_mm512_castpd256_pd512(lo[i].v), lo2[i].v, 1);
+    v[i + 4].v =
+        _mm512_insertf64x4(_mm512_castpd256_pd512(hi[i].v), hi2[i].v, 1);
+  }
+}
+#endif  // __AVX512F__
+
+/// Transposes one W*W-element block in place. @p p must be 64-byte aligned.
+template <typename T, int W>
+inline void transpose_block_inplace(T* p) {
+  Vec<T, W> v[W];
+  for (int j = 0; j < W; ++j) v[j] = Vec<T, W>::load(p + j * W);
+  transpose(v);
+  for (int j = 0; j < W; ++j) v[j].store(p + j * W);
+}
+
+/// Transposes one W*W-element block from @p src into @p dst (both aligned).
+template <typename T, int W>
+inline void transpose_block(const T* src, T* dst) {
+  Vec<T, W> v[W];
+  for (int j = 0; j < W; ++j) v[j] = Vec<T, W>::load(src + j * W);
+  transpose(v);
+  for (int j = 0; j < W; ++j) v[j].store(dst + j * W);
+}
+
+}  // namespace tsv

@@ -1,0 +1,87 @@
+#pragma once
+// Fixed-width SIMD value wrapper.
+//
+// The primary template is plain portable C++ (arrays + loops) that the
+// compiler may auto-vectorize; it exists so every algorithm in the library can
+// be unit-tested for arbitrary widths. Specializations for the two ISAs the
+// paper evaluates — AVX2 (double x 4) and AVX-512 (double x 8) — are included
+// at the bottom of this header and are bit-compatible drop-ins.
+
+#include <cstring>
+
+#include "tsv/common/aligned.hpp"
+
+namespace tsv {
+
+template <typename T, int W>
+struct Vec {
+  static_assert(W >= 1, "vector width must be positive");
+  using value_type = T;
+  static constexpr int width = W;
+
+  T lane[W];
+
+  static Vec load(const T* p) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  static Vec loadu(const T* p) { return load(p); }
+  static Vec broadcast(T s) {
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = s;
+    return v;
+  }
+  static Vec zero() { return broadcast(T(0)); }
+
+  void store(T* p) const {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+  void storeu(T* p) const { store(p); }
+
+  /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
+  void store_mask(T* p, unsigned mask) const {
+    for (int i = 0; i < W; ++i)
+      if (mask & (1u << i)) p[i] = lane[i];
+  }
+
+  T operator[](int i) const { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+    return r;
+  }
+  friend Vec operator-(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
+  }
+  friend Vec operator*(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+    return r;
+  }
+};
+
+/// r = a*b + c with a single rounding where the ISA provides FMA.
+template <typename T, int W>
+inline Vec<T, W> fma(Vec<T, W> a, Vec<T, W> b, Vec<T, W> c) {
+  Vec<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i] + c.lane[i];
+  return r;
+}
+
+/// Comma-free aliases (usable as single macro arguments).
+using VecD2 = Vec<double, 2>;
+using VecD4 = Vec<double, 4>;
+using VecD8 = Vec<double, 8>;
+
+}  // namespace tsv
+
+#if defined(__AVX2__)
+#include "tsv/simd/vec_avx2.hpp"  // IWYU pragma: keep
+#endif
+#if defined(__AVX512F__)
+#include "tsv/simd/vec_avx512.hpp"  // IWYU pragma: keep
+#endif

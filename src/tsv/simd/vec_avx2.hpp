@@ -1,0 +1,54 @@
+#pragma once
+// AVX2 specialization: 256-bit vectors of 4 doubles.
+// Included by tsv/simd/vec.hpp; do not include directly.
+
+#include <immintrin.h>
+
+namespace tsv {
+
+template <typename T, int W>
+struct Vec;
+
+template <>
+struct Vec<double, 4> {
+  using value_type = double;
+  static constexpr int width = 4;
+
+  __m256d v;
+
+  Vec() = default;
+  explicit Vec(__m256d x) : v(x) {}
+
+  static Vec load(const double* p) { return Vec(_mm256_load_pd(p)); }
+  static Vec loadu(const double* p) { return Vec(_mm256_loadu_pd(p)); }
+  static Vec broadcast(double s) { return Vec(_mm256_set1_pd(s)); }
+  static Vec zero() { return Vec(_mm256_setzero_pd()); }
+
+  void store(double* p) const { _mm256_store_pd(p, v); }
+  void storeu(double* p) const { _mm256_storeu_pd(p, v); }
+
+  /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
+  void store_mask(double* p, unsigned mask) const {
+    const __m256i m = _mm256_set_epi64x(
+        mask & 8u ? -1 : 0, mask & 4u ? -1 : 0, mask & 2u ? -1 : 0,
+        mask & 1u ? -1 : 0);
+    _mm256_maskstore_pd(p, m, v);
+  }
+
+  double operator[](int i) const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return Vec(_mm256_add_pd(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) { return Vec(_mm256_sub_pd(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) { return Vec(_mm256_mul_pd(a.v, b.v)); }
+};
+
+inline Vec<double, 4> fma(Vec<double, 4> a, Vec<double, 4> b,
+                          Vec<double, 4> c) {
+  return Vec<double, 4>(_mm256_fmadd_pd(a.v, b.v, c.v));
+}
+
+}  // namespace tsv

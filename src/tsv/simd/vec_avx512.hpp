@@ -1,0 +1,51 @@
+#pragma once
+// AVX-512 specialization: 512-bit vectors of 8 doubles.
+// Included by tsv/simd/vec.hpp; do not include directly.
+
+#include <immintrin.h>
+
+namespace tsv {
+
+template <typename T, int W>
+struct Vec;
+
+template <>
+struct Vec<double, 8> {
+  using value_type = double;
+  static constexpr int width = 8;
+
+  __m512d v;
+
+  Vec() = default;
+  explicit Vec(__m512d x) : v(x) {}
+
+  static Vec load(const double* p) { return Vec(_mm512_load_pd(p)); }
+  static Vec loadu(const double* p) { return Vec(_mm512_loadu_pd(p)); }
+  static Vec broadcast(double s) { return Vec(_mm512_set1_pd(s)); }
+  static Vec zero() { return Vec(_mm512_setzero_pd()); }
+
+  void store(double* p) const { _mm512_store_pd(p, v); }
+  void storeu(double* p) const { _mm512_storeu_pd(p, v); }
+
+  /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
+  void store_mask(double* p, unsigned mask) const {
+    _mm512_mask_store_pd(p, static_cast<__mmask8>(mask), v);
+  }
+
+  double operator[](int i) const {
+    alignas(64) double tmp[8];
+    _mm512_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return Vec(_mm512_add_pd(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) { return Vec(_mm512_sub_pd(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) { return Vec(_mm512_mul_pd(a.v, b.v)); }
+};
+
+inline Vec<double, 8> fma(Vec<double, 8> a, Vec<double, 8> b,
+                          Vec<double, 8> c) {
+  return Vec<double, 8>(_mm512_fmadd_pd(a.v, b.v, c.v));
+}
+
+}  // namespace tsv

@@ -1,0 +1,201 @@
+#pragma once
+// Tessellate tiling engines (paper §3.4; Yuan SC'17).
+//
+// Space-time is covered by triangles (stage 0) and inverted triangles
+// (stage 1) per dimension; multidimensional domains use the tensor product
+// of the per-dimension shapes, with one stage per subset of dimensions using
+// the inverted profile, processed in subset order (DESIGN.md §6.3). All
+// tiles within a stage are independent and run under `omp parallel for`.
+//
+// The engines are generic over the *advance* callback, which moves a region
+// forward one time unit between the two Jacobi parity buffers. A unit is one
+// time step for ordinary methods (slope = r) or one two-step pair for the
+// unroll-and-jam scheme (slope = 2r) — the engine is agnostic.
+//
+// Boundary tiles do not shrink at physical domain edges (Dirichlet halo
+// values are valid at every time level), making boundary triangles
+// trapezoids; the seams between tiles are filled by inverted triangles.
+
+#include <omp.h>
+
+#include <utility>
+
+#include "tsv/common/check.hpp"
+#include "tsv/common/grid.hpp"
+
+namespace tsv {
+
+/// Half-open range of a (possibly boundary-extended) triangle tile at unit u.
+inline std::pair<index, index> tri_range(index c, index ntiles, index n,
+                                         index blk, index slope, index u) {
+  const index lo = c * blk;
+  const index hi = std::min(n, lo + blk);
+  const index a = (c == 0) ? 0 : lo + slope * u;
+  const index b = (c == ntiles - 1) ? n : hi - slope * u;
+  return {a, std::min(b, n)};
+}
+
+/// Half-open range of the inverted triangle at seam m, unit u (empty at u=0).
+inline std::pair<index, index> inv_range(index m, index n, index slope,
+                                         index u) {
+  return {std::max<index>(0, m - slope * u), std::min(n, m + slope * u)};
+}
+
+inline index tile_count(index n, index blk) { return (n + blk - 1) / blk; }
+
+/// Validates a tiling configuration for one dimension.
+inline void check_tile_dim(index n, index blk, index slope, index tau,
+                           const char* dim) {
+  require_fmt(blk > 0 && tau > 0, "tess: block and time range must be > 0 (",
+              dim, ")");
+  if (tile_count(n, blk) > 1)
+    require_fmt(blk >= 2 * slope * tau, "tess: block ", blk, " in ", dim,
+                " must be >= 2*slope*tau = ", 2 * slope * tau,
+                " (shrinking triangles must not invert)");
+}
+
+// ---------------------------------------------------------------------------
+// 1D engine. Also drives SDSL's split tiling (domain = DLT columns) and the
+// outer-dimension-only hybrid tilings, since the domain length is explicit.
+// ---------------------------------------------------------------------------
+
+/// Advances @p units time units; A holds even-parity units, B odd. The
+/// result is guaranteed to end in A. adv(in, out, lo, hi) advances one unit.
+template <typename GridT, typename AdvanceFn>
+void tess1d_engine(GridT& A, GridT& B, index domain, index units, index tau,
+                   index slope, index blk, AdvanceFn&& adv) {
+  check_tile_dim(domain, blk, slope, tau, "x");
+  const index ntiles = tile_count(domain, blk);
+  index parity = 0;
+  auto in_buf = [&](index u) -> const GridT& {
+    return ((parity + u) % 2 == 0) ? A : B;
+  };
+  auto out_buf = [&](index u) -> GridT& {
+    return ((parity + u + 1) % 2 == 0) ? A : B;
+  };
+
+  index done = 0;
+  while (done < units) {
+    const index t = std::min(tau, units - done);
+#pragma omp parallel for schedule(dynamic)
+    for (index c = 0; c < ntiles; ++c)
+      for (index u = 0; u < t; ++u) {
+        const auto [a, b] = tri_range(c, ntiles, domain, blk, slope, u);
+        if (a < b) adv(in_buf(u), out_buf(u), a, b);
+      }
+#pragma omp parallel for schedule(dynamic)
+    for (index c = 1; c < ntiles; ++c)
+      for (index u = 1; u < t; ++u) {
+        const auto [a, b] = inv_range(c * blk, domain, slope, u);
+        if (a < b) adv(in_buf(u), out_buf(u), a, b);
+      }
+    parity += t;
+    done += t;
+  }
+  if (parity % 2 != 0) A.swap_storage(B);
+}
+
+// ---------------------------------------------------------------------------
+// 2D engine: four tensor-product stages.
+// ---------------------------------------------------------------------------
+
+template <typename AdvanceFn>
+void tess2d_engine(Grid2D<double>& A, Grid2D<double>& B, index units,
+                   index tau, index slope, index bx, index by,
+                   AdvanceFn&& adv) {
+  const index nx = A.nx(), ny = A.ny();
+  check_tile_dim(nx, bx, slope, tau, "x");
+  check_tile_dim(ny, by, slope, tau, "y");
+  const index cx = tile_count(nx, bx), cy = tile_count(ny, by);
+  index parity = 0;
+  auto in_buf = [&](index u) -> const Grid2D<double>& {
+    return ((parity + u) % 2 == 0) ? A : B;
+  };
+  auto out_buf = [&](index u) -> Grid2D<double>& {
+    return ((parity + u + 1) % 2 == 0) ? A : B;
+  };
+
+  index done = 0;
+  while (done < units) {
+    const index t = std::min(tau, units - done);
+    for (int mask = 0; mask < 4; ++mask) {
+      const bool ix = mask & 1, iy = mask & 2;  // inverted profile per dim?
+      const index n_x = ix ? cx - 1 : cx;
+      const index n_y = iy ? cy - 1 : cy;
+      if (n_x <= 0 || n_y <= 0) continue;
+      const index u0 = (mask == 0) ? 0 : 1;
+#pragma omp parallel for collapse(2) schedule(dynamic)
+      for (index tx = 0; tx < n_x; ++tx)
+        for (index ty = 0; ty < n_y; ++ty)
+          for (index u = u0; u < t; ++u) {
+            const auto xr = ix ? inv_range((tx + 1) * bx, nx, slope, u)
+                               : tri_range(tx, cx, nx, bx, slope, u);
+            const auto yr = iy ? inv_range((ty + 1) * by, ny, slope, u)
+                               : tri_range(ty, cy, ny, by, slope, u);
+            if (xr.first < xr.second && yr.first < yr.second)
+              adv(in_buf(u), out_buf(u), xr.first, xr.second, yr.first,
+                  yr.second);
+          }
+    }
+    parity += t;
+    done += t;
+  }
+  if (parity % 2 != 0) A.swap_storage(B);
+}
+
+// ---------------------------------------------------------------------------
+// 3D engine: eight tensor-product stages.
+// ---------------------------------------------------------------------------
+
+template <typename AdvanceFn>
+void tess3d_engine(Grid3D<double>& A, Grid3D<double>& B, index units,
+                   index tau, index slope, index bx, index by, index bz,
+                   AdvanceFn&& adv) {
+  const index nx = A.nx(), ny = A.ny(), nz = A.nz();
+  check_tile_dim(nx, bx, slope, tau, "x");
+  check_tile_dim(ny, by, slope, tau, "y");
+  check_tile_dim(nz, bz, slope, tau, "z");
+  const index cx = tile_count(nx, bx), cy = tile_count(ny, by),
+              cz = tile_count(nz, bz);
+  index parity = 0;
+  auto in_buf = [&](index u) -> const Grid3D<double>& {
+    return ((parity + u) % 2 == 0) ? A : B;
+  };
+  auto out_buf = [&](index u) -> Grid3D<double>& {
+    return ((parity + u + 1) % 2 == 0) ? A : B;
+  };
+
+  index done = 0;
+  while (done < units) {
+    const index t = std::min(tau, units - done);
+    for (int mask = 0; mask < 8; ++mask) {
+      const bool ix = mask & 1, iy = mask & 2, iz = mask & 4;
+      const index n_x = ix ? cx - 1 : cx;
+      const index n_y = iy ? cy - 1 : cy;
+      const index n_z = iz ? cz - 1 : cz;
+      if (n_x <= 0 || n_y <= 0 || n_z <= 0) continue;
+      const index u0 = (mask == 0) ? 0 : 1;
+#pragma omp parallel for collapse(3) schedule(dynamic)
+      for (index tx = 0; tx < n_x; ++tx)
+        for (index ty = 0; ty < n_y; ++ty)
+          for (index tz = 0; tz < n_z; ++tz)
+            for (index u = u0; u < t; ++u) {
+              const auto xr = ix ? inv_range((tx + 1) * bx, nx, slope, u)
+                                 : tri_range(tx, cx, nx, bx, slope, u);
+              const auto yr = iy ? inv_range((ty + 1) * by, ny, slope, u)
+                                 : tri_range(ty, cy, ny, by, slope, u);
+              const auto zr = iz ? inv_range((tz + 1) * bz, nz, slope, u)
+                                 : tri_range(tz, cz, nz, bz, slope, u);
+              if (xr.first < xr.second && yr.first < yr.second &&
+                  zr.first < zr.second)
+                adv(in_buf(u), out_buf(u), xr.first, xr.second, yr.first,
+                    yr.second, zr.first, zr.second);
+            }
+    }
+    parity += t;
+    done += t;
+  }
+  if (parity % 2 != 0) A.swap_storage(B);
+}
+
+}  // namespace tsv

@@ -1,0 +1,501 @@
+#pragma once
+// Tiled method drivers: each paper method composed with its tiling framework.
+//
+//  * tess_autovec_run      — "Tessellation" baseline (Yuan SC'17): tessellate
+//                            tiling + compiler-vectorized kernels.
+//  * tess_multiload/reorg  — ablation variants.
+//  * tess_transpose_run    — the paper's scheme ("Our"): tessellate tiling +
+//                            transpose-layout vector sets; partial sets at
+//                            moving tile edges via the layout index map.
+//  * tess_transpose_uj2_run— "Our (2 steps)": tessellation at two-step *pair*
+//                            granularity (triangle slope 2r per pair, paper
+//                            Fig. 5); the intermediate odd time level lives
+//                            only in a per-thread L1/L2 scratch, so main
+//                            memory sees one read + one write per two steps.
+//  * sdsl_run              — SDSL baseline (Henretty ICS'13): DLT layout +
+//                            split tiling (1D: triangles over DLT columns
+//                            with a wrapped seam at the lane boundary;
+//                            2D/3D: hybrid tiling — outer-dimension
+//                            tessellation over full DLT rows/planes).
+
+#include <omp.h>
+
+#include <vector>
+
+#include "tsv/tiling/tess.hpp"
+#include "tsv/vectorize/autovec.hpp"
+#include "tsv/vectorize/dlt_method.hpp"
+#include "tsv/vectorize/multiload.hpp"
+#include "tsv/vectorize/reorg.hpp"
+#include "tsv/vectorize/unroll_jam.hpp"
+
+namespace tsv {
+
+// ---------------------------------------------------------------------------
+// 1D drivers
+// ---------------------------------------------------------------------------
+
+template <int R>
+TSV_NOINLINE void tess_autovec_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+                      index bx, index bt) {
+  Grid1D<double> tmp = g;
+  tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
+                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                    index hi) { autovec_step_region(in, out, s, lo, hi); });
+}
+
+template <typename V, int R>
+TSV_NOINLINE void tess_multiload_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+                        index bx, index bt) {
+  Grid1D<double> tmp = g;
+  tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
+                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                    index hi) { multiload_step_region<V>(in, out, s, lo, hi); });
+}
+
+template <typename V, int R>
+TSV_NOINLINE void tess_reorg_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+                    index bx, index bt) {
+  Grid1D<double> tmp = g;
+  tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
+                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                    index hi) { reorg_step_region<V>(in, out, s, lo, hi); });
+}
+
+template <typename V, int R>
+TSV_NOINLINE void tess_transpose_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+                        index bx, index bt) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  block_transpose_grid<double, W>(g);
+  {
+    Grid1D<double> tmp = g;
+    const index nx = g.nx();
+    tess1d_engine(g, tmp, nx, steps, bt, R, bx,
+                  [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                      index hi) {
+                    transpose_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
+                                                        {s.w}, nx, lo, hi);
+                  });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+/// "Our (2 steps)" with tiling: pair-granular tessellation. @p bt is the time
+/// range in *steps* (must be even when tiling is active).
+template <typename V, int R>
+TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<double>& g, const Stencil1D<R>& s,
+                            index steps, index bx, index bt) {
+  constexpr int W = V::width;
+  constexpr index B = block_elems<W>;
+  detail::require_transpose_conforming(g, W);
+  require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
+  const index nx = g.nx();
+
+  block_transpose_grid<double, W>(g);
+  {
+    Grid1D<double> tmp = g;
+    // Per-thread scratch for the transient odd level of one tile region.
+    const index scr_len = bx + 2 * B + 2 * R + 16;
+    std::vector<detail::ScratchRow> pool(
+        static_cast<std::size_t>(omp_get_max_threads()));
+    for (auto& p : pool) p = detail::ScratchRow(scr_len, std::max<index>(R, 8));
+
+    auto pair_adv = [&](const Grid1D<double>& in, Grid1D<double>& out,
+                        index lo, index hi) {
+      detail::ScratchRow& scr = pool[omp_get_thread_num()];
+      const index c_lo = std::max<index>(0, lo - R);
+      const index c_hi = std::min(nx, hi + R);
+      const index b0 = c_lo / B * B;
+      double* view = scr.x0() - b0;  // virtual row origin, block-aligned
+      if (c_lo == 0)
+        for (index l = 1; l <= R; ++l) view[-l] = in.x0()[-l];
+      if (c_hi == nx)
+        for (index l = 0; l < R; ++l) view[nx + l] = in.x0()[nx + l];
+      // Level +1 (odd, transient) over the extended range into scratch.
+      transpose_sweep_row_region<V, R, 1>({in.x0()}, view, {s.w}, nx, c_lo,
+                                          c_hi);
+      // Level +2 over the store range into the opposite parity buffer.
+      transpose_sweep_row_region<V, R, 1>({view}, out.x0(), {s.w}, nx, lo, hi);
+    };
+
+    const index pairs = steps / 2;
+    if (pairs > 0)
+      tess1d_engine(g, tmp, nx, pairs, std::max<index>(1, bt / 2), 2 * R, bx,
+                    pair_adv);
+    if (steps % 2 != 0)  // odd tail: one ordinary tiled step
+      tess1d_engine(g, tmp, nx, 1, 1, R, bx,
+                    [&](const Grid1D<double>& in, Grid1D<double>& out,
+                        index lo, index hi) {
+                      transpose_sweep_row_region<V, R, 1>(
+                          {in.x0()}, out.x0(), {s.w}, nx, lo, hi);
+                    });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+/// Split-tiling engine over DLT columns: like tess1d_engine, but *all* tiles
+/// shrink (the domain ends are not physical boundaries — columns 0 and L-1
+/// are coupled through the lane seam) and the seam set includes the wrapped
+/// seam at column 0/L, processed as two ranges.
+template <typename GridT, typename AdvanceFn>
+void split1d_wrap_engine(GridT& A, GridT& B, index domain, index units,
+                         index tau, index slope, index blk, AdvanceFn&& adv) {
+  const index ntiles = tile_count(domain, blk);
+  // Every tile, including a ragged last one, must be wide enough that the
+  // inverted seams (and the wrapped seam) never overlap. tau == 1 degenerates
+  // to plain full sweeps with no cross-tile dependencies and is always legal.
+  const index last_tile = domain - (ntiles - 1) * blk;
+  if (tau > 1)
+    require_fmt(std::min(blk, last_tile) >= 2 * slope * tau &&
+                    domain >= 2 * slope * tau,
+                "split tiling: tile/domain too small for tau=", tau);
+  index parity = 0;
+  auto in_buf = [&](index u) -> const GridT& {
+    return ((parity + u) % 2 == 0) ? A : B;
+  };
+  auto out_buf = [&](index u) -> GridT& {
+    return ((parity + u + 1) % 2 == 0) ? A : B;
+  };
+  index done = 0;
+  while (done < units) {
+    const index t = std::min(tau, units - done);
+#pragma omp parallel for schedule(dynamic)
+    for (index c = 0; c < ntiles; ++c)
+      for (index u = 0; u < t; ++u) {
+        const index lo = c * blk, hi = std::min(domain, lo + blk);
+        const index a = lo + slope * u, b = hi - slope * u;
+        if (a < b) adv(in_buf(u), out_buf(u), a, b);
+      }
+#pragma omp parallel for schedule(dynamic)
+    for (index c = 0; c < ntiles; ++c)
+      for (index u = 1; u < t; ++u) {
+        if (c == 0) {  // wrapped seam: both domain ends, same level
+          adv(in_buf(u), out_buf(u), 0, std::min(domain, slope * u));
+          adv(in_buf(u), out_buf(u), std::max<index>(0, domain - slope * u),
+              domain);
+        } else {
+          const index m = c * blk;
+          adv(in_buf(u), out_buf(u), std::max<index>(0, m - slope * u),
+              std::min(domain, m + slope * u));
+        }
+      }
+    parity += t;
+    done += t;
+  }
+  if (parity % 2 != 0) A.swap_storage(B);
+}
+
+/// SDSL baseline, 1D: DLT layout + split tiling over columns. @p bi is the
+/// tile size in columns (elements / W).
+template <typename V, int R>
+TSV_NOINLINE void sdsl_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps, index bi,
+              index bt) {
+  constexpr int W = V::width;
+  require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
+  const index nx = g.nx();
+  const index L = nx / W;
+  // Clamp the temporal range so the inverted seams fit the smallest tile
+  // (ragged last tiles would otherwise make seam regions overlap the wrap).
+  const index ntiles = tile_count(L, bi);
+  const index last_tile = L - (ntiles - 1) * bi;
+  const index tau =
+      std::max<index>(1, std::min(bt, std::min(bi, last_tile) / (2 * R)));
+  Grid1D<double> dltA = g;
+  dlt_forward_grid<double, W>(g, dltA);
+  Grid1D<double> dltB = dltA;
+  split1d_wrap_engine(dltA, dltB, L, steps, tau, R, bi,
+                      [&](const Grid1D<double>& in, Grid1D<double>& out,
+                          index ilo, index ihi) {
+                        dlt_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
+                                                      {s.w}, nx, ilo, ihi);
+                      });
+  dlt_backward_grid<double, W>(dltA, g);
+}
+
+// ---------------------------------------------------------------------------
+// 2D drivers
+// ---------------------------------------------------------------------------
+
+template <int R, int NR>
+TSV_NOINLINE void tess_autovec_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+                      index steps, index bx, index by, index bt) {
+  Grid2D<double> tmp = g;
+  tess2d_engine(g, tmp, steps, bt, R, bx, by,
+                [&](const Grid2D<double>& in, Grid2D<double>& out, index xlo,
+                    index xhi, index ylo, index yhi) {
+                  autovec_step_region(in, out, s, xlo, xhi, ylo, yhi);
+                });
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void tess_transpose_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+                        index steps, index bx, index by, index bt) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  block_transpose_grid<double, W>(g);
+  {
+    Grid2D<double> tmp = g;
+    const index nx = g.nx();
+    std::array<std::array<double, 2 * R + 1>, NR> w;
+    for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+    tess2d_engine(g, tmp, steps, bt, R, bx, by,
+                  [&](const Grid2D<double>& in, Grid2D<double>& out, index xlo,
+                      index xhi, index ylo, index yhi) {
+                    for (index y = ylo; y < yhi; ++y) {
+                      std::array<const double*, NR> rp;
+                      for (int r = 0; r < NR; ++r)
+                        rp[r] = in.row(y + s.rows[r].dy);
+                      transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w,
+                                                           nx, xlo, xhi);
+                    }
+                  });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+                            index steps, index bx, index by, index bt) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
+  const index nx = g.nx(), ny = g.ny();
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+
+  block_transpose_grid<double, W>(g);
+  {
+    Grid2D<double> tmp = g;
+    const index scr_ny = std::min(ny, by) + 2 * R + 4;
+    std::vector<Grid2D<double>> pool;
+    pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
+    for (int i = 0; i < omp_get_max_threads(); ++i)
+      pool.emplace_back(nx, scr_ny, std::max<index>(R, 1));
+
+    auto pair_adv = [&](const Grid2D<double>& in, Grid2D<double>& out,
+                        index xlo, index xhi, index ylo, index yhi) {
+      Grid2D<double>& scr = pool[omp_get_thread_num()];
+      const index c_xlo = std::max<index>(0, xlo - R);
+      const index c_xhi = std::min(nx, xhi + R);
+      const index c_ylo = std::max<index>(0, ylo - R);
+      const index c_yhi = std::min(ny, yhi + R);
+      // Level +1 into scratch rows (y - c_ylo).
+      for (index y = c_ylo; y < c_yhi; ++y) {
+        double* d = scr.row(y - c_ylo);
+        const double* src = in.row(y);
+        for (index l = 1; l <= R; ++l) d[-l] = src[-l];
+        for (index l = 0; l < R; ++l) d[nx + l] = src[nx + l];
+        std::array<const double*, NR> rp;
+        for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
+        transpose_sweep_row_region<V, R, NR>(rp, d, w, nx, c_xlo, c_xhi);
+      }
+      // Level +2 into the opposite parity buffer.
+      for (index y = ylo; y < yhi; ++y) {
+        std::array<const double*, NR> rp;
+        for (int r = 0; r < NR; ++r) {
+          const index yy = y + s.rows[r].dy;
+          rp[r] = (yy >= c_ylo && yy < c_yhi) ? scr.row(yy - c_ylo)
+                                              : in.row(yy);  // grid halo row
+        }
+        transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w, nx, xlo, xhi);
+      }
+    };
+
+    const index pairs = steps / 2;
+    if (pairs > 0)
+      tess2d_engine(g, tmp, pairs, std::max<index>(1, bt / 2), 2 * R, bx, by,
+                    pair_adv);
+    if (steps % 2 != 0)
+      tess2d_engine(g, tmp, 1, 1, R, bx, by,
+                    [&](const Grid2D<double>& in, Grid2D<double>& out,
+                        index xlo, index xhi, index ylo, index yhi) {
+                      for (index y = ylo; y < yhi; ++y) {
+                        std::array<const double*, NR> rp;
+                        for (int r = 0; r < NR; ++r)
+                          rp[r] = in.row(y + s.rows[r].dy);
+                        transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w,
+                                                             nx, xlo, xhi);
+                      }
+                    });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+/// SDSL baseline, 2D (hybrid tiling): DLT layout on x, tessellation over y
+/// with full rows per region.
+template <typename V, int R, int NR>
+TSV_NOINLINE void sdsl_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps,
+              index by, index bt) {
+  constexpr int W = V::width;
+  require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
+  const index nx = g.nx();
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  Grid2D<double> dltA = g;
+  dlt_forward_grid<double, W>(g, dltA);
+  Grid2D<double> dltB = dltA;
+  tess1d_engine(dltA, dltB, g.ny(), steps, bt, R, by,
+                [&](const Grid2D<double>& in, Grid2D<double>& out, index ylo,
+                    index yhi) {
+                  for (index y = ylo; y < yhi; ++y) {
+                    std::array<const double*, NR> rp;
+                    for (int r = 0; r < NR; ++r)
+                      rp[r] = in.row(y + s.rows[r].dy);
+                    dlt_sweep_row<V, R, NR>(rp, out.row(y), w, nx);
+                  }
+                });
+  dlt_backward_grid<double, W>(dltA, g);
+}
+
+// ---------------------------------------------------------------------------
+// 3D drivers
+// ---------------------------------------------------------------------------
+
+template <int R, int NR>
+TSV_NOINLINE void tess_autovec_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+                      index steps, index bx, index by, index bz, index bt) {
+  Grid3D<double> tmp = g;
+  tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
+                [&](const Grid3D<double>& in, Grid3D<double>& out, index xlo,
+                    index xhi, index ylo, index yhi, index zlo, index zhi) {
+                  autovec_step_region(in, out, s, xlo, xhi, ylo, yhi, zlo,
+                                      zhi);
+                });
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void tess_transpose_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+                        index steps, index bx, index by, index bz, index bt) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  block_transpose_grid<double, W>(g);
+  {
+    Grid3D<double> tmp = g;
+    const index nx = g.nx();
+    std::array<std::array<double, 2 * R + 1>, NR> w;
+    for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+    tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
+                  [&](const Grid3D<double>& in, Grid3D<double>& out, index xlo,
+                      index xhi, index ylo, index yhi, index zlo, index zhi) {
+                    for (index z = zlo; z < zhi; ++z)
+                      for (index y = ylo; y < yhi; ++y) {
+                        std::array<const double*, NR> rp;
+                        for (int r = 0; r < NR; ++r)
+                          rp[r] =
+                              in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+                        transpose_sweep_row_region<V, R, NR>(
+                            rp, out.row(y, z), w, nx, xlo, xhi);
+                      }
+                  });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+                            index steps, index bx, index by, index bz,
+                            index bt) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
+  const index nx = g.nx(), ny = g.ny(), nz = g.nz();
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+
+  block_transpose_grid<double, W>(g);
+  {
+    Grid3D<double> tmp = g;
+    const index scr_nz = std::min(nz, bz) + 2 * R + 4;
+    std::vector<Grid3D<double>> pool;
+    pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
+    for (int i = 0; i < omp_get_max_threads(); ++i)
+      pool.emplace_back(nx, ny, scr_nz, std::max<index>(R, 1));
+
+    auto pair_adv = [&](const Grid3D<double>& in, Grid3D<double>& out,
+                        index xlo, index xhi, index ylo, index yhi, index zlo,
+                        index zhi) {
+      Grid3D<double>& scr = pool[omp_get_thread_num()];
+      const index c_xlo = std::max<index>(0, xlo - R);
+      const index c_xhi = std::min(nx, xhi + R);
+      const index c_ylo = std::max<index>(0, ylo - R);
+      const index c_yhi = std::min(ny, yhi + R);
+      const index c_zlo = std::max<index>(0, zlo - R);
+      const index c_zhi = std::min(nz, zhi + R);
+      for (index z = c_zlo; z < c_zhi; ++z)
+        for (index y = c_ylo; y < c_yhi; ++y) {
+          double* d = scr.row(y, z - c_zlo);
+          const double* src = in.row(y, z);
+          for (index l = 1; l <= R; ++l) d[-l] = src[-l];
+          for (index l = 0; l < R; ++l) d[nx + l] = src[nx + l];
+          std::array<const double*, NR> rp;
+          for (int r = 0; r < NR; ++r)
+            rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+          transpose_sweep_row_region<V, R, NR>(rp, d, w, nx, c_xlo, c_xhi);
+        }
+      for (index z = zlo; z < zhi; ++z)
+        for (index y = ylo; y < yhi; ++y) {
+          std::array<const double*, NR> rp;
+          for (int r = 0; r < NR; ++r) {
+            const index yy = y + s.rows[r].dy;
+            const index zz = z + s.rows[r].dz;
+            rp[r] = (yy >= c_ylo && yy < c_yhi && zz >= c_zlo && zz < c_zhi)
+                        ? scr.row(yy, zz - c_zlo)
+                        : in.row(yy, zz);  // grid halo
+          }
+          transpose_sweep_row_region<V, R, NR>(rp, out.row(y, z), w, nx, xlo,
+                                               xhi);
+        }
+    };
+
+    const index pairs = steps / 2;
+    if (pairs > 0)
+      tess3d_engine(g, tmp, pairs, std::max<index>(1, bt / 2), 2 * R, bx, by,
+                    bz, pair_adv);
+    if (steps % 2 != 0)
+      tess3d_engine(g, tmp, 1, 1, R, bx, by, bz,
+                    [&](const Grid3D<double>& in, Grid3D<double>& out,
+                        index xlo, index xhi, index ylo, index yhi, index zlo,
+                        index zhi) {
+                      for (index z = zlo; z < zhi; ++z)
+                        for (index y = ylo; y < yhi; ++y) {
+                          std::array<const double*, NR> rp;
+                          for (int r = 0; r < NR; ++r)
+                            rp[r] =
+                                in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+                          transpose_sweep_row_region<V, R, NR>(
+                              rp, out.row(y, z), w, nx, xlo, xhi);
+                        }
+                    });
+  }
+  block_transpose_grid<double, W>(g);
+}
+
+/// SDSL baseline, 3D (hybrid tiling): DLT layout on x, tessellation over z
+/// with full (x, y) planes per region.
+template <typename V, int R, int NR>
+TSV_NOINLINE void sdsl_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps,
+              index bz, index bt) {
+  constexpr int W = V::width;
+  require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
+  const index nx = g.nx();
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  Grid3D<double> dltA = g;
+  dlt_forward_grid<double, W>(g, dltA);
+  Grid3D<double> dltB = dltA;
+  tess1d_engine(dltA, dltB, g.nz(), steps, bt, R, bz,
+                [&](const Grid3D<double>& in, Grid3D<double>& out, index zlo,
+                    index zhi) {
+                  for (index z = zlo; z < zhi; ++z)
+                    for (index y = 0; y < in.ny(); ++y) {
+                      std::array<const double*, NR> rp;
+                      for (int r = 0; r < NR; ++r)
+                        rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+                      dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, nx);
+                    }
+                });
+  dlt_backward_grid<double, W>(dltA, g);
+}
+
+}  // namespace tsv

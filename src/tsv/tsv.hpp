@@ -1,0 +1,28 @@
+#pragma once
+// Umbrella header for the tsv library — Transpose-layout Stencil
+// Vectorization, a reproduction of "An Efficient Vectorization Scheme for
+// Stencil Computation" (Li, Yuan, Zhang, Yue, Cao, Lu — IPDPS'22).
+//
+// Typical usage:
+//
+//   #include "tsv/tsv.hpp"
+//
+//   tsv::Grid2D<double> grid(nx, ny, /*halo=*/1);
+//   grid.fill([](tsv::index x, tsv::index y) { return initial(x, y); });
+//   tsv::run(grid, tsv::make_2d5p(), {.method = tsv::Method::kTransposeUJ,
+//                                     .tiling = tsv::Tiling::kTessellate,
+//                                     .isa = tsv::best_isa(),
+//                                     .steps = 1000,
+//                                     .bx = 256, .by = 128, .bt = 32});
+//
+// See README.md for the architecture overview and DESIGN.md for the paper
+// reproduction map.
+
+#include "tsv/common/aligned.hpp"   // IWYU pragma: export
+#include "tsv/common/cpu.hpp"       // IWYU pragma: export
+#include "tsv/common/grid.hpp"      // IWYU pragma: export
+#include "tsv/common/timer.hpp"     // IWYU pragma: export
+#include "tsv/core/options.hpp"     // IWYU pragma: export
+#include "tsv/core/problems.hpp"    // IWYU pragma: export
+#include "tsv/core/run.hpp"         // IWYU pragma: export
+#include "tsv/kernels/stencil.hpp"  // IWYU pragma: export

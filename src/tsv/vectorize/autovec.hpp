@@ -1,0 +1,100 @@
+#pragma once
+// Compiler auto-vectorization baseline.
+//
+// The loops are written the way application programmers write stencils —
+// plain scalar bodies over restrict pointers with an `omp simd` hint — and
+// the compiler is left to vectorize them. This is the kernel the paper's
+// "Tessellation" baseline uses inside its tiles (Yuan SC'17 relies on
+// compiler auto-vectorization), and it stands in for "what ICC does".
+//
+// Region entry points take half-open x/y/z ranges so the tiling frameworks
+// can drive them tile-by-tile; the *_run drivers sweep the whole interior.
+
+#include "tsv/vectorize/method_common.hpp"
+
+namespace tsv {
+
+// ---- 1D --------------------------------------------------------------------
+
+template <int R>
+TSV_NOINLINE void autovec_step_region(const Grid1D<double>& in, Grid1D<double>& out,
+                         const Stencil1D<R>& s, index xlo, index xhi) {
+  const double* __restrict ip = in.x0();
+  double* __restrict op = out.x0();
+  const auto w = s.w;  // local copy: lets the vectorizer keep weights in regs
+#pragma omp simd
+  for (index x = xlo; x < xhi; ++x) {
+    double acc = 0;
+    for (int dx = -R; dx <= R; ++dx) acc += w[dx + R] * ip[x + dx];
+    op[x] = acc;
+  }
+}
+
+template <int R>
+TSV_NOINLINE void autovec_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+    autovec_step_region(in, out, s, 0, g.nx());
+  });
+}
+
+// ---- 2D --------------------------------------------------------------------
+
+template <int R, int NR>
+TSV_NOINLINE void autovec_step_region(const Grid2D<double>& in, Grid2D<double>& out,
+                         const Stencil2D<R, NR>& s, index xlo, index xhi,
+                         index ylo, index yhi) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index y = ylo; y < yhi; ++y) {
+    double* __restrict op = out.row(y);
+    std::array<const double*, NR> rp;
+    for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
+#pragma omp simd
+    for (index x = xlo; x < xhi; ++x) {
+      double acc = 0;
+      for (int r = 0; r < NR; ++r)
+        for (int dx = -R; dx <= R; ++dx) acc += w[r][dx + R] * rp[r][x + dx];
+      op[x] = acc;
+    }
+  }
+}
+
+template <int R, int NR>
+TSV_NOINLINE void autovec_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+    autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny());
+  });
+}
+
+// ---- 3D --------------------------------------------------------------------
+
+template <int R, int NR>
+TSV_NOINLINE void autovec_step_region(const Grid3D<double>& in, Grid3D<double>& out,
+                         const Stencil3D<R, NR>& s, index xlo, index xhi,
+                         index ylo, index yhi, index zlo, index zhi) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index z = zlo; z < zhi; ++z)
+    for (index y = ylo; y < yhi; ++y) {
+      double* __restrict op = out.row(y, z);
+      std::array<const double*, NR> rp;
+      for (int r = 0; r < NR; ++r)
+        rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+#pragma omp simd
+      for (index x = xlo; x < xhi; ++x) {
+        double acc = 0;
+        for (int r = 0; r < NR; ++r)
+          for (int dx = -R; dx <= R; ++dx) acc += w[r][dx + R] * rp[r][x + dx];
+        op[x] = acc;
+      }
+    }
+}
+
+template <int R, int NR>
+TSV_NOINLINE void autovec_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+    autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
+  });
+}
+
+}  // namespace tsv

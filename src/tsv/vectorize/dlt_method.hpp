@@ -1,0 +1,171 @@
+#pragma once
+// DLT vectorization (Henretty CC'11; paper §2.2) — the milestone baseline.
+//
+// The grid is globally transposed per unit-stride row into the DLT layout
+// (layout/dlt.hpp) once, runs all T steps inside the layout (amortizing the
+// transform, as the paper's Fig. 7(a)/(b) comparison explores), and is
+// transposed back. In DLT space a stencil tap at spatial offset dx is an
+// aligned load at column offset dx — except at the W-1 lane seams, where the
+// neighbour vector is assembled from the wrapped column and one halo scalar.
+
+#include "tsv/layout/dlt.hpp"
+#include "tsv/vectorize/method_common.hpp"
+
+namespace tsv {
+
+namespace detail {
+
+/// Vector of column @p c (may be out of [0, L)) of a DLT row. @p rp is the
+/// DLT-layout row; halo scalars are read from its original-layout x halo.
+template <typename V>
+TSV_ALWAYS_INLINE V dlt_column_vec(const double* rp, index c, index L, index nx) {
+  constexpr int W = V::width;
+  if (c < 0)  // lane 0 wraps to the left halo, lanes shift down
+    return assemble_left(V::broadcast(rp[c]), V::load(rp + (L + c) * W));
+  if (c >= L)  // lane W-1 wraps to the right halo, lanes shift up
+    return assemble_right(V::load(rp + (c - L) * W),
+                          V::broadcast(rp[nx + c - L]));
+  return V::load(rp + c * W);
+}
+
+/// Accumulates one padded tap row at column @p i (seam-safe path).
+template <typename V, int R>
+TSV_ALWAYS_INLINE V dlt_row_acc_seam(const double* rp, index i, index L, index nx,
+                          const std::array<double, 2 * R + 1>& w, V acc) {
+  for (int dx = -R; dx <= R; ++dx)
+    if (w[dx + R] != 0.0)
+      acc = fma(V::broadcast(w[dx + R]), dlt_column_vec<V>(rp, i + dx, L, nx),
+                acc);
+  return acc;
+}
+
+/// Accumulates one padded tap row at interior column @p i (aligned loads).
+template <typename V, int R>
+TSV_ALWAYS_INLINE V dlt_row_acc_core(const double* rp, index i,
+                          const std::array<double, 2 * R + 1>& w, V acc) {
+  constexpr int W = V::width;
+  static_for<0, 2 * R + 1>([&]<int DXI>() {
+    if (w[DXI] != 0.0)
+      acc = fma(V::broadcast(w[DXI]), V::load(rp + (i + (DXI - R)) * W), acc);
+  });
+  return acc;
+}
+
+}  // namespace detail
+
+/// One Jacobi step over columns [ilo, ihi) of a DLT-layout row accumulating
+/// NR tap rows. nx must be a multiple of W and nx/W > R. Columns within R of
+/// the global column ends take the seam-safe path; everything else is
+/// aligned loads. Split tiling (the SDSL baseline) drives this per tile.
+template <typename V, int R, int NR>
+void dlt_sweep_row_region(const std::array<const double*, NR>& rp, double* op,
+                          const std::array<std::array<double, 2 * R + 1>, NR>& w,
+                          index nx, index ilo, index ihi) {
+  constexpr int W = V::width;
+  const index L = nx / W;
+  const index head = std::min<index>(std::max<index>(R, ilo), ihi);
+  const index tail = std::max<index>(head, std::min<index>(L - R, ihi));
+
+  for (index i = ilo; i < head; ++i) {
+    V acc = V::zero();
+    for (int r = 0; r < NR; ++r)
+      acc = detail::dlt_row_acc_seam<V, R>(rp[r], i, L, nx, w[r], acc);
+    acc.store(op + i * W);
+  }
+  for (index i = head; i < tail; ++i) {
+    V acc = V::zero();
+    for (int r = 0; r < NR; ++r)
+      acc = detail::dlt_row_acc_core<V, R>(rp[r], i, w[r], acc);
+    acc.store(op + i * W);
+  }
+  for (index i = tail; i < ihi; ++i) {
+    V acc = V::zero();
+    for (int r = 0; r < NR; ++r)
+      acc = detail::dlt_row_acc_seam<V, R>(rp[r], i, L, nx, w[r], acc);
+    acc.store(op + i * W);
+  }
+}
+
+/// Full-row sweep (all columns).
+template <typename V, int R, int NR>
+inline void dlt_sweep_row(const std::array<const double*, NR>& rp, double* op,
+                          const std::array<std::array<double, 2 * R + 1>, NR>& w,
+                          index nx) {
+  dlt_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx / V::width);
+}
+
+// Compiled once in src/tsv/kernels_tu.cpp; see transpose_vs.hpp for why.
+#define TSV_DECLARE_DLT_SWEEP(V, R, NR)                                    \
+  extern template void dlt_sweep_row_region<V, R, NR>(                    \
+      const std::array<const double*, NR>&, double*,                      \
+      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
+      index);
+
+#define TSV_DECLARE_DLT_SWEEPS_FOR(V) \
+  TSV_DECLARE_DLT_SWEEP(V, 1, 1)      \
+  TSV_DECLARE_DLT_SWEEP(V, 2, 1)      \
+  TSV_DECLARE_DLT_SWEEP(V, 1, 3)      \
+  TSV_DECLARE_DLT_SWEEP(V, 1, 5)      \
+  TSV_DECLARE_DLT_SWEEP(V, 1, 9)
+
+#if !defined(TSV_KERNELS_TU)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecD2)
+#if defined(__AVX2__)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecD4)
+#endif
+#if defined(__AVX512F__)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecD8)
+#endif
+#endif  // !TSV_KERNELS_TU
+
+// ---- full-grid steps (grids already in DLT layout) ---------------------------
+
+template <typename V, int R>
+void dlt_step(const Grid1D<double>& in, Grid1D<double>& out,
+              const Stencil1D<R>& s) {
+  dlt_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
+}
+
+template <typename V, int R, int NR>
+void dlt_step(const Grid2D<double>& in, Grid2D<double>& out,
+              const Stencil2D<R, NR>& s) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index y = 0; y < in.ny(); ++y) {
+    std::array<const double*, NR> rp;
+    for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
+    dlt_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
+  }
+}
+
+template <typename V, int R, int NR>
+void dlt_step(const Grid3D<double>& in, Grid3D<double>& out,
+              const Stencil3D<R, NR>& s) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index z = 0; z < in.nz(); ++z)
+    for (index y = 0; y < in.ny(); ++y) {
+      std::array<const double*, NR> rp;
+      for (int r = 0; r < NR; ++r)
+        rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+      dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
+    }
+}
+
+/// Full run: forward DLT (out-of-place, into a second grid — the extra array
+/// the paper counts against DLT), T steps inside the layout, backward DLT.
+template <typename V, typename Grid, typename S>
+TSV_NOINLINE void dlt_run(Grid& g, const S& s, index steps) {
+  constexpr int W = V::width;
+  require_fmt(g.nx() % W == 0, "DLT requires nx (", g.nx(),
+              ") to be a multiple of W = ", static_cast<index>(W));
+  require_fmt(g.nx() / W > S::radius, "DLT requires nx/W > stencil radius");
+  Grid t = g;  // same shape and halo values
+  dlt_forward_grid<double, W>(g, t);
+  jacobi_run(t, steps, [&](const Grid& in, Grid& out) {
+    dlt_step<V>(in, out, s);
+  });
+  dlt_backward_grid<double, W>(t, g);
+}
+
+}  // namespace tsv

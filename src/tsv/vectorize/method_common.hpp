@@ -1,0 +1,51 @@
+#pragma once
+// Helpers shared by the vectorization methods.
+
+#include <array>
+#include <utility>
+
+#include "tsv/common/grid.hpp"
+#include "tsv/kernels/stencil.hpp"
+#include "tsv/simd/shift.hpp"
+#include "tsv/simd/vec.hpp"
+
+namespace tsv {
+
+/// Compile-time counted loop: static_for<0, N>([&]<int I>() { ... }).
+///
+/// Deliberately flat (one fold expression, no recursion): a recursive
+/// formulation creates an N-deep call chain whose inlining GCC may abandon
+/// under unit-growth pressure, at which point the lambda's by-reference
+/// captures (typically Vec register arrays) get materialized on the stack
+/// and every hot kernel built on this helper slows down ~2x.
+template <int Begin, int End, typename F>
+TSV_ALWAYS_INLINE constexpr void static_for(F&& f) {
+  if constexpr (Begin < End) {
+    [&]<int... I>(std::integer_sequence<int, I...>) TSV_ALWAYS_INLINE_LAMBDA {
+      (f.template operator()<Begin + I>(), ...);
+    }(std::make_integer_sequence<int, End - Begin>{});
+  }
+}
+
+/// Centered tap array for a stencil row: result[dx + R] is the weight at
+/// x-offset dx, zero where the row has no tap. Lets kernels unroll the tap
+/// loop at compile time and skip structural zeros at run time.
+template <int R, typename Row>
+std::array<double, 2 * R + 1> padded_taps(const Row& r) {
+  std::array<double, 2 * R + 1> w{};
+  for (int dx = r.xlo; dx <= r.xhi; ++dx) w[dx + R] = r.w[dx - r.xlo];
+  return w;
+}
+
+/// Runs @p step (in, out) @p steps times with buffer swapping; the result
+/// lands back in @p g. @p step must leave halo cells alone.
+template <typename Grid, typename StepFn>
+void jacobi_run(Grid& g, index steps, StepFn&& step) {
+  Grid tmp = g;  // copies interior + halo, so halo is valid in both buffers
+  for (index t = 0; t < steps; ++t) {
+    step(std::as_const(g), tmp);
+    g.swap_storage(tmp);
+  }
+}
+
+}  // namespace tsv

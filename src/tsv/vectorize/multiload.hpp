@@ -1,0 +1,135 @@
+#pragma once
+// "Multiple loads" vectorization baseline (paper §2.1, first solution).
+//
+// Every shifted input vector is re-loaded from memory with an unaligned
+// load — no inter-register data reorganization at all. This inflates the
+// CPU-memory transfer volume and incurs unaligned-access penalties, which is
+// exactly the behaviour the paper measures for this method.
+
+#include "tsv/vectorize/method_common.hpp"
+
+namespace tsv {
+
+namespace detail {
+
+/// Vector-accumulates all taps of one padded row at position x.
+template <typename V, int R>
+TSV_ALWAYS_INLINE V multiload_row_acc(const double* p, index x,
+                           const std::array<double, 2 * R + 1>& w, V acc) {
+  static_for<0, 2 * R + 1>([&]<int DXI>() {
+    if (w[DXI] != 0.0)
+      acc = fma(V::broadcast(w[DXI]), V::loadu(p + x + (DXI - R)), acc);
+  });
+  return acc;
+}
+
+/// Scalar tap application on one padded row.
+template <int R>
+TSV_ALWAYS_INLINE double scalar_row_acc(const double* p, index x,
+                             const std::array<double, 2 * R + 1>& w,
+                             double acc) {
+  for (int dx = -R; dx <= R; ++dx) acc += w[dx + R] * p[x + dx];
+  return acc;
+}
+
+}  // namespace detail
+
+// ---- 1D --------------------------------------------------------------------
+
+template <typename V, int R>
+TSV_NOINLINE void multiload_step_region(const Grid1D<double>& in, Grid1D<double>& out,
+                           const Stencil1D<R>& s, index xlo, index xhi) {
+  constexpr int W = V::width;
+  const double* ip = in.x0();
+  double* op = out.x0();
+  index x = xlo;
+  for (; x + W <= xhi; x += W) {
+    const V acc = detail::multiload_row_acc<V, R>(ip, x, s.w, V::zero());
+    acc.storeu(op + x);
+  }
+  for (; x < xhi; ++x)
+    op[x] = detail::scalar_row_acc<R>(ip, x, s.w, 0.0);
+}
+
+template <typename V, int R>
+TSV_NOINLINE void multiload_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+    multiload_step_region<V>(in, out, s, 0, g.nx());
+  });
+}
+
+// ---- 2D --------------------------------------------------------------------
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void multiload_step_region(const Grid2D<double>& in, Grid2D<double>& out,
+                           const Stencil2D<R, NR>& s, index xlo, index xhi,
+                           index ylo, index yhi) {
+  constexpr int W = V::width;
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index y = ylo; y < yhi; ++y) {
+    double* op = out.row(y);
+    std::array<const double*, NR> rp;
+    for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
+    index x = xlo;
+    for (; x + W <= xhi; x += W) {
+      V acc = V::zero();
+      for (int r = 0; r < NR; ++r)
+        acc = detail::multiload_row_acc<V, R>(rp[r], x, w[r], acc);
+      acc.storeu(op + x);
+    }
+    for (; x < xhi; ++x) {
+      double acc = 0;
+      for (int r = 0; r < NR; ++r)
+        acc = detail::scalar_row_acc<R>(rp[r], x, w[r], acc);
+      op[x] = acc;
+    }
+  }
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void multiload_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+    multiload_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny());
+  });
+}
+
+// ---- 3D --------------------------------------------------------------------
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void multiload_step_region(const Grid3D<double>& in, Grid3D<double>& out,
+                           const Stencil3D<R, NR>& s, index xlo, index xhi,
+                           index ylo, index yhi, index zlo, index zhi) {
+  constexpr int W = V::width;
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index z = zlo; z < zhi; ++z)
+    for (index y = ylo; y < yhi; ++y) {
+      double* op = out.row(y, z);
+      std::array<const double*, NR> rp;
+      for (int r = 0; r < NR; ++r)
+        rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+      index x = xlo;
+      for (; x + W <= xhi; x += W) {
+        V acc = V::zero();
+        for (int r = 0; r < NR; ++r)
+          acc = detail::multiload_row_acc<V, R>(rp[r], x, w[r], acc);
+        acc.storeu(op + x);
+      }
+      for (; x < xhi; ++x) {
+        double acc = 0;
+        for (int r = 0; r < NR; ++r)
+          acc = detail::scalar_row_acc<R>(rp[r], x, w[r], acc);
+        op[x] = acc;
+      }
+    }
+}
+
+template <typename V, int R, int NR>
+TSV_NOINLINE void multiload_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+    multiload_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
+  });
+}
+
+}  // namespace tsv

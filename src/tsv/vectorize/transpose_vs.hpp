@@ -1,0 +1,272 @@
+#pragma once
+// The paper's transpose-layout vectorization scheme (§3.2, Fig. 2-3).
+//
+// The grid's unit-stride rows live in register-block transpose layout (see
+// layout/block_transpose.hpp). One W²-element block forms a *vector set* of W
+// aligned vectors; updating a set needs only 2R assembled vectors:
+//
+//   * R left dependents:  assemble_left(prev-set vector W-l, vector W-l)
+//     — only lane W-1 of the first operand is read; it equals element B-l.
+//   * R right dependents: assemble_right(vector l-1, ·) where lane 0 of the
+//     second operand is element B+W²+l-1 — a scalar broadcast from the next
+//     block (position (l-1)·W when transposed) or from the original-layout
+//     halo at the row end.
+//
+// Everything else is aligned loads, FMAs and aligned stores. Neighbour rows
+// (2D/3D) contribute through the same machinery at their own row pointers;
+// rows whose only tap is the centre need no assembly at all.
+
+#include "tsv/layout/block_transpose.hpp"
+#include "tsv/vectorize/method_common.hpp"
+
+namespace tsv {
+
+namespace detail {
+
+/// Per-tap-row sweep state: the previous set's input vectors W-R..W-1.
+template <typename V, int R>
+struct LeftTail {
+  V v[R];
+
+  /// Boundary initialisation: lane W-1 of v[R-l] must equal element -l,
+  /// which lives at original position -l in the row's x halo.
+  static LeftTail boundary(const double* row) {
+    LeftTail t;
+    static_for<1, R + 1>([&]<int L>() { t.v[R - L] = V::broadcast(row[-L]); });
+    return t;
+  }
+
+  TSV_ALWAYS_INLINE void update_from_set(const V (&set)[V::width]) {
+    static_for<0, R>([&]<int I>() { v[I] = set[V::width - R + I]; });
+  }
+};
+
+/// Right-dependent scalar #l (l in 1..R) of the set with base @p base:
+/// element base+W²+l-1, read from the next transposed block or, at the row
+/// end, from the original-layout halo.
+template <int W>
+TSV_ALWAYS_INLINE double right_dep_scalar(const double* row, index base, index nx,
+                               int l) {
+  const index x = base + W * W + (l - 1);
+  return (x < nx) ? row[base + W * W + (l - 1) * W] : row[x];
+}
+
+/// Accumulates one tap row into acc[W] for the vector set at @p base.
+/// @p v holds the row's W input vectors; @p tail its left-tail state.
+template <typename V, int R>
+TSV_ALWAYS_INLINE void transpose_set_acc(const double* row, index base, index nx,
+                              const V (&v)[V::width],
+                              const std::array<double, 2 * R + 1>& w,
+                              const LeftTail<V, R>& tail,
+                              V (&acc)[V::width]) {
+  constexpr int W = V::width;
+  // All indices below are compile-time so ext/v/acc stay in registers even
+  // when the surrounding function is compiled without IPA cloning.
+  V ext[W + 2 * R];
+  static_for<0, V::width>([&]<int J>() { ext[R + J] = v[J]; });
+  static_for<1, R + 1>([&]<int L>() {
+    ext[R - L] = assemble_left(tail.v[R - L], v[W - L]);
+  });
+  static_for<1, R + 1>([&]<int L>() {
+    ext[R + W - 1 + L] = assemble_right(
+        v[L - 1], V::broadcast(right_dep_scalar<W>(row, base, nx, L)));
+  });
+  static_for<0, V::width>([&]<int J>() {
+    static_for<0, 2 * R + 1>([&]<int DXI>() {
+      if (w[DXI] != 0.0)
+        acc[J] = fma(V::broadcast(w[DXI]), ext[J + DXI], acc[J]);
+    });
+  });
+}
+
+/// Centre-tap-only accumulation (star-stencil off-axis rows): plain FMAs.
+template <typename V>
+TSV_ALWAYS_INLINE void center_only_acc(const V (&v)[V::width], double wc,
+                            V (&acc)[V::width]) {
+  const V wv = V::broadcast(wc);
+  static_for<0, V::width>([&]<int J>() { acc[J] = fma(wv, v[J], acc[J]); });
+}
+
+template <int R>
+inline bool has_off_center(const std::array<double, 2 * R + 1>& w) {
+  for (int dx = -R; dx <= R; ++dx)
+    if (dx != 0 && w[dx + R] != 0.0) return true;
+  return false;
+}
+
+}  // namespace detail
+
+/// Reads interior element @p x of a transpose-layout row with original-layout
+/// x halo (boundary/partial-set path).
+template <int W>
+TSV_ALWAYS_INLINE double load_tl(const double* row, index x, index nx) {
+  return (x < 0 || x >= nx) ? row[x] : row[block_transposed_offset<W>(x)];
+}
+
+/// One Jacobi step over cells [xlo, xhi) of a row in transpose layout,
+/// accumulating NR tap rows (rp[r] is the input row for tap row r; op the
+/// output row; both in transpose layout with original-layout x halo; the
+/// *whole* row is in transpose layout even outside the region).
+///
+/// Partial vector sets at the region rims (moving tile edges, paper §3.4)
+/// are computed with the *same* vector kernel — input values outside
+/// [xlo-R, xhi+R) may belong to other time levels, but they only reach
+/// output lanes that a masked store then discards. This keeps the rims as
+/// cheap as the interior, which is the goal of the paper's Fig. 5(d)
+/// boundary treatment.
+template <typename V, int R, int NR>
+void transpose_sweep_row_region(
+    const std::array<const double*, NR>& rp, double* op,
+    const std::array<std::array<double, 2 * R + 1>, NR>& w, index nx,
+    index xlo, index xhi) {
+  constexpr int W = V::width;
+  constexpr index B = block_elems<W>;
+  if (xlo >= xhi) return;
+
+  const index first = xlo / B * B;        // base of first touched block
+  const index last = (xhi - 1) / B * B;   // base of last touched block
+
+  std::array<bool, NR> off{};
+  for (int r = 0; r < NR; ++r) off[r] = detail::has_off_center<R>(w[r]);
+
+  std::array<detail::LeftTail<V, R>, NR> tails;
+  for (int r = 0; r < NR; ++r) {
+    if (first == 0) {
+      tails[r] = detail::LeftTail<V, R>::boundary(rp[r]);
+    } else {
+      // Previous set exists in memory at the same time level (only its lane
+      // W-1 — elements first-R..first-1, valid by the region contract — is
+      // ever consumed).
+      static_for<0, R>([&]<int I>() {
+        tails[r].v[I] = V::load(rp[r] + (first - B) + (W - R + I) * W);
+      });
+    }
+  }
+
+  for (index base = first; base <= last; base += B) {
+    V acc[W];
+    static_for<0, W>([&]<int J>() { acc[J] = V::zero(); });
+    for (int r = 0; r < NR; ++r) {
+      V v[W];
+      static_for<0, W>([&]<int J>() { v[J] = V::load(rp[r] + base + J * W); });
+      if (off[r]) {
+        detail::transpose_set_acc<V, R>(rp[r], base, nx, v, w[r], tails[r],
+                                        acc);
+        tails[r].update_from_set(v);
+      } else {
+        detail::center_only_acc<V>(v, w[r][R], acc);
+      }
+    }
+    if (base >= xlo && base + B <= xhi) {
+      static_for<0, W>([&]<int J>() { acc[J].store(op + base + J * W); });
+    } else {
+      // Rim block: store only the cells inside [xlo, xhi).
+      static_for<0, W>([&]<int J>() {
+        unsigned mask = 0;
+        for (int i = 0; i < W; ++i) {
+          const index x = base + static_cast<index>(i) * W + J;
+          if (x >= xlo && x < xhi) mask |= 1u << i;
+        }
+        acc[J].store_mask(op + base + J * W, mask);
+      });
+    }
+  }
+}
+
+/// Full-row sweep (whole interior).
+template <typename V, int R, int NR>
+inline void transpose_sweep_row(const std::array<const double*, NR>& rp,
+                                double* op,
+                                const std::array<std::array<double, 2 * R + 1>,
+                                                 NR>& w,
+                                index nx) {
+  transpose_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx);
+}
+
+// The hot sweep is compiled exactly once, in src/tsv/kernels_tu.cpp — a
+// minimal translation unit. Large user TUs that instantiate many drivers
+// push GCC's inlining/scalarization heuristics into a regime where the
+// kernel's Vec register arrays get materialized on the stack (~2x slower);
+// extern template pins every caller to the clean instantiation instead.
+// Instantiations not on this list still compile implicitly (correct, and
+// usually fine because rare combinations imply small TUs).
+#define TSV_DECLARE_TRANSPOSE_SWEEP(V, R, NR)                              \
+  extern template void transpose_sweep_row_region<V, R, NR>(              \
+      const std::array<const double*, NR>&, double*,                      \
+      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
+      index);
+
+#define TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(V) \
+  TSV_DECLARE_TRANSPOSE_SWEEP(V, 1, 1)      \
+  TSV_DECLARE_TRANSPOSE_SWEEP(V, 2, 1)      \
+  TSV_DECLARE_TRANSPOSE_SWEEP(V, 1, 3)      \
+  TSV_DECLARE_TRANSPOSE_SWEEP(V, 1, 5)      \
+  TSV_DECLARE_TRANSPOSE_SWEEP(V, 1, 9)
+
+#if !defined(TSV_KERNELS_TU)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD2)
+#if defined(__AVX2__)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD4)
+#endif
+#if defined(__AVX512F__)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD8)
+#endif
+#endif  // !TSV_KERNELS_TU
+
+// ---- full-grid steps (grids already in transpose layout) --------------------
+
+template <typename V, int R>
+void transpose_step(const Grid1D<double>& in, Grid1D<double>& out,
+                    const Stencil1D<R>& s) {
+  transpose_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
+}
+
+template <typename V, int R, int NR>
+void transpose_step(const Grid2D<double>& in, Grid2D<double>& out,
+                    const Stencil2D<R, NR>& s) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index y = 0; y < in.ny(); ++y) {
+    std::array<const double*, NR> rp;
+    for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
+    transpose_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
+  }
+}
+
+template <typename V, int R, int NR>
+void transpose_step(const Grid3D<double>& in, Grid3D<double>& out,
+                    const Stencil3D<R, NR>& s) {
+  std::array<std::array<double, 2 * R + 1>, NR> w;
+  for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+  for (index z = 0; z < in.nz(); ++z)
+    for (index y = 0; y < in.ny(); ++y) {
+      std::array<const double*, NR> rp;
+      for (int r = 0; r < NR; ++r)
+        rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
+      transpose_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
+    }
+}
+
+// ---- run drivers: transform once, T steps inside the layout, transform back.
+
+namespace detail {
+template <typename Grid>
+void require_transpose_conforming(const Grid& g, int width) {
+  require_fmt(g.nx() % (static_cast<index>(width) * width) == 0,
+              "transpose layout requires nx (", g.nx(),
+              ") to be a multiple of W^2 = ", static_cast<index>(width) * width);
+}
+}  // namespace detail
+
+template <typename V, typename Grid, typename S>
+TSV_NOINLINE void transpose_vs_run(Grid& g, const S& s, index steps) {
+  constexpr int W = V::width;
+  detail::require_transpose_conforming(g, W);
+  block_transpose_grid<double, W>(g);
+  jacobi_run(g, steps, [&](const Grid& in, Grid& out) {
+    transpose_step<V>(in, out, s);
+  });
+  block_transpose_grid<double, W>(g);
+}
+
+}  // namespace tsv

@@ -1,0 +1,172 @@
+// Tests for the public API: dispatch, validation, presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+double f1(index x) { return std::sin(0.05 * x) + 0.002 * x; }
+double f2(index x, index y) { return std::sin(0.04 * x - 0.06 * y); }
+double f3(index x, index y, index z) {
+  return std::sin(0.04 * x - 0.06 * y + 0.02 * z);
+}
+
+TEST(Names, AreStable) {
+  EXPECT_STREQ(method_name(Method::kTranspose), "transpose");
+  EXPECT_STREQ(method_name(Method::kTransposeUJ), "transpose-uj2");
+  EXPECT_STREQ(method_name(Method::kDlt), "dlt");
+  EXPECT_STREQ(tiling_name(Tiling::kTessellate), "tessellate");
+  EXPECT_STREQ(tiling_name(Tiling::kSplit), "split");
+}
+
+TEST(Run1D, EveryUntiledMethodMatchesReference) {
+  const auto s = make_1d3p(0.3);
+  const index nx = 256;
+  Grid1D<double> ref(nx, 1);
+  ref.fill(f1);
+  reference_run(ref, s, 5);
+
+  for (Method m : {Method::kScalar, Method::kAutoVec, Method::kMultiLoad,
+                   Method::kReorg, Method::kDlt, Method::kTranspose,
+                   Method::kTransposeUJ}) {
+    Grid1D<double> g(nx, 1);
+    g.fill(f1);
+    Options o;
+    o.method = m;
+    o.tiling = Tiling::kNone;
+    o.isa = best_isa();
+    o.steps = 5;
+    run(g, s, o);
+    EXPECT_LE(max_abs_diff(ref, g), 1e-11) << method_name(m);
+  }
+}
+
+TEST(Run1D, TiledCombosMatchReference) {
+  const auto s = make_1d3p(0.3);
+  const index nx = 512;
+  Grid1D<double> ref(nx, 1);
+  ref.fill(f1);
+  reference_run(ref, s, 8);
+
+  struct Combo {
+    Method m;
+    Tiling t;
+  };
+  const Combo combos[] = {{Method::kAutoVec, Tiling::kTessellate},
+                          {Method::kReorg, Tiling::kTessellate},
+                          {Method::kTranspose, Tiling::kTessellate},
+                          {Method::kTransposeUJ, Tiling::kTessellate},
+                          {Method::kDlt, Tiling::kSplit}};
+  for (const auto& c : combos) {
+    Grid1D<double> g(nx, 1);
+    g.fill(f1);
+    Options o;
+    o.method = c.m;
+    o.tiling = c.t;
+    o.isa = best_isa();
+    o.steps = 8;
+    o.bx = 128;
+    o.bt = 4;
+    o.threads = 4;
+    run(g, s, o);
+    EXPECT_LE(max_abs_diff(ref, g), 1e-11)
+        << method_name(c.m) << "+" << tiling_name(c.t);
+  }
+}
+
+TEST(Run2D, DispatchAcrossIsas) {
+  const auto s = make_2d5p(0.5, 0.12, 0.13);
+  const index nx = 128, ny = 16;
+  Grid2D<double> ref(nx, ny, 1);
+  ref.fill(f2);
+  reference_run(ref, s, 4);
+
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (!isa_supported(isa)) continue;
+    Grid2D<double> g(nx, ny, 1);
+    g.fill(f2);
+    Options o;
+    o.method = Method::kTranspose;
+    o.isa = isa;
+    o.steps = 4;
+    run(g, s, o);
+    EXPECT_LE(max_abs_diff(ref, g), 1e-11) << isa_name(isa);
+  }
+}
+
+TEST(Run3D, TiledTransposeUJ) {
+  const auto s = make_3d7p();
+  const index nx = 128, ny = 16, nz = 16;
+  Grid3D<double> ref(nx, ny, nz, 1);
+  ref.fill(f3);
+  reference_run(ref, s, 4);
+
+  Grid3D<double> g(nx, ny, nz, 1);
+  g.fill(f3);
+  Options o;
+  o.method = Method::kTransposeUJ;
+  o.tiling = Tiling::kTessellate;
+  o.isa = best_isa();
+  o.steps = 4;
+  o.bx = 64;
+  o.by = 8;
+  o.bz = 8;
+  o.bt = 2;
+  o.threads = 4;
+  run(g, s, o);
+  EXPECT_LE(max_abs_diff(ref, g), 1e-11);
+}
+
+TEST(Run, RejectsInvalidConfigurations) {
+  const auto s = make_1d3p();
+  Grid1D<double> g(64, 1);
+  g.fill(f1);
+  Options o;
+
+  o.steps = -1;
+  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+
+  o = Options{};
+  o.tiling = Tiling::kTessellate;
+  o.steps = 2;  // missing bx/bt
+  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+
+  o = Options{};
+  o.method = Method::kReorg;  // split tiling needs DLT
+  o.tiling = Tiling::kSplit;
+  o.steps = 2;
+  o.bx = 32;
+  o.bt = 2;
+  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+
+  o = Options{};
+  o.method = Method::kDlt;  // tessellate excludes DLT
+  o.tiling = Tiling::kTessellate;
+  o.steps = 2;
+  o.bx = 32;
+  o.bt = 2;
+  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+}
+
+TEST(Problems, Table1PresetsAreConforming) {
+  for (bool paper : {false, true}) {
+    const auto probs = table1_problems(paper);
+    ASSERT_EQ(probs.size(), 6u);
+    for (const auto& p : probs) {
+      EXPECT_EQ(p.nx % 64, 0) << p.name;  // W^2 for AVX-512 doubles
+      EXPECT_GT(p.steps, 0) << p.name;
+      EXPECT_GT(p.bt, 0) << p.name;
+      EXPECT_GE(p.bx, 2 * 2 * p.bt * (p.ny == 1 ? 1 : 0) * 0 + 1) << p.name;
+    }
+    // 1D problems must satisfy the tessellation constraint bx >= 2*r*bt.
+    EXPECT_GE(probs[0].bx, 2 * 1 * probs[0].bt);
+    EXPECT_GE(probs[1].bx, 2 * 2 * probs[1].bt);
+  }
+}
+
+}  // namespace
+}  // namespace tsv

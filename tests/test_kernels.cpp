@@ -1,0 +1,170 @@
+// Tests for the stencil descriptors and the scalar reference drivers.
+// The reference is ground truth for the whole library, so its own behaviour
+// is pinned down carefully here (hand-computed cases + invariants).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tsv/common/grid.hpp"
+#include "tsv/kernels/reference.hpp"
+#include "tsv/kernels/stencil.hpp"
+
+namespace tsv {
+namespace {
+
+TEST(StencilSpec, Apply1d3p) {
+  const auto s = make_1d3p(0.5);
+  double data[3] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(s.apply(data + 1), 0.5 * (1 + 2 + 4));
+  EXPECT_EQ(s.flops_per_point, 5);
+}
+
+TEST(StencilSpec, Apply1d5p) {
+  const auto s = make_1d5p(0.1, 0.2, 0.4);
+  double data[5] = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(s.apply(data + 2),
+                   0.1 * 1 + 0.2 * 2 + 0.4 * 3 + 0.2 * 4 + 0.1 * 5);
+  EXPECT_EQ(s.flops_per_point, 9);
+}
+
+TEST(StencilSpec, RowsOf2d5p) {
+  const auto s = make_2d5p(0.5, 0.125, 0.125);
+  EXPECT_EQ(s.rows[0].ntaps(), 1);
+  EXPECT_EQ(s.rows[1].ntaps(), 3);
+  EXPECT_EQ(s.rows[2].ntaps(), 1);
+  EXPECT_EQ(s.flops_per_point, 2 * 5 - 1);
+}
+
+TEST(StencilSpec, RowsOf2d9p) {
+  const auto s = make_2d9p();
+  for (const auto& r : s.rows) EXPECT_EQ(r.ntaps(), 3);
+  EXPECT_EQ(s.flops_per_point, 2 * 9 - 1);
+}
+
+TEST(StencilSpec, RowsOf3d7p) {
+  const auto s = make_3d7p();
+  index taps = 0;
+  for (const auto& r : s.rows) taps += r.ntaps();
+  EXPECT_EQ(taps, 7);
+  EXPECT_EQ(s.flops_per_point, 2 * 7 - 1);
+}
+
+TEST(StencilSpec, RowsOf3d27p) {
+  const auto s = make_3d27p();
+  index taps = 0;
+  for (const auto& r : s.rows) taps += r.ntaps();
+  EXPECT_EQ(taps, 27);
+  EXPECT_EQ(s.flops_per_point, 2 * 27 - 1);
+}
+
+// ---- reference semantics ----------------------------------------------------
+
+TEST(Reference1D, SingleStepHandComputed) {
+  Grid1D<double> g(4, 1);
+  g.fill([](index x) { return static_cast<double>(x + 1); });  // 0,1,2,3,4,5
+  const auto s = make_1d3p(1.0);
+  reference_run(g, s, 1);
+  // out[x] = in[x-1]+in[x]+in[x+1] with in = x+1
+  EXPECT_DOUBLE_EQ(g.at(0), 0 + 1 + 2);
+  EXPECT_DOUBLE_EQ(g.at(3), 3 + 4 + 5);
+  // Halo untouched.
+  EXPECT_DOUBLE_EQ(g.at(-1), 0.0);
+  EXPECT_DOUBLE_EQ(g.at(4), 5.0);
+}
+
+TEST(Reference1D, ConstantFieldIsFixedPointWhenWeightsSumToOne) {
+  Grid1D<double> g(32, 2);
+  g.fill([](index) { return 3.25; });
+  const auto s = make_1d5p(0.1, 0.2, 0.4);  // weights sum to 1
+  reference_run(g, s, 7);
+  for (index x = 0; x < 32; ++x) EXPECT_NEAR(g.at(x), 3.25, 1e-12);
+}
+
+TEST(Reference1D, LinearityInInput) {
+  const auto s = make_1d3p(0.3);
+  Grid1D<double> a(16, 1), b(16, 1), sum(16, 1);
+  a.fill([](index x) { return std::sin(0.1 * x); });
+  b.fill([](index x) { return std::cos(0.2 * x); });
+  sum.fill([&](index x) { return a.at(x) + b.at(x); });
+  reference_run(a, s, 3);
+  reference_run(b, s, 3);
+  reference_run(sum, s, 3);
+  for (index x = 0; x < 16; ++x)
+    EXPECT_NEAR(sum.at(x), a.at(x) + b.at(x), 1e-12);
+}
+
+TEST(Reference1D, StepCompositionEqualsMultiStep) {
+  const auto s = make_1d3p(0.25);
+  Grid1D<double> a(24, 1), b(24, 1);
+  a.fill([](index x) { return 0.01 * x * x; });
+  b.fill([](index x) { return 0.01 * x * x; });
+  reference_run(a, s, 5);
+  for (int t = 0; t < 5; ++t) reference_run(b, s, 1);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Reference2D, SingleStepHandComputed) {
+  Grid2D<double> g(3, 3, 1);
+  g.fill([](index x, index y) { return static_cast<double>(10 * y + x); });
+  const auto s = make_2d5p(1.0, 1.0, 1.0);  // plain 5-point sum
+  reference_run(g, s, 1);
+  // center (1,1): in(1,0)+in(0,1)+in(1,1)+in(2,1)+in(1,2) = 1+10+11+12+21
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 55.0);
+  // corner (0,0): in(0,-1)+in(-1,0)+in(0,0)+in(1,0)+in(0,1) = -10-1+0+1+10
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.0);
+}
+
+TEST(Reference2D, BoxUsesCorners) {
+  Grid2D<double> g(3, 3, 1);
+  g.fill([](index x, index y) { return (x == 0 && y == 0) ? 1.0 : 0.0; });
+  auto s = make_2d9p(0.0, 0.0, 1.0);  // only corners weighted
+  reference_run(g, s, 1);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 1.0);  // sees (0,0) as its corner
+  EXPECT_DOUBLE_EQ(g.at(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 0.0);  // edge-neighbor only, weight 0
+}
+
+TEST(Reference3D, SingleStepHandComputed) {
+  Grid3D<double> g(3, 3, 3, 1);
+  g.fill([](index x, index y, index z) {
+    return static_cast<double>(100 * z + 10 * y + x);
+  });
+  const auto s = make_3d7p(1.0, 1.0, 1.0, 1.0);
+  reference_run(g, s, 1);
+  // center (1,1,1): 111*1 + (110+112) + (101+121) + (011+211)
+  EXPECT_DOUBLE_EQ(g.at(1, 1, 1), 111 + 110 + 112 + 101 + 121 + 11 + 211);
+}
+
+TEST(Reference3D, ConstantFixedPoint27p) {
+  Grid3D<double> g(8, 8, 8, 1);
+  g.fill([](index, index, index) { return 2.0; });
+  auto s = make_3d27p();
+  // Normalize the 27 weights to sum to one so a constant field is invariant.
+  double sum = 0;
+  for (auto& r : s.rows)
+    for (int i = 0; i < r.ntaps(); ++i) sum += r.w[i];
+  for (auto& r : s.rows)
+    for (int i = 0; i < r.ntaps(); ++i) r.w[i] /= sum;
+  reference_run(g, s, 3);
+  for (index z = 0; z < 8; ++z)
+    for (index y = 0; y < 8; ++y)
+      for (index x = 0; x < 8; ++x) EXPECT_NEAR(g.at(x, y, z), 2.0, 1e-12);
+}
+
+TEST(Reference2D, TranslationEquivariance) {
+  // Shifting the input by one cell in y shifts the interior output the same
+  // way (checked away from boundaries).
+  const auto s = make_2d9p();
+  Grid2D<double> a(16, 16, 1), b(16, 16, 1);
+  auto f = [](index x, index y) { return std::sin(0.3 * x) * std::cos(0.2 * y); };
+  a.fill([&](index x, index y) { return f(x, y); });
+  b.fill([&](index x, index y) { return f(x, y + 1); });
+  reference_run(a, s, 2);
+  reference_run(b, s, 2);
+  for (index y = 2; y < 12; ++y)
+    for (index x = 2; x < 14; ++x)
+      EXPECT_NEAR(b.at(x, y), a.at(x, y + 1), 1e-12);
+}
+
+}  // namespace
+}  // namespace tsv

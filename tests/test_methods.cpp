@@ -1,0 +1,370 @@
+// Cross-method equivalence suite: every vectorization method must reproduce
+// the scalar reference on every stencil, for several sizes, step counts and
+// vector widths (generic W=2, AVX2 W=4, AVX-512 W=8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/vectorize/autovec.hpp"
+#include "tsv/vectorize/dlt_method.hpp"
+#include "tsv/vectorize/multiload.hpp"
+#include "tsv/vectorize/reorg.hpp"
+#include "tsv/vectorize/transpose_vs.hpp"
+#include "tsv/vectorize/unroll_jam.hpp"
+
+namespace tsv {
+namespace {
+
+constexpr double kTol = 1e-11;
+
+// Smooth-ish but non-symmetric deterministic field; nonzero halo values so
+// boundary-handling bugs show up.
+double field1(index x) { return std::sin(0.037 * x) + 0.01 * x; }
+double field2(index x, index y) {
+  return std::sin(0.037 * x + 0.11 * y) + 0.003 * (x - 2 * y);
+}
+double field3(index x, index y, index z) {
+  return std::sin(0.037 * x + 0.11 * y - 0.05 * z) + 0.002 * (x + y - z);
+}
+
+template <int R>
+Grid1D<double> make_grid_1d(index nx) {
+  Grid1D<double> g(nx, R);
+  g.fill(field1);
+  return g;
+}
+
+// Runs method_fn and the reference on identical grids and compares.
+template <int R, typename Fn>
+void expect_matches_reference_1d(index nx, index steps, const Stencil1D<R>& s,
+                                 Fn&& method_fn) {
+  Grid1D<double> ref = make_grid_1d<R>(nx);
+  Grid1D<double> got = make_grid_1d<R>(nx);
+  const Grid1D<double> before = got;  // bitwise snapshot
+  reference_run(ref, s, steps);
+  method_fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol) << "nx=" << nx << " T=" << steps;
+  // Halo must be bitwise untouched.
+  for (index l = 1; l <= R; ++l) {
+    EXPECT_EQ(got.at(-l), before.at(-l)) << "left halo, nx=" << nx;
+    EXPECT_EQ(got.at(nx + l - 1), before.at(nx + l - 1))
+        << "right halo, nx=" << nx;
+  }
+}
+
+template <int R, int NR, typename Fn>
+void expect_matches_reference_2d(index nx, index ny, index steps,
+                                 const Stencil2D<R, NR>& s, Fn&& method_fn) {
+  Grid2D<double> ref(nx, ny, R), got(nx, ny, R);
+  ref.fill(field2);
+  got.fill(field2);
+  reference_run(ref, s, steps);
+  method_fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol)
+      << "nx=" << nx << " ny=" << ny << " T=" << steps;
+}
+
+template <int R, int NR, typename Fn>
+void expect_matches_reference_3d(index nx, index ny, index nz, index steps,
+                                 const Stencil3D<R, NR>& s, Fn&& method_fn) {
+  Grid3D<double> ref(nx, ny, nz, R), got(nx, ny, nz, R);
+  ref.fill(field3);
+  got.fill(field3);
+  reference_run(ref, s, steps);
+  method_fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol)
+      << nx << "x" << ny << "x" << nz << " T=" << steps;
+}
+
+// ---- 1D, all methods, parameterized over width ------------------------------
+
+template <typename V>
+void all_methods_1d() {
+  constexpr int W = V::width;
+  const auto s3 = make_1d3p(0.31);
+  const auto s5 = make_1d5p(0.04, 0.21, 0.47);
+
+  const index conforming[] = {W * W, 3 * W * W, 5 * W * W};
+  const index steps_list[] = {0, 1, 2, 3, 7};
+
+  for (index nx : conforming)
+    for (index steps : steps_list) {
+      expect_matches_reference_1d(nx, steps, s3, [](auto& g, auto& s, index t) {
+        multiload_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s3, [](auto& g, auto& s, index t) {
+        reorg_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s3, [](auto& g, auto& s, index t) {
+        dlt_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s3, [](auto& g, auto& s, index t) {
+        transpose_vs_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s3, [](auto& g, auto& s, index t) {
+        unroll_jam_run<V, 1, 2>(g, s, t);
+      });
+      // Radius-2 stencil.
+      expect_matches_reference_1d(nx, steps, s5, [](auto& g, auto& s, index t) {
+        reorg_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s5, [](auto& g, auto& s, index t) {
+        transpose_vs_run<V>(g, s, t);
+      });
+      expect_matches_reference_1d(nx, steps, s5, [](auto& g, auto& s, index t) {
+        unroll_jam_run<V, 2, 2>(g, s, t);
+      });
+      if (nx / W > 2)  // DLT's own minimum-size constraint for R = 2
+        expect_matches_reference_1d(nx, steps, s5,
+                                    [](auto& g, auto& s, index t) {
+                                      dlt_run<V>(g, s, t);
+                                    });
+    }
+
+  // Methods without layout constraints must handle awkward sizes.
+  for (index nx : {static_cast<index>(2 * W + 3), static_cast<index>(101)}) {
+    expect_matches_reference_1d(nx, 3, s3, [](auto& g, auto& s, index t) {
+      multiload_run<V>(g, s, t);
+    });
+    expect_matches_reference_1d(nx, 3, s3, [](auto& g, auto& s, index t) {
+      reorg_run<V>(g, s, t);
+    });
+    expect_matches_reference_1d(nx, 3, s3, [](auto& g, auto& s, index t) {
+      autovec_run(g, s, t);
+    });
+  }
+
+  // Unroll factors other than the paper's K=2, including odd K and K > 2.
+  for (int rep = 0; rep < 1; ++rep) {
+    expect_matches_reference_1d(3 * W * W, 5, s3,
+                                [](auto& g, auto& s, index t) {
+                                  unroll_jam_run<V, 1, 1>(g, s, t);
+                                });
+    expect_matches_reference_1d(3 * W * W, 9, s3,
+                                [](auto& g, auto& s, index t) {
+                                  unroll_jam_run<V, 1, 3>(g, s, t);
+                                });
+    expect_matches_reference_1d(3 * W * W, 8, s3,
+                                [](auto& g, auto& s, index t) {
+                                  unroll_jam_run<V, 1, 4>(g, s, t);
+                                });
+  }
+}
+
+TEST(Methods1D, GenericW2) { all_methods_1d<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Methods1D, Avx2) { all_methods_1d<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Methods1D, Avx512) { all_methods_1d<Vec<double, 8>>(); }
+#endif
+
+TEST(Methods1D, AutovecMatchesReference) {
+  const auto s5 = make_1d5p(0.04, 0.21, 0.47);
+  for (index steps : {0, 1, 5})
+    expect_matches_reference_1d(96, steps, s5, [](auto& g, auto& s, index t) {
+      autovec_run(g, s, t);
+    });
+}
+
+// ---- layout-constraint failure injection ------------------------------------
+
+TEST(Methods1D, LayoutMethodsRejectNonConformingSizes) {
+  auto s = make_1d3p();
+  // W = 2: transpose layout needs nx % 4 == 0, DLT needs nx % 2 == 0.
+  Grid1D<double> g10(10, 1);
+  g10.fill(field1);
+  EXPECT_THROW((transpose_vs_run<Vec<double, 2>>(g10, s, 1)),
+               std::invalid_argument);
+  EXPECT_THROW((unroll_jam_run<Vec<double, 2>, 1, 2>(g10, s, 1)),
+               std::invalid_argument);
+  Grid1D<double> g11(11, 1);
+  g11.fill(field1);
+  EXPECT_THROW((dlt_run<Vec<double, 2>>(g11, s, 1)), std::invalid_argument);
+  // Multiload has no constraint: same size must work.
+  EXPECT_NO_THROW((multiload_run<Vec<double, 2>>(g11, s, 1)));
+}
+
+// ---- 2D ----------------------------------------------------------------------
+
+template <typename V>
+void all_methods_2d() {
+  constexpr int W = V::width;
+  const auto s5 = make_2d5p(0.46, 0.13, 0.14);
+  const auto s9 = make_2d9p(0.2, 0.11, 0.069);
+
+  const index nx = 2 * W * W;
+  for (index ny : {static_cast<index>(1), static_cast<index>(5)})
+    for (index steps : {0, 1, 2, 5}) {
+      expect_matches_reference_2d(nx, ny, steps, s5,
+                                  [](auto& g, auto& s, index t) {
+                                    multiload_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s5,
+                                  [](auto& g, auto& s, index t) {
+                                    reorg_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s5,
+                                  [](auto& g, auto& s, index t) {
+                                    dlt_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s5,
+                                  [](auto& g, auto& s, index t) {
+                                    transpose_vs_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s5,
+                                  [](auto& g, auto& s, index t) {
+                                    unroll_jam2_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s9,
+                                  [](auto& g, auto& s, index t) {
+                                    transpose_vs_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s9,
+                                  [](auto& g, auto& s, index t) {
+                                    unroll_jam2_run<V>(g, s, t);
+                                  });
+      expect_matches_reference_2d(nx, ny, steps, s9,
+                                  [](auto& g, auto& s, index t) {
+                                    reorg_run<V>(g, s, t);
+                                  });
+    }
+
+  expect_matches_reference_2d(nx, 7, 3, s9, [](auto& g, auto& s, index t) {
+    autovec_run(g, s, t);
+  });
+  expect_matches_reference_2d(nx, 7, 3, s9, [](auto& g, auto& s, index t) {
+    dlt_run<V>(g, s, t);
+  });
+  expect_matches_reference_2d(nx, 7, 3, s9, [](auto& g, auto& s, index t) {
+    multiload_run<V>(g, s, t);
+  });
+}
+
+TEST(Methods2D, GenericW2) { all_methods_2d<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Methods2D, Avx2) { all_methods_2d<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Methods2D, Avx512) { all_methods_2d<Vec<double, 8>>(); }
+#endif
+
+// ---- 3D ----------------------------------------------------------------------
+
+template <typename V>
+void all_methods_3d() {
+  constexpr int W = V::width;
+  const auto s7 = make_3d7p(0.39, 0.1, 0.11, 0.09);
+  const auto s27 = make_3d27p(0.13);
+
+  const index nx = W * W;
+  const index ny = 4, nz = 3;
+  for (index steps : {0, 1, 2, 5}) {
+    expect_matches_reference_3d(nx, ny, nz, steps, s7,
+                                [](auto& g, auto& s, index t) {
+                                  multiload_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s7,
+                                [](auto& g, auto& s, index t) {
+                                  reorg_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s7,
+                                [](auto& g, auto& s, index t) {
+                                  dlt_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s7,
+                                [](auto& g, auto& s, index t) {
+                                  transpose_vs_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s7,
+                                [](auto& g, auto& s, index t) {
+                                  unroll_jam2_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s27,
+                                [](auto& g, auto& s, index t) {
+                                  transpose_vs_run<V>(g, s, t);
+                                });
+    expect_matches_reference_3d(nx, ny, nz, steps, s27,
+                                [](auto& g, auto& s, index t) {
+                                  unroll_jam2_run<V>(g, s, t);
+                                });
+  }
+  expect_matches_reference_3d(nx, ny, nz, 2, s27,
+                              [](auto& g, auto& s, index t) {
+                                autovec_run(g, s, t);
+                              });
+}
+
+TEST(Methods3D, GenericW2) { all_methods_3d<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Methods3D, Avx2) { all_methods_3d<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Methods3D, Avx512) { all_methods_3d<Vec<double, 8>>(); }
+#endif
+
+// ---- region sweep contract -----------------------------------------------------
+
+template <typename V>
+void check_region_writes_only_range() {
+  constexpr int W = V::width;
+  const index nx = 4 * W * W;
+  const auto s = make_1d3p(0.3);
+  Grid1D<double> in(nx, 1), out(nx, 1), ref(nx, 1);
+  in.fill(field1);
+  ref.fill(field1);
+  reference_step(ref, ref, s);  // unused content; just shape
+
+  block_transpose_grid<double, W>(in);
+  // Sweep several awkward sub-ranges; cells outside must stay poisoned.
+  for (index xlo : {static_cast<index>(0), static_cast<index>(3),
+                    static_cast<index>(W * W - 1)})
+    for (index xhi : {xlo + 1, static_cast<index>(2 * W * W + 5), nx}) {
+      out.fill([](index) { return -777.0; });
+      transpose_sweep_row_region<V, 1, 1>({in.x0()}, out.x0(), {s.w}, nx, xlo,
+                                          xhi);
+      for (index x = 0; x < nx; ++x) {
+        const double v = out.x0()[block_transposed_offset<W>(x)];
+        if (x < xlo || x >= xhi) {
+          EXPECT_EQ(v, -777.0) << "leak at x=" << x << " range [" << xlo
+                               << "," << xhi << ")";
+        } else {
+          EXPECT_NE(v, -777.0) << "missing write at x=" << x;
+        }
+      }
+    }
+}
+
+TEST(RegionSweep, WritesOnlyRangeW2) {
+  check_region_writes_only_range<Vec<double, 2>>();
+}
+#if defined(__AVX2__)
+TEST(RegionSweep, WritesOnlyRangeAvx2) {
+  check_region_writes_only_range<Vec<double, 4>>();
+}
+#endif
+#if defined(__AVX512F__)
+TEST(RegionSweep, WritesOnlyRangeAvx512) {
+  check_region_writes_only_range<Vec<double, 8>>();
+}
+#endif
+
+// ---- cross-width agreement ----------------------------------------------------
+
+#if defined(__AVX2__) && defined(__AVX512F__)
+TEST(Methods1D, WidthsAgreeWithEachOther) {
+  const auto s = make_1d3p(0.33);
+  const index nx = 4 * 64;  // conforming for W in {2, 4, 8}
+  Grid1D<double> g2 = make_grid_1d<1>(nx), g4 = make_grid_1d<1>(nx),
+                 g8 = make_grid_1d<1>(nx);
+  transpose_vs_run<Vec<double, 2>>(g2, s, 6);
+  transpose_vs_run<Vec<double, 4>>(g4, s, 6);
+  transpose_vs_run<Vec<double, 8>>(g8, s, 6);
+  EXPECT_LE(max_abs_diff(g2, g4), kTol);
+  EXPECT_LE(max_abs_diff(g4, g8), kTol);
+}
+#endif
+
+}  // namespace
+}  // namespace tsv

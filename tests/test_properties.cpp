@@ -1,0 +1,325 @@
+// Property-based suites, parameterized over (method, tiling, size, steps).
+//
+// These pin down *mathematical invariants* of the Jacobi stencil operator
+// that every implementation must preserve regardless of layout or schedule:
+//   * agreement with the scalar reference (the master property),
+//   * linearity in the input field,
+//   * fixed point on constant fields when the weights sum to one,
+//   * translation equivariance away from the boundary,
+//   * determinism (bitwise-identical repeated runs),
+//   * halo immutability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+struct MethodCase {
+  Method method;
+  Tiling tiling;
+};
+
+std::string case_name(const MethodCase& c) {
+  std::string s = method_name(c.method);
+  if (c.tiling != Tiling::kNone) {
+    s += "_";
+    s += tiling_name(c.tiling);
+  }
+  for (auto& ch : s)
+    if (ch == '-') ch = '_';
+  return s;
+}
+
+Options make_options(const MethodCase& c, index steps) {
+  Options o;
+  o.method = c.method;
+  o.tiling = c.tiling;
+  o.isa = best_isa();
+  o.steps = steps;
+  o.bx = 128;
+  o.by = 16;
+  o.bz = 16;
+  o.bt = 4;
+  o.threads = 4;
+  return o;
+}
+
+double noise1(index x) { return std::sin(0.21 * x) * std::cos(0.047 * x); }
+
+// ---------------------------------------------------------------------------
+// 1D property suite.
+// ---------------------------------------------------------------------------
+
+using Params1D = std::tuple<MethodCase, index /*nx*/, index /*steps*/>;
+
+class Property1D : public ::testing::TestWithParam<Params1D> {
+ protected:
+  MethodCase method() const { return std::get<0>(GetParam()); }
+  index nx() const { return std::get<1>(GetParam()); }
+  index steps() const { return std::get<2>(GetParam()); }
+
+  template <typename F>
+  Grid1D<double> run_on(F&& init, const Stencil1D<1>& s) const {
+    Grid1D<double> g(nx(), 1);
+    g.fill(init);
+    run(g, s, make_options(method(), steps()));
+    return g;
+  }
+};
+
+TEST_P(Property1D, MatchesScalarReference) {
+  const auto s = make_1d3p(0.31);
+  Grid1D<double> ref(nx(), 1);
+  ref.fill(noise1);
+  reference_run(ref, s, steps());
+  const Grid1D<double> got = run_on(noise1, s);
+  EXPECT_LE(max_abs_diff(ref, got), 1e-11);
+}
+
+TEST_P(Property1D, LinearInInput) {
+  const auto s = make_1d3p(0.27);
+  auto f = [](index x) { return noise1(x); };
+  auto g = [](index x) { return 0.3 * std::cos(0.11 * x) + 0.001 * x; };
+  const double a = 1.75;
+  const Grid1D<double> rf = run_on(f, s);
+  const Grid1D<double> rg = run_on(g, s);
+  const Grid1D<double> rsum =
+      run_on([&](index x) { return a * f(x) + g(x); }, s);
+  for (index x = 0; x < nx(); ++x)
+    EXPECT_NEAR(rsum.at(x), a * rf.at(x) + rg.at(x), 1e-10) << "x=" << x;
+}
+
+TEST_P(Property1D, ConstantFieldIsFixedPoint) {
+  const auto s = make_1d3p(1.0 / 3.0);  // weights sum to 1
+  const Grid1D<double> r = run_on([](index) { return 5.5; }, s);
+  for (index x = 0; x < nx(); ++x) EXPECT_NEAR(r.at(x), 5.5, 1e-11);
+}
+
+TEST_P(Property1D, Deterministic) {
+  const auto s = make_1d3p(0.29);
+  const Grid1D<double> a = run_on(noise1, s);
+  const Grid1D<double> b = run_on(noise1, s);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);  // bitwise identical
+}
+
+TEST_P(Property1D, HaloUntouched) {
+  const auto s = make_1d3p(0.31);
+  Grid1D<double> g(nx(), 1);
+  g.fill(noise1);
+  const double left = g.at(-1), right = g.at(nx());
+  run(g, s, make_options(method(), steps()));
+  EXPECT_EQ(g.at(-1), left);
+  EXPECT_EQ(g.at(nx()), right);
+}
+
+TEST_P(Property1D, ZeroStepsIsIdentity) {
+  const auto s = make_1d3p(0.31);
+  Grid1D<double> g(nx(), 1), orig(nx(), 1);
+  g.fill(noise1);
+  orig.fill(noise1);
+  run(g, s, make_options(method(), 0));
+  EXPECT_EQ(max_abs_diff(orig, g), 0.0);
+}
+
+const MethodCase kUntiled1D[] = {
+    {Method::kAutoVec, Tiling::kNone},   {Method::kMultiLoad, Tiling::kNone},
+    {Method::kReorg, Tiling::kNone},     {Method::kDlt, Tiling::kNone},
+    {Method::kTranspose, Tiling::kNone}, {Method::kTransposeUJ, Tiling::kNone},
+    {Method::kAutoVec, Tiling::kTessellate},
+    {Method::kReorg, Tiling::kTessellate},
+    {Method::kTranspose, Tiling::kTessellate},
+    {Method::kTransposeUJ, Tiling::kTessellate},
+    {Method::kDlt, Tiling::kSplit},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, Property1D,
+    ::testing::Combine(::testing::ValuesIn(kUntiled1D),
+                       ::testing::Values<index>(256, 448),
+                       ::testing::Values<index>(1, 6)),
+    [](const ::testing::TestParamInfo<Params1D>& info) {
+      return case_name(std::get<0>(info.param)) + "_nx" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// 2D property suite.
+// ---------------------------------------------------------------------------
+
+using Params2D = std::tuple<MethodCase, index /*steps*/>;
+
+class Property2D : public ::testing::TestWithParam<Params2D> {
+ protected:
+  static constexpr index kNx = 128, kNy = 24;
+  MethodCase method() const { return std::get<0>(GetParam()); }
+  index steps() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(Property2D, MatchesScalarReferenceStar) {
+  const auto s = make_2d5p(0.42, 0.15, 0.14);
+  Grid2D<double> ref(kNx, kNy, 1), got(kNx, kNy, 1);
+  auto init = [](index x, index y) { return noise1(x + 31 * y); };
+  ref.fill(init);
+  got.fill(init);
+  reference_run(ref, s, steps());
+  run(got, s, make_options(method(), steps()));
+  EXPECT_LE(max_abs_diff(ref, got), 1e-11);
+}
+
+TEST_P(Property2D, MatchesScalarReferenceBox) {
+  const auto s = make_2d9p(0.18, 0.12, 0.05);
+  Grid2D<double> ref(kNx, kNy, 1), got(kNx, kNy, 1);
+  auto init = [](index x, index y) { return noise1(3 * x - 7 * y); };
+  ref.fill(init);
+  got.fill(init);
+  reference_run(ref, s, steps());
+  run(got, s, make_options(method(), steps()));
+  EXPECT_LE(max_abs_diff(ref, got), 1e-11);
+}
+
+TEST_P(Property2D, TranslationEquivariantInY) {
+  const auto s = make_2d5p(0.42, 0.15, 0.14);
+  auto f = [](index x, index y) { return noise1(x + 13 * y); };
+  Grid2D<double> a(kNx, kNy, 1), b(kNx, kNy, 1);
+  a.fill([&](index x, index y) { return f(x, y); });
+  b.fill([&](index x, index y) { return f(x, y + 2); });
+  run(a, s, make_options(method(), steps()));
+  run(b, s, make_options(method(), steps()));
+  const index margin = 2 + static_cast<index>(steps());
+  for (index y = margin; y < kNy - margin - 2; ++y)
+    for (index x = 0; x < kNx; ++x)
+      EXPECT_NEAR(b.at(x, y), a.at(x, y + 2), 1e-10)
+          << "(" << x << "," << y << ")";
+}
+
+const MethodCase kCases2D[] = {
+    {Method::kAutoVec, Tiling::kNone},
+    {Method::kMultiLoad, Tiling::kNone},
+    {Method::kReorg, Tiling::kNone},
+    {Method::kDlt, Tiling::kNone},
+    {Method::kTranspose, Tiling::kNone},
+    {Method::kTransposeUJ, Tiling::kNone},
+    {Method::kAutoVec, Tiling::kTessellate},
+    {Method::kTranspose, Tiling::kTessellate},
+    {Method::kTransposeUJ, Tiling::kTessellate},
+    {Method::kDlt, Tiling::kSplit},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, Property2D,
+    ::testing::Combine(::testing::ValuesIn(kCases2D),
+                       ::testing::Values<index>(1, 4)),
+    [](const ::testing::TestParamInfo<Params2D>& info) {
+      return case_name(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// 3D property suite.
+// ---------------------------------------------------------------------------
+
+class Property3D : public ::testing::TestWithParam<Params2D> {
+ protected:
+  static constexpr index kNx = 64, kNy = 12, kNz = 10;
+  MethodCase method() const { return std::get<0>(GetParam()); }
+  index steps() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(Property3D, MatchesScalarReferenceStar) {
+  const auto s = make_3d7p(0.4, 0.11, 0.09, 0.1);
+  Grid3D<double> ref(kNx, kNy, kNz, 1), got(kNx, kNy, kNz, 1);
+  auto init = [](index x, index y, index z) {
+    return noise1(x + 17 * y - 5 * z);
+  };
+  ref.fill(init);
+  got.fill(init);
+  reference_run(ref, s, steps());
+  run(got, s, make_options(method(), steps()));
+  EXPECT_LE(max_abs_diff(ref, got), 1e-11);
+}
+
+TEST_P(Property3D, MatchesScalarReferenceBox) {
+  const auto s = make_3d27p(0.11);
+  Grid3D<double> ref(kNx, kNy, kNz, 1), got(kNx, kNy, kNz, 1);
+  auto init = [](index x, index y, index z) {
+    return noise1(2 * x - 3 * y + 11 * z);
+  };
+  ref.fill(init);
+  got.fill(init);
+  reference_run(ref, s, steps());
+  run(got, s, make_options(method(), steps()));
+  EXPECT_LE(max_abs_diff(ref, got), 1e-11);
+}
+
+TEST_P(Property3D, ConstantFixedPoint) {
+  const auto s = make_3d7p(0.4, 0.1, 0.1, 0.1);  // sums to 1
+  Grid3D<double> g(kNx, kNy, kNz, 1);
+  g.fill([](index, index, index) { return -2.25; });
+  run(g, s, make_options(method(), steps()));
+  for (index z = 0; z < kNz; ++z)
+    for (index y = 0; y < kNy; ++y)
+      for (index x = 0; x < kNx; ++x)
+        EXPECT_NEAR(g.at(x, y, z), -2.25, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, Property3D,
+    ::testing::Combine(::testing::ValuesIn(kCases2D),
+                       ::testing::Values<index>(1, 4)),
+    [](const ::testing::TestParamInfo<Params2D>& info) {
+      return case_name(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Tiling-parameter sweep: tiled result must not depend on the blocking.
+// ---------------------------------------------------------------------------
+
+using TileParams = std::tuple<index /*bx*/, index /*bt*/>;
+
+class TilingInvariance : public ::testing::TestWithParam<TileParams> {};
+
+TEST_P(TilingInvariance, ResultIndependentOfBlocking) {
+  const auto [bx, bt] = GetParam();
+  const index nx = 512;
+  const auto s = make_1d3p(0.3);
+  Grid1D<double> ref(nx, 1);
+  ref.fill(noise1);
+  reference_run(ref, s, 12);
+
+  for (Method m : {Method::kTranspose, Method::kTransposeUJ}) {
+    if (m == Method::kTransposeUJ && bt % 2 != 0) continue;
+    Grid1D<double> g(nx, 1);
+    g.fill(noise1);
+    Options o;
+    o.method = m;
+    o.tiling = Tiling::kTessellate;
+    o.isa = best_isa();
+    o.steps = 12;
+    o.bx = bx;
+    o.bt = bt;
+    o.threads = 3;
+    run(g, s, o);
+    EXPECT_LE(max_abs_diff(ref, g), 1e-11)
+        << method_name(m) << " bx=" << bx << " bt=" << bt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, TilingInvariance,
+    ::testing::Combine(::testing::Values<index>(64, 128, 256, 512),
+                       ::testing::Values<index>(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<TileParams>& info) {
+      return "bx" + std::to_string(std::get<0>(info.param)) + "_bt" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tsv

@@ -1,0 +1,255 @@
+// Tests for the SIMD substrate: Vec arithmetic, concat/assemble shifts, and
+// the register-block transpose in all variants and widths.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "tsv/common/aligned.hpp"
+#include "tsv/simd/shift.hpp"
+#include "tsv/simd/transpose.hpp"
+#include "tsv/simd/vec.hpp"
+
+namespace tsv {
+namespace {
+
+template <typename V>
+std::vector<double> lanes(V v) {
+  std::vector<double> out(V::width);
+  for (int i = 0; i < V::width; ++i) out[i] = v[i];
+  return out;
+}
+
+// ---- Vec arithmetic, one test per specialization ---------------------------
+
+template <typename V>
+void check_vec_roundtrip_and_arithmetic() {
+  constexpr int W = V::width;
+  alignas(64) double a[W + 1], b[W], out[W];
+  for (int i = 0; i < W + 1; ++i) a[i] = 1.5 * i + 0.25;
+  for (int i = 0; i < W; ++i) b[i] = -0.5 * i + 2.0;
+  const V va = V::load(a);
+  const V vb = V::load(b);
+
+  (va + vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_DOUBLE_EQ(out[i], a[i] + b[i]);
+  (va - vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_DOUBLE_EQ(out[i], a[i] - b[i]);
+  (va * vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_DOUBLE_EQ(out[i], a[i] * b[i]);
+
+  const V vc = fma(va, vb, V::broadcast(3.0));
+  for (int i = 0; i < W; ++i) EXPECT_NEAR(vc[i], a[i] * b[i] + 3.0, 1e-12);
+
+  // Unaligned load from an offset pointer.
+  const V vu = V::loadu(a + 1);
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(vu[i], a[i + 1]);
+  }
+
+  EXPECT_DOUBLE_EQ(V::zero()[0], 0.0);
+  EXPECT_DOUBLE_EQ(V::broadcast(7.5)[W - 1], 7.5);
+}
+
+TEST(Vec, GenericW2) { check_vec_roundtrip_and_arithmetic<Vec<double, 2>>(); }
+TEST(Vec, GenericFloatW4) {
+  constexpr int W = 4;
+  float a[W] = {1, 2, 3, 4};
+  auto v = Vec<float, W>::load(a);
+  EXPECT_FLOAT_EQ((v + v)[2], 6.0f);
+}
+#if defined(__AVX2__)
+TEST(Vec, Avx2W4) { check_vec_roundtrip_and_arithmetic<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Vec, Avx512W8) { check_vec_roundtrip_and_arithmetic<Vec<double, 8>>(); }
+#endif
+
+// ---- concat_shift / assemble ------------------------------------------------
+
+template <typename V, int S>
+void check_concat_shift() {
+  constexpr int W = V::width;
+  alignas(64) double a[W], b[W];
+  for (int i = 0; i < W; ++i) {
+    a[i] = i + 1.0;
+    b[i] = 100.0 + i;
+  }
+  const V r = concat_shift<S>(V::load(a), V::load(b));
+  for (int i = 0; i < W; ++i) {
+    const double expect = (i + S < W) ? a[i + S] : b[i + S - W];
+    EXPECT_DOUBLE_EQ(r[i], expect) << "S=" << S << " lane " << i;
+  }
+}
+
+template <typename V>
+void check_all_shifts() {
+  constexpr int W = V::width;
+  check_concat_shift<V, 0>();
+  check_concat_shift<V, 1>();
+  if constexpr (W >= 2) check_concat_shift<V, 2>();
+  if constexpr (W >= 3) check_concat_shift<V, 3>();
+  if constexpr (W >= 4) check_concat_shift<V, 4>();
+  if constexpr (W >= 5) check_concat_shift<V, 5>();
+  if constexpr (W >= 6) check_concat_shift<V, 6>();
+  if constexpr (W >= 7) check_concat_shift<V, 7>();
+  if constexpr (W >= 8) check_concat_shift<V, 8>();
+}
+
+TEST(ConcatShift, GenericW4) { check_all_shifts<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(ConcatShift, Avx2) { check_all_shifts<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(ConcatShift, Avx512) { check_all_shifts<Vec<double, 8>>(); }
+#endif
+
+template <typename V>
+void check_assemble() {
+  constexpr int W = V::width;
+  using T = typename V::value_type;
+  alignas(64) T prev[W], cur[W], next[W];
+  for (int i = 0; i < W; ++i) {
+    prev[i] = 10.0 + i;
+    cur[i] = 20.0 + i;
+    next[i] = 30.0 + i;
+  }
+  // Paper Fig. 3: left dependent vector = (prev[W-1], cur[0..W-2]).
+  const V left = assemble_left(V::load(prev), V::load(cur));
+  EXPECT_DOUBLE_EQ(left[0], prev[W - 1]);
+  for (int i = 1; i < W; ++i) EXPECT_DOUBLE_EQ(left[i], cur[i - 1]);
+
+  // Right dependent vector = (cur[1..W-1], next[0]).
+  const V right = assemble_right(V::load(cur), V::load(next));
+  for (int i = 0; i + 1 < W; ++i) EXPECT_DOUBLE_EQ(right[i], cur[i + 1]);
+  EXPECT_DOUBLE_EQ(right[W - 1], next[0]);
+
+  // Only one lane of the partner is consumed -> broadcasts are legal stand-ins.
+  const V left_b = assemble_left(V::broadcast(prev[W - 1]), V::load(cur));
+  const V right_b = assemble_right(V::load(cur), V::broadcast(next[0]));
+  EXPECT_EQ(lanes(left), lanes(left_b));
+  EXPECT_EQ(lanes(right), lanes(right_b));
+}
+
+TEST(Assemble, GenericW2) { check_assemble<Vec<double, 2>>(); }
+TEST(Assemble, GenericW8) { check_assemble<Vec<float, 8>>(); }
+#if defined(__AVX2__)
+TEST(Assemble, Avx2) { check_assemble<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Assemble, Avx512) { check_assemble<Vec<double, 8>>(); }
+#endif
+
+TEST(ConcatShift, RuntimeDispatchMatchesStatic) {
+  using V = Vec<double, 2>;
+  double a[2] = {1, 2}, b[2] = {3, 4};
+  for (int s = 0; s <= 2; ++s) {
+    const V r = concat_shift_rt(V::load(a), V::load(b), s);
+    for (int i = 0; i < 2; ++i) {
+      const double expect = (i + s < 2) ? a[i + s] : b[i + s - 2];
+      EXPECT_DOUBLE_EQ(r[i], expect);
+    }
+  }
+}
+
+// ---- masked stores -----------------------------------------------------------
+
+template <typename V>
+void check_store_mask() {
+  constexpr int W = V::width;
+  alignas(64) double src[W], dst[W];
+  for (int i = 0; i < W; ++i) {
+    src[i] = 10.0 + i;
+    dst[i] = -1.0;
+  }
+  const V v = V::load(src);
+  // Every mask in range for small W; a spread of masks for W = 8.
+  const unsigned all = (W >= 32) ? 0xffffffffu : ((1u << W) - 1);
+  for (unsigned mask : {0u, 1u, all, all & 0xAAu, all & 0x7u}) {
+    for (int i = 0; i < W; ++i) dst[i] = -1.0;
+    v.store_mask(dst, mask);
+    for (int i = 0; i < W; ++i)
+      EXPECT_DOUBLE_EQ(dst[i], (mask & (1u << i)) ? src[i] : -1.0)
+          << "mask=" << mask << " lane " << i;
+  }
+}
+
+TEST(StoreMask, GenericW2) { check_store_mask<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(StoreMask, Avx2) { check_store_mask<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(StoreMask, Avx512) { check_store_mask<Vec<double, 8>>(); }
+#endif
+
+// ---- transpose --------------------------------------------------------------
+
+template <typename V, bool kBaseline>
+void check_transpose() {
+  constexpr int W = V::width;
+  alignas(64) double m[W][W];
+  for (int i = 0; i < W; ++i)
+    for (int j = 0; j < W; ++j) m[i][j] = 10.0 * i + j;
+
+  V v[W];
+  for (int i = 0; i < W; ++i) v[i] = V::load(m[i]);
+  if constexpr (kBaseline)
+    transpose_baseline(v);
+  else
+    transpose(v);
+  for (int j = 0; j < W; ++j)
+    for (int i = 0; i < W; ++i)
+      EXPECT_DOUBLE_EQ(v[j][i], m[i][j]) << "out[" << j << "][" << i << "]";
+}
+
+TEST(Transpose, GenericW2) { check_transpose<Vec<double, 2>, false>(); }
+TEST(Transpose, GenericW3) { check_transpose<Vec<double, 3>, false>(); }
+#if defined(__AVX2__)
+TEST(Transpose, Avx2Improved) { check_transpose<Vec<double, 4>, false>(); }
+TEST(Transpose, Avx2Baseline) { check_transpose<Vec<double, 4>, true>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Transpose, Avx512Improved) { check_transpose<Vec<double, 8>, false>(); }
+TEST(Transpose, Avx512Baseline) { check_transpose<Vec<double, 8>, true>(); }
+#endif
+
+template <typename T, int W>
+void check_block_roundtrip() {
+  AlignedBuffer<T> buf(W * W);
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  for (auto& x : buf) x = static_cast<T>(dist(rng));
+  AlignedBuffer<T> orig = buf;
+
+  transpose_block_inplace<T, W>(buf.data());
+  // Element (i, j) must now live at position j*W + i.
+  for (int i = 0; i < W; ++i)
+    for (int j = 0; j < W; ++j)
+      EXPECT_EQ(buf[j * W + i], orig[i * W + j]);
+
+  // Transpose is an involution.
+  transpose_block_inplace<T, W>(buf.data());
+  for (index i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], orig[i]);
+}
+
+TEST(TransposeBlock, InplaceRoundtripW2) { check_block_roundtrip<double, 2>(); }
+#if defined(__AVX2__)
+TEST(TransposeBlock, InplaceRoundtripW4) { check_block_roundtrip<double, 4>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(TransposeBlock, InplaceRoundtripW8) { check_block_roundtrip<double, 8>(); }
+#endif
+
+TEST(TransposeBlock, CopyMatchesInplace) {
+  constexpr int W = 4;
+  AlignedBuffer<double> src(W * W), dst(W * W), ref(W * W);
+  for (index i = 0; i < src.size(); ++i) src[i] = static_cast<double>(i * i);
+  ref = src;
+  transpose_block_inplace<double, W>(ref.data());
+  transpose_block<double, W>(src.data(), dst.data());
+  for (index i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], ref[i]);
+}
+
+}  // namespace
+}  // namespace tsv

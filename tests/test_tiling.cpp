@@ -1,0 +1,352 @@
+// Tiling correctness: tessellation (all stages, all methods) must be
+// bit-equivalent in shape to the untiled schedule — we verify against the
+// scalar reference over exhaustive small configurations, which exercises
+// every triangle/inverted-triangle/seam/boundary combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tiling/tiled.hpp"
+
+namespace tsv {
+namespace {
+
+constexpr double kTol = 1e-11;
+
+double f1(index x) { return std::sin(0.037 * x) + 0.01 * x; }
+double f2(index x, index y) { return std::sin(0.037 * x + 0.11 * y) - 0.002 * y; }
+double f3(index x, index y, index z) {
+  return std::sin(0.037 * x + 0.11 * y - 0.05 * z) + 0.001 * (x - z);
+}
+
+template <int R, typename Fn>
+void check_1d(index nx, index steps, const Stencil1D<R>& s, Fn&& fn,
+              const char* what) {
+  Grid1D<double> ref(nx, R), got(nx, R);
+  ref.fill(f1);
+  got.fill(f1);
+  reference_run(ref, s, steps);
+  fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol)
+      << what << " nx=" << nx << " T=" << steps;
+}
+
+// ---- 1D exhaustive sweeps ----------------------------------------------------
+
+TEST(Tess1D, AutovecAllConfigs) {
+  const auto s = make_1d3p(0.32);
+  for (index nx : {32, 48, 97})
+    for (index bx : {16, 32})
+      for (index bt : {1, 2, 3, 4})
+        for (index steps : {0, 1, 3, 6, 7}) {
+          if (tile_count(nx, bx) > 1 && bx < 2 * 1 * bt) continue;
+          check_1d(nx, steps, s,
+                   [&](auto& g, auto& st, index t) {
+                     tess_autovec_run(g, st, t, bx, bt);
+                   },
+                   "tess-autovec");
+        }
+}
+
+TEST(Tess1D, AutovecRadius2) {
+  const auto s = make_1d5p(0.05, 0.2, 0.5);
+  for (index bx : {24, 48})
+    for (index bt : {2, 4})
+      for (index steps : {3, 8}) {
+        if (24 < 2 * 2 * bt && bx == 24) continue;
+        check_1d(96, steps, s,
+                 [&](auto& g, auto& st, index t) {
+                   tess_autovec_run(g, st, t, bx, bt);
+                 },
+                 "tess-autovec-r2");
+      }
+}
+
+template <typename V>
+void transpose_tiled_1d_sweep() {
+  constexpr int W = V::width;
+  const auto s = make_1d3p(0.29);
+  const index nx = 8 * W * W;
+  for (index bx : {2 * W * W, 4 * W * W})
+    for (index bt : {1, 2, 4})
+      for (index steps : {0, 1, 4, 7}) {
+        if (bx < 2 * bt) continue;
+        check_1d(nx, steps, s,
+                 [&](auto& g, auto& st, index t) {
+                   tess_transpose_run<V>(g, st, t, bx, bt);
+                 },
+                 "tess-transpose");
+      }
+  // Radius-2 stencil, tile edges cut through vector sets.
+  const auto s5 = make_1d5p(0.06, 0.2, 0.44);
+  for (index steps : {2, 5})
+    check_1d(nx, steps, s5,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_run<V>(g, st, t, 2 * W * W, 2);
+             },
+             "tess-transpose-r2");
+}
+
+TEST(Tess1D, TransposeW2) { transpose_tiled_1d_sweep<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Tess1D, TransposeAvx2) { transpose_tiled_1d_sweep<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Tess1D, TransposeAvx512) { transpose_tiled_1d_sweep<Vec<double, 8>>(); }
+#endif
+
+template <typename V>
+void uj2_tiled_1d_sweep() {
+  constexpr int W = V::width;
+  const auto s = make_1d3p(0.27);
+  const index nx = 8 * W * W;
+  for (index bx : {2 * W * W, 4 * W * W})
+    for (index bt : {2, 4})
+      for (index steps : {0, 2, 4, 6, 7, 9}) {  // odd tails included
+        if (bx < 2 * bt) continue;
+        check_1d(nx, steps, s,
+                 [&](auto& g, auto& st, index t) {
+                   tess_transpose_uj2_run<V>(g, st, t, bx, bt);
+                 },
+                 "tess-uj2");
+      }
+  const auto s5 = make_1d5p(0.05, 0.22, 0.4);
+  for (index steps : {4, 5})
+    check_1d(nx, steps, s5,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_uj2_run<V>(g, st, t, 4 * W * W, 2);
+             },
+             "tess-uj2-r2");
+}
+
+TEST(Tess1D, Uj2W2) { uj2_tiled_1d_sweep<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Tess1D, Uj2Avx2) { uj2_tiled_1d_sweep<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Tess1D, Uj2Avx512) { uj2_tiled_1d_sweep<Vec<double, 8>>(); }
+#endif
+
+template <typename V>
+void sdsl_1d_sweep() {
+  constexpr int W = V::width;
+  const auto s = make_1d3p(0.3);
+  const index nx = 64 * W;  // L = 64 columns
+  for (index bi : {16, 32})
+    for (index bt : {2, 4})
+      for (index steps : {0, 1, 4, 9}) {
+        if (bi < 2 * bt) continue;
+        check_1d(nx, steps, s,
+                 [&](auto& g, auto& st, index t) {
+                   sdsl_run<V>(g, st, t, bi, bt);
+                 },
+                 "sdsl");
+      }
+  const auto s5 = make_1d5p(0.07, 0.2, 0.42);
+  check_1d(nx, 6, s5,
+           [&](auto& g, auto& st, index t) { sdsl_run<V>(g, st, t, 16, 2); },
+           "sdsl-r2");
+}
+
+TEST(Split1D, SdslW2) { sdsl_1d_sweep<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Split1D, SdslAvx2) { sdsl_1d_sweep<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Split1D, SdslAvx512) { sdsl_1d_sweep<Vec<double, 8>>(); }
+#endif
+
+TEST(Tess1D, MultiloadAndReorgTiled) {
+  const auto s = make_1d3p(0.26);
+  using V = Vec<double, 2>;
+  for (index steps : {3, 6}) {
+    check_1d(96, steps, s,
+             [&](auto& g, auto& st, index t) {
+               tess_multiload_run<V>(g, st, t, 32, 3);
+             },
+             "tess-multiload");
+    check_1d(96, steps, s,
+             [&](auto& g, auto& st, index t) {
+               tess_reorg_run<V>(g, st, t, 32, 3);
+             },
+             "tess-reorg");
+  }
+}
+
+TEST(Split1D, RaggedLastTileIsSafe) {
+  // Regression: a ragged last tile smaller than 2*r*bt used to let the
+  // inverted seam overrun the domain (heap overflow) and overlap the wrap
+  // seam. The driver must clamp the temporal range and stay correct.
+  using V = Vec<double, 2>;
+  const auto s = make_1d3p(0.3);
+  // L = 123 columns, bi = 32 -> last tile 27 < 2*1*16.
+  const index nx = 2 * 123;
+  for (index bt : {4, 16, 64})
+    check_1d(nx, 9, s,
+             [&](auto& g, auto& st, index t) { sdsl_run<V>(g, st, t, 32, bt); },
+             "sdsl-ragged");
+}
+
+TEST(Tess1D, RaggedLastTileIsSafe) {
+  const auto s = make_1d3p(0.28);
+  for (index nx : {70, 100})
+    for (index bt : {2, 4})
+      check_1d(nx, 7, s,
+               [&](auto& g, auto& st, index t) {
+                 tess_autovec_run(g, st, t, 32, bt);
+               },
+               "tess-ragged");
+}
+
+TEST(Tess1D, RejectsBadBlocking) {
+  const auto s = make_1d3p();
+  Grid1D<double> g(64, 1);
+  g.fill(f1);
+  // Multiple tiles with bx < 2*r*bt must be rejected.
+  EXPECT_THROW(tess_autovec_run(g, s, 4, 8, 8), std::invalid_argument);
+  // Odd bt for the pair scheme must be rejected.
+  EXPECT_THROW((tess_transpose_uj2_run<Vec<double, 2>>(g, s, 4, 16, 3)),
+               std::invalid_argument);
+}
+
+// ---- 2D ----------------------------------------------------------------------
+
+template <int R, int NR, typename Fn>
+void check_2d(index nx, index ny, index steps, const Stencil2D<R, NR>& s,
+              Fn&& fn, const char* what) {
+  Grid2D<double> ref(nx, ny, R), got(nx, ny, R);
+  ref.fill(f2);
+  got.fill(f2);
+  reference_run(ref, s, steps);
+  fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol)
+      << what << " " << nx << "x" << ny << " T=" << steps;
+}
+
+TEST(Tess2D, AutovecConfigs) {
+  const auto s = make_2d5p(0.45, 0.14, 0.13);
+  for (index bx : {16, 32})
+    for (index by : {8, 16})
+      for (index bt : {2, 4})
+        for (index steps : {0, 3, 7}) {
+          if (bx < 2 * bt || by < 2 * bt) continue;
+          check_2d(32, 24, steps, s,
+                   [&](auto& g, auto& st, index t) {
+                     tess_autovec_run(g, st, t, bx, by, bt);
+                   },
+                   "tess2d-autovec");
+        }
+}
+
+TEST(Tess2D, AutovecBox) {
+  const auto s = make_2d9p(0.21, 0.1, 0.07);
+  check_2d(32, 24, 6, s,
+           [&](auto& g, auto& st, index t) {
+             tess_autovec_run(g, st, t, 16, 12, 3);
+           },
+           "tess2d-autovec-box");
+}
+
+template <typename V>
+void tess2d_transpose_sweep() {
+  constexpr int W = V::width;
+  const auto s5 = make_2d5p(0.44, 0.15, 0.12);
+  const auto s9 = make_2d9p(0.19, 0.11, 0.06);
+  const index nx = 4 * W * W;
+  for (index steps : {0, 3, 6}) {
+    check_2d(nx, 24, steps, s5,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_run<V>(g, st, t, 2 * W * W, 12, 3);
+             },
+             "tess2d-transpose");
+    check_2d(nx, 24, steps, s9,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_run<V>(g, st, t, 2 * W * W, 12, 3);
+             },
+             "tess2d-transpose-box");
+    check_2d(nx, 24, steps, s5,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_uj2_run<V>(g, st, t, 2 * W * W, 12, 2);
+             },
+             "tess2d-uj2");
+    check_2d(nx, 24, steps, s9,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_uj2_run<V>(g, st, t, 2 * W * W, 12, 2);
+             },
+             "tess2d-uj2-box");
+    check_2d(nx, 24, steps, s5,
+             [&](auto& g, auto& st, index t) { sdsl_run<V>(g, st, t, 12, 3); },
+             "sdsl2d");
+  }
+}
+
+TEST(Tess2D, TransposeW2) { tess2d_transpose_sweep<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Tess2D, TransposeAvx2) { tess2d_transpose_sweep<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Tess2D, TransposeAvx512) { tess2d_transpose_sweep<Vec<double, 8>>(); }
+#endif
+
+// ---- 3D ----------------------------------------------------------------------
+
+template <int R, int NR, typename Fn>
+void check_3d(index nx, index ny, index nz, index steps,
+              const Stencil3D<R, NR>& s, Fn&& fn, const char* what) {
+  Grid3D<double> ref(nx, ny, nz, R), got(nx, ny, nz, R);
+  ref.fill(f3);
+  got.fill(f3);
+  reference_run(ref, s, steps);
+  fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), kTol)
+      << what << " " << nx << "x" << ny << "x" << nz << " T=" << steps;
+}
+
+TEST(Tess3D, Autovec) {
+  const auto s = make_3d7p(0.4, 0.1, 0.11, 0.09);
+  check_3d(24, 16, 16, 5, s,
+           [&](auto& g, auto& st, index t) {
+             tess_autovec_run(g, st, t, 12, 8, 8, 2);
+           },
+           "tess3d-autovec");
+}
+
+template <typename V>
+void tess3d_transpose_sweep() {
+  constexpr int W = V::width;
+  const auto s7 = make_3d7p(0.41, 0.09, 0.1, 0.12);
+  const auto s27 = make_3d27p(0.12);
+  const index nx = 2 * W * W;
+  for (index steps : {0, 3, 6}) {
+    check_3d(nx, 16, 16, steps, s7,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_run<V>(g, st, t, W * W, 8, 8, 2);
+             },
+             "tess3d-transpose");
+    check_3d(nx, 16, 16, steps, s7,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_uj2_run<V>(g, st, t, W * W, 8, 8, 2);
+             },
+             "tess3d-uj2");
+    check_3d(nx, 16, 16, steps, s27,
+             [&](auto& g, auto& st, index t) {
+               tess_transpose_uj2_run<V>(g, st, t, W * W, 8, 8, 2);
+             },
+             "tess3d-uj2-box");
+    check_3d(nx, 16, 16, steps, s7,
+             [&](auto& g, auto& st, index t) { sdsl_run<V>(g, st, t, 8, 2); },
+             "sdsl3d");
+  }
+}
+
+TEST(Tess3D, TransposeW2) { tess3d_transpose_sweep<Vec<double, 2>>(); }
+#if defined(__AVX2__)
+TEST(Tess3D, TransposeAvx2) { tess3d_transpose_sweep<Vec<double, 4>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(Tess3D, TransposeAvx512) { tess3d_transpose_sweep<Vec<double, 8>>(); }
+#endif
+
+}  // namespace
+}  // namespace tsv
