@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   const int maxc = cfg.threads;
   CsvSink csv(cfg.csv_path, "table,stencil,isa,method,metric,value");
 
-  for (tsv::Isa isa : {tsv::Isa::kAvx2, tsv::Isa::kAvx512}) {
-    if (!tsv::isa_supported(isa)) continue;
+  // Registry-enumerated: every vector ISA this binary can actually run.
+  for (tsv::Isa isa : tsv::runnable_isas()) {
+    if (isa == tsv::Isa::kScalar) continue;  // the paper compares vector ISAs
     const char* base_name = (isa == tsv::Isa::kAvx2) ? "SDSL" : "Tessellation";
     const int base_idx = (isa == tsv::Isa::kAvx2) ? 0 : 1;
     std::printf("[%s] speedup over %s at %d cores / scaling vs 1 core\n",

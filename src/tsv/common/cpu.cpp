@@ -76,6 +76,7 @@ const char* isa_name(Isa isa) {
     case Isa::kScalar: return "scalar";
     case Isa::kAvx2: return "avx2";
     case Isa::kAvx512: return "avx512";
+    case Isa::kAuto: return "auto";
   }
   return "?";
 }
@@ -85,8 +86,19 @@ index isa_width(Isa isa) {
     case Isa::kScalar: return 1;
     case Isa::kAvx2: return 4;
     case Isa::kAvx512: return 8;
+    case Isa::kAuto: return isa_width(best_isa());
   }
   return 1;
+}
+
+index kernel_width(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512: return 8;
+    case Isa::kAvx2: return 4;
+    case Isa::kScalar: return 2;  // generic width-2 kernels
+    case Isa::kAuto: return kernel_width(best_isa());
+  }
+  return 2;
 }
 
 const CpuInfo& cpu_info() {
@@ -96,8 +108,8 @@ const CpuInfo& cpu_info() {
 
 Isa best_isa() {
   const CpuInfo& info = cpu_info();
-  if (info.has_avx512f) return Isa::kAvx512;
-  if (info.has_avx2) return Isa::kAvx2;
+  if (info.has_avx512f && isa_compiled(Isa::kAvx512)) return Isa::kAvx512;
+  if (info.has_avx2 && isa_compiled(Isa::kAvx2)) return Isa::kAvx2;
   return Isa::kScalar;
 }
 
@@ -106,8 +118,23 @@ bool isa_supported(Isa isa) {
     case Isa::kScalar: return true;
     case Isa::kAvx2: return cpu_info().has_avx2;
     case Isa::kAvx512: return cpu_info().has_avx512f;
+    case Isa::kAuto: return true;
   }
   return false;
+}
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+#if defined(__AVX2__)
+    case Isa::kAvx2: return true;
+#endif
+#if defined(__AVX512F__)
+    case Isa::kAvx512: return true;
+#endif
+    case Isa::kAuto: return true;
+    default: return false;
+  }
 }
 
 }  // namespace tsv

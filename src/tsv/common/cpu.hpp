@@ -17,13 +17,20 @@ enum class Isa {
   kScalar,  ///< generic C++ (compiler may still auto-vectorize)
   kAvx2,    ///< 256-bit vectors, 4 doubles
   kAvx512,  ///< 512-bit vectors, 8 doubles
+  kAuto,    ///< resolve to best_isa() at plan creation (Options default)
 };
 
-/// Human-readable name ("scalar", "avx2", "avx512").
+/// Human-readable name ("scalar", "avx2", "avx512", "auto").
 const char* isa_name(Isa isa);
 
-/// Vector length in doubles for @p isa (1, 4 or 8).
+/// Vector length in doubles for @p isa (1, 4 or 8; kAuto reports the width
+/// best_isa() would resolve to).
 index isa_width(Isa isa);
+
+/// Vector width of the KERNELS the planner binds for @p isa (2, 4 or 8):
+/// the scalar ISA still runs the width-2 generic kernels, so layout rules
+/// (nx % W, nx % W^2) use this width, not isa_width().
+index kernel_width(Isa isa);
 
 struct CpuInfo {
   bool has_avx2 = false;
@@ -38,10 +45,17 @@ struct CpuInfo {
 /// Queries CPUID + sysfs once and caches the result.
 const CpuInfo& cpu_info();
 
-/// Widest ISA supported by this machine.
+/// Widest ISA both compiled into this binary and supported by this machine.
 Isa best_isa();
 
 /// True when kernels specialized for @p isa can run on this machine.
+/// kAuto is always supported (it resolves to best_isa()).
 bool isa_supported(Isa isa);
+
+/// True when kernels for @p isa were compiled into this binary (i.e. the
+/// translation units were built with the matching -m/-march flags). kAuto
+/// is always compiled; best_isa() only ever resolves to compiled ISAs it
+/// can run.
+bool isa_compiled(Isa isa);
 
 }  // namespace tsv

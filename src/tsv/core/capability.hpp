@@ -1,0 +1,79 @@
+#pragma once
+// Capability descriptors and the structured configuration error.
+//
+// A Capability row describes one (vectorization method x tiling framework)
+// combination the library implements: which grid ranks it covers, which
+// divisibility rule its data layout imposes on the unit-stride extent, and
+// any blocking constraints. The rows live in one table (core/registry.cpp);
+// plan creation (core/plan.hpp) validates against that table, so adding a
+// method or tiling means adding a registry row plus one dispatch-table
+// entry — never another per-rank switch.
+
+#include <stdexcept>
+#include <string>
+
+#include "tsv/common/cpu.hpp"
+#include "tsv/core/options.hpp"
+
+namespace tsv {
+
+/// Divisibility rule a method's data layout imposes on nx (the unit-stride
+/// interior extent), in terms of the kernel vector width W.
+enum class XRule {
+  kNone,     ///< any nx
+  kWidth,    ///< nx % W == 0 (DLT dimension-lifting)
+  kWidth2,   ///< nx % W^2 == 0 (register-block transpose layout)
+};
+
+/// One supported (method, tiling) combination.
+struct Capability {
+  Method method;
+  Tiling tiling;
+  unsigned rank_mask;   ///< bit (r-1) set when grid rank r is supported
+  XRule x_rule;         ///< layout divisibility constraint on nx
+  bool needs_even_bt;   ///< temporal block must be even (2-step unroll&jam)
+  const char* note;     ///< one-line description for docs/CLI listings
+
+  bool supports_rank(int rank) const {
+    return rank >= 1 && rank <= 3 && (rank_mask & (1u << (rank - 1))) != 0;
+  }
+};
+
+/// Structured configuration error thrown at plan creation (and for shape
+/// mismatches at execute). Derives from std::invalid_argument so call sites
+/// written against the seed's stringly-typed throws keep working.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(Method method, Tiling tiling, int rank, std::string reason)
+      : std::invalid_argument(format(method, tiling, rank, reason)),
+        method_(method),
+        tiling_(tiling),
+        rank_(rank),
+        reason_(std::move(reason)) {}
+
+  Method method() const { return method_; }
+  Tiling tiling() const { return tiling_; }
+  int rank() const { return rank_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  static std::string format(Method m, Tiling t, int rank,
+                            const std::string& reason) {
+    std::string s = "tsv: invalid configuration (method=";
+    s += method_name(m);
+    s += ", tiling=";
+    s += tiling_name(t);
+    s += ", rank=";
+    s += std::to_string(rank);
+    s += "): ";
+    s += reason;
+    return s;
+  }
+
+  Method method_;
+  Tiling tiling_;
+  int rank_;
+  std::string reason_;
+};
+
+}  // namespace tsv

@@ -27,17 +27,19 @@ enum class Tiling {
   kSplit,       ///< split tiling over DLT layout (SDSL baseline)
 };
 
+/// Stable human-readable names ("transpose", "tessellate", ...). Defined in
+/// core/registry.cpp; registry.hpp adds the name -> enum inverses.
 const char* method_name(Method m);
 const char* tiling_name(Tiling t);
 
 struct Options {
   Method method = Method::kTranspose;
   Tiling tiling = Tiling::kNone;
-  Isa isa = Isa::kAvx512;   ///< vector width; checked against the host
+  Isa isa = Isa::kAuto;     ///< kAuto resolves to best_isa() at plan time
   index steps = 1;          ///< time steps T
-  index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (tiled runs)
-  index bt = 0;             ///< temporal block (time range per tile round)
-  int threads = 0;          ///< OpenMP threads; 0 = library default
+  index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (0 = plan default)
+  index bt = 0;             ///< temporal block (0 = plan default)
+  int threads = 0;          ///< OpenMP threads; 0 = runtime default
 };
 
 }  // namespace tsv

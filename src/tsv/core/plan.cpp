@@ -1,0 +1,186 @@
+#include "tsv/core/plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace tsv {
+
+namespace {
+
+// Default temporal block for tiled runs when Options::bt is 0. Small enough
+// that the matching default spatial blocks stay legal on modest grids.
+constexpr index kDefaultBt = 4;
+
+// Default x block target when Options::bx is 0 (tessellate): a few thousand
+// elements keeps a tile's working set in L1/L2 while amortizing tile
+// overheads; clamped up to the tiling legality bound and down to the domain.
+constexpr index kDefaultBxTarget = 4096;
+
+std::string isa_err(const char* what, Isa isa) {
+  std::string s = "ISA ";
+  s += isa_name(isa);
+  s += what;
+  return s;
+}
+
+}  // namespace
+
+ResolvedOptions resolve_options(const Shape& shape, int radius,
+                                const Options& o) {
+  const int rank = shape.rank;
+  auto fail = [&](const std::string& reason) -> void {
+    throw ConfigError(o.method, o.tiling, rank, reason);
+  };
+
+  if (rank < 1 || rank > 3) fail("shape rank must be 1, 2 or 3");
+  if (shape.nx <= 0 || shape.ny <= 0 || shape.nz <= 0)
+    fail("shape extents must be positive");
+  if (o.steps < 0) fail("steps must be >= 0");
+  if (shape.halo < radius)
+    fail("grid halo " + std::to_string(shape.halo) +
+         " is smaller than the stencil radius " + std::to_string(radius));
+
+  ResolvedOptions r;
+  r.method = o.method;
+  r.tiling = o.tiling;
+  r.steps = o.steps;
+  // Threads resolve to a concrete team size: untiled sweeps are
+  // single-threaded by design; tiled runs default to the OpenMP runtime's
+  // initial team size (captured once, so it respects OMP_NUM_THREADS and is
+  // immune to thread counts set by earlier plan executions).
+  static const int runtime_default_threads = omp_get_max_threads();
+  r.threads = o.threads > 0 ? o.threads
+              : o.tiling == Tiling::kNone ? 1
+                                          : runtime_default_threads;
+
+  // ISA: kAuto resolves to the widest compiled+supported ISA.
+  r.isa = (o.isa == Isa::kAuto) ? best_isa() : o.isa;
+  if (!isa_compiled(r.isa)) fail(isa_err(" not compiled into this binary", r.isa));
+  if (!isa_supported(r.isa)) fail(isa_err(" not supported on this machine", r.isa));
+  r.width = kernel_width(r.isa);
+
+  // Registry validation: is (method, tiling) implemented at this rank?
+  const Capability* cap = find_capability(o.method, o.tiling);
+  if (cap == nullptr) {
+    if (o.tiling == Tiling::kSplit)
+      fail("split tiling is defined over the DLT layout (method dlt)");
+    if (o.tiling == Tiling::kTessellate)
+      fail("tessellate tiling does not support this method");
+    fail("method/tiling combination is not implemented");
+  }
+  if (!cap->supports_rank(rank))
+    fail(std::string("not implemented for rank ") + std::to_string(rank));
+
+  // Layout divisibility rules, checked against the planned shape.
+  switch (cap->x_rule) {
+    case XRule::kNone: break;
+    case XRule::kWidth:
+      if (shape.nx % r.width != 0)
+        fail("DLT layout requires nx % W == 0 (nx=" + std::to_string(shape.nx) +
+             ", W=" + std::to_string(r.width) + ")");
+      break;
+    case XRule::kWidth2:
+      if (shape.nx % (r.width * r.width) != 0)
+        fail("transpose layout requires nx % W^2 == 0 (nx=" +
+             std::to_string(shape.nx) +
+             ", W^2=" + std::to_string(r.width * r.width) + ")");
+      break;
+  }
+
+  if (o.tiling == Tiling::kNone) return r;  // blocks stay zero
+
+  // ---- resolved-blocking rule (tiled runs) --------------------------------
+  // bt: temporal block, defaulting to kDefaultBt; the 2-step unroll&jam
+  // scheme tessellates at pair granularity and needs an even bt.
+  r.bt = o.bt > 0 ? o.bt : kDefaultBt;
+  if (cap->needs_even_bt && r.bt % 2 != 0)
+    fail("2-step unroll&jam tiling needs an even temporal block bt (got " +
+         std::to_string(r.bt) + ")");
+
+  if (o.tiling == Tiling::kTessellate) {
+    // Tile slope and time range as the engines will see them: ordinary
+    // methods advance single steps (slope = r, tau = bt); the 2-step scheme
+    // advances pairs (slope = 2r, tau = bt/2) whenever it has >= 1 pair.
+    index slope = radius, tau = r.bt;
+    if (cap->needs_even_bt) {
+      if (r.steps >= 2) {
+        slope = 2 * radius;
+        tau = std::max<index>(1, r.bt / 2);
+      } else {
+        tau = 1;  // odd tail only: one ordinary tiled step
+      }
+    }
+    const index min_block = 2 * slope * tau;
+
+    // Per-axis blocks: x defaults to a cache-friendly target, y/z default to
+    // the full extent (one tile). A multi-tile axis must keep shrinking
+    // triangles from inverting: block >= 2 * slope * tau.
+    r.bx = o.bx > 0 ? o.bx
+                    : std::min(shape.nx, std::max(min_block, kDefaultBxTarget));
+    r.by = rank >= 2 ? (o.by > 0 ? o.by : shape.ny) : 0;
+    r.bz = rank >= 3 ? (o.bz > 0 ? o.bz : shape.nz) : 0;
+
+    const struct {
+      const char* name;
+      index n, blk;
+    } axes[] = {{"x", shape.nx, r.bx}, {"y", shape.ny, r.by},
+                {"z", shape.nz, r.bz}};
+    for (int a = 0; a < rank; ++a) {
+      if (axes[a].blk <= 0)
+        fail(std::string("tessellate tiling needs a positive block in ") +
+             axes[a].name);
+      if (tile_count(axes[a].n, axes[a].blk) > 1 && axes[a].blk < min_block)
+        fail(std::string("block ") + std::to_string(axes[a].blk) + " in " +
+             axes[a].name + " must be >= 2*slope*tau = " +
+             std::to_string(min_block) +
+             " (shrinking triangles must not invert)");
+    }
+    return r;
+  }
+
+  // Split tiling blocks exactly one axis — the outermost one: DLT columns in
+  // 1D, rows in 2D, planes in 3D. One rule across ranks: the block comes
+  // from that axis's own option field, falls back to bx, then to the full
+  // extent; the 1D block is given in ELEMENTS and resolved to columns
+  // (elements / W). This replaces the seed's three ad-hoc interpretations.
+  switch (rank) {
+    case 1: {
+      const index elems = o.bx > 0 ? o.bx : shape.nx;
+      r.split_block = std::max<index>(1, elems / r.width);
+      break;
+    }
+    case 2:
+      r.split_block = o.by > 0 ? o.by : (o.bx > 0 ? o.bx : shape.ny);
+      break;
+    default:
+      r.split_block = o.bz > 0 ? o.bz : (o.bx > 0 ? o.bx : shape.nz);
+      break;
+  }
+  r.split_block = std::max<index>(1, r.split_block);
+  return r;
+}
+
+Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
+  Plan p;
+  p.shape_ = shape;
+  auto bind = [&](auto stencil) {
+    auto typed = make_plan(shape, stencil, o);
+    p.cfg_ = typed.config();
+    using G = detail::grid_for_t<decltype(stencil)>;
+    auto fn = [typed = std::move(typed)](G& g) { typed.execute(g); };
+    if constexpr (detail::grid_rank<G> == 1) p.f1_ = std::move(fn);
+    else if constexpr (detail::grid_rank<G> == 2) p.f2_ = std::move(fn);
+    else p.f3_ = std::move(fn);
+  };
+  switch (kind) {
+    case StencilKind::k1d3p: bind(make_1d3p()); break;
+    case StencilKind::k1d5p: bind(make_1d5p()); break;
+    case StencilKind::k2d5p: bind(make_2d5p()); break;
+    case StencilKind::k2d9p: bind(make_2d9p()); break;
+    case StencilKind::k3d7p: bind(make_3d7p()); break;
+    case StencilKind::k3d27p: bind(make_3d27p()); break;
+  }
+  return p;
+}
+
+}  // namespace tsv

@@ -1,0 +1,375 @@
+#pragma once
+// Executable plans: configure once, execute many.
+//
+//   auto plan = tsv::make_plan(tsv::shape_of(grid), stencil,
+//                              {.method = tsv::Method::kTransposeUJ,
+//                               .tiling = tsv::Tiling::kTessellate,
+//                               .steps = 1000, .bx = 256, .by = 128,
+//                               .bt = 32});
+//   plan.execute(grid);   // repeatable; no re-validation, no re-dispatch
+//
+// make_plan validates the configuration ONCE against the capability
+// registry (core/registry.hpp), resolves ISA / threads / block sizes to
+// concrete values (Options fields left at 0 / kAuto get sane defaults), and
+// binds the kernel through a rank-generic dispatch table. Invalid
+// configurations throw tsv::ConfigError at plan time — never from deep
+// inside a kernel. Plan::execute then only checks that the grid matches the
+// planned shape and jumps through the resolved function pointer.
+//
+// The dispatch table below is the ONLY place that maps (method, tiling) to
+// kernels; it is written once, generically over grid rank, replacing the
+// seed's three hand-written per-rank switch pyramids.
+
+#include <omp.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tsv/core/problems.hpp"
+#include "tsv/core/registry.hpp"
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tiling/tiled.hpp"
+
+namespace tsv {
+
+/// Grid geometry a plan is built for. ny/nz stay 1 for lower ranks.
+struct Shape {
+  int rank = 1;
+  index nx = 0, ny = 1, nz = 1;
+  index halo = 1;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.rank == b.rank && a.nx == b.nx && a.ny == b.ny && a.nz == b.nz &&
+           a.halo == b.halo;
+  }
+};
+
+inline Shape shape1d(index nx, index halo = 1) {
+  return {.rank = 1, .nx = nx, .ny = 1, .nz = 1, .halo = halo};
+}
+inline Shape shape2d(index nx, index ny, index halo = 1) {
+  return {.rank = 2, .nx = nx, .ny = ny, .nz = 1, .halo = halo};
+}
+inline Shape shape3d(index nx, index ny, index nz, index halo = 1) {
+  return {.rank = 3, .nx = nx, .ny = ny, .nz = nz, .halo = halo};
+}
+
+template <typename T>
+Shape shape_of(const Grid1D<T>& g) {
+  return shape1d(g.nx(), g.halo());
+}
+template <typename T>
+Shape shape_of(const Grid2D<T>& g) {
+  return shape2d(g.nx(), g.ny(), g.halo());
+}
+template <typename T>
+Shape shape_of(const Grid3D<T>& g) {
+  return shape3d(g.nx(), g.ny(), g.nz(), g.halo());
+}
+
+/// Fully resolved execution parameters: every field is concrete (no kAuto,
+/// no 0-means-default). Introspectable via Plan::config().
+struct ResolvedOptions {
+  Method method = Method::kTranspose;
+  Tiling tiling = Tiling::kNone;
+  Isa isa = Isa::kScalar;  ///< concrete ISA the kernels were bound for
+  index width = 2;         ///< kernel vector width in doubles (2, 4 or 8)
+  index steps = 0;
+  index bx = 0, by = 0, bz = 0;  ///< resolved tessellation blocks (elements)
+  index bt = 0;                  ///< resolved temporal block
+  /// Split tiling blocks exactly one axis; this is its resolved block size in
+  /// units of that axis: DLT columns (1D), rows (2D) or planes (3D). See
+  /// "resolved-blocking rule" in plan.cpp.
+  index split_block = 0;
+  int threads = 1;  ///< resolved OpenMP team (1 for untiled sweeps)
+};
+
+/// Validates (shape, stencil radius, options) against the registry and
+/// resolves every parameter. Throws ConfigError on invalid configurations.
+/// This is the single validation path; make_plan calls it once.
+ResolvedOptions resolve_options(const Shape& shape, int radius,
+                                const Options& o);
+
+// ---------------------------------------------------------------------------
+// Rank-generic dispatch table.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename G>
+inline constexpr int grid_rank = 0;
+template <typename T>
+inline constexpr int grid_rank<Grid1D<T>> = 1;
+template <typename T>
+inline constexpr int grid_rank<Grid2D<T>> = 2;
+template <typename T>
+inline constexpr int grid_rank<Grid3D<T>> = 3;
+
+template <int Dim>
+struct grid_for;
+template <>
+struct grid_for<1> {
+  using type = Grid1D<double>;
+};
+template <>
+struct grid_for<2> {
+  using type = Grid2D<double>;
+};
+template <>
+struct grid_for<3> {
+  using type = Grid3D<double>;
+};
+template <typename S>
+using grid_for_t = typename grid_for<S::dim>::type;
+
+template <typename G, typename S>
+using ExecFn = void (*)(G&, const S&, const ResolvedOptions&);
+
+/// The kernel adapters: each (method, tiling) combination defined ONCE,
+/// generically over grid rank. `if constexpr` forwards the rank-appropriate
+/// block arguments; combinations the registry does not claim for a rank are
+/// never registered, so their discarded branches never run.
+template <typename V, typename G, typename S>
+struct Exec {
+  static constexpr int rank = grid_rank<G>;
+
+  // -- untiled --------------------------------------------------------------
+  static void scalar(G& g, const S& s, const ResolvedOptions& r) {
+    reference_run(g, s, r.steps);
+  }
+  static void autovec(G& g, const S& s, const ResolvedOptions& r) {
+    autovec_run(g, s, r.steps);
+  }
+  static void multiload(G& g, const S& s, const ResolvedOptions& r) {
+    multiload_run<V>(g, s, r.steps);
+  }
+  static void reorg(G& g, const S& s, const ResolvedOptions& r) {
+    reorg_run<V>(g, s, r.steps);
+  }
+  static void dlt(G& g, const S& s, const ResolvedOptions& r) {
+    dlt_run<V>(g, s, r.steps);
+  }
+  static void transpose(G& g, const S& s, const ResolvedOptions& r) {
+    transpose_vs_run<V>(g, s, r.steps);
+  }
+  static void transpose_uj(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1)
+      unroll_jam_run<V, S::radius, 2>(g, s, r.steps);
+    else
+      unroll_jam2_run<V>(g, s, r.steps);
+  }
+
+  // -- tessellate tiling ----------------------------------------------------
+  static void tess_autovec(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1)
+      tess_autovec_run(g, s, r.steps, r.bx, r.bt);
+    else if constexpr (rank == 2)
+      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bt);
+    else
+      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+  }
+  static void tess_multiload(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1) tess_multiload_run<V>(g, s, r.steps, r.bx, r.bt);
+  }
+  static void tess_reorg(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1) tess_reorg_run<V>(g, s, r.steps, r.bx, r.bt);
+  }
+  static void tess_transpose(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1)
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.bt);
+    else if constexpr (rank == 2)
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bt);
+    else
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+  }
+  static void tess_transpose_uj(G& g, const S& s, const ResolvedOptions& r) {
+    if constexpr (rank == 1)
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.bt);
+    else if constexpr (rank == 2)
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bt);
+    else
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+  }
+
+  // -- split tiling (uniform signature: the split axis is resolved) ---------
+  static void split_dlt(G& g, const S& s, const ResolvedOptions& r) {
+    sdsl_run<V>(g, s, r.steps, r.split_block, r.bt);
+  }
+};
+
+/// Enum -> kernel adapter for one vector width. The one and only
+/// method/tiling switch, shared by every rank. Returns nullptr for
+/// combinations the registry must not claim.
+template <typename V, typename G, typename S>
+ExecFn<G, S> exec_for(Method m, Tiling t) {
+  using E = Exec<V, G, S>;
+  switch (t) {
+    case Tiling::kNone:
+      switch (m) {
+        case Method::kScalar: return &E::scalar;
+        case Method::kAutoVec: return &E::autovec;
+        case Method::kMultiLoad: return &E::multiload;
+        case Method::kReorg: return &E::reorg;
+        case Method::kDlt: return &E::dlt;
+        case Method::kTranspose: return &E::transpose;
+        case Method::kTransposeUJ: return &E::transpose_uj;
+      }
+      return nullptr;
+    case Tiling::kTessellate:
+      switch (m) {
+        case Method::kAutoVec: return &E::tess_autovec;
+        case Method::kMultiLoad:
+          return E::rank == 1 ? &E::tess_multiload : nullptr;
+        case Method::kReorg: return E::rank == 1 ? &E::tess_reorg : nullptr;
+        case Method::kTranspose: return &E::tess_transpose;
+        case Method::kTransposeUJ: return &E::tess_transpose_uj;
+        default: return nullptr;
+      }
+    case Tiling::kSplit:
+      return m == Method::kDlt ? &E::split_dlt : nullptr;
+  }
+  return nullptr;
+}
+
+template <typename G, typename S>
+struct ExecEntry {
+  Method method;
+  Tiling tiling;
+  Isa isa;
+  ExecFn<G, S> fn;
+};
+
+template <typename V, typename G, typename S>
+void add_entries(std::vector<ExecEntry<G, S>>& table, Isa isa) {
+  for (const Capability& cap : capabilities()) {
+    if (!cap.supports_rank(grid_rank<G>)) continue;
+    if (ExecFn<G, S> fn = exec_for<V, G, S>(cap.method, cap.tiling))
+      table.push_back({cap.method, cap.tiling, isa, fn});
+  }
+}
+
+/// Per-(grid, stencil) dispatch table, built once from the registry: one row
+/// per registry capability per compiled vector width.
+template <typename G, typename S>
+const std::vector<ExecEntry<G, S>>& exec_table() {
+  static const std::vector<ExecEntry<G, S>> table = [] {
+    std::vector<ExecEntry<G, S>> t;
+    add_entries<Vec<double, 2>, G, S>(t, Isa::kScalar);
+#if defined(__AVX2__)
+    add_entries<Vec<double, 4>, G, S>(t, Isa::kAvx2);
+#endif
+#if defined(__AVX512F__)
+    add_entries<Vec<double, 8>, G, S>(t, Isa::kAvx512);
+#endif
+    return t;
+  }();
+  return table;
+}
+
+template <typename G, typename S>
+ExecFn<G, S> lookup_exec(const ResolvedOptions& r) {
+  for (const ExecEntry<G, S>& e : exec_table<G, S>())
+    if (e.method == r.method && e.tiling == r.tiling && e.isa == r.isa)
+      return e.fn;
+  throw ConfigError(r.method, r.tiling, grid_rank<G>,
+                    "registry/dispatch-table mismatch: no kernel bound for "
+                    "this combination (internal error)");
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Plans.
+// ---------------------------------------------------------------------------
+
+/// A validated, fully resolved execution plan for one (grid shape, stencil)
+/// pair. Cheap to copy; execute() is const and reusable.
+template <typename G, typename S>
+class TypedPlan {
+ public:
+  TypedPlan(const Shape& shape, const S& stencil, const ResolvedOptions& cfg)
+      : shape_(shape),
+        stencil_(stencil),
+        cfg_(cfg),
+        fn_(detail::lookup_exec<G, S>(cfg)) {}
+
+  /// Advances @p g by config().steps time steps. The grid must match the
+  /// planned shape (checked; everything else was validated at plan time).
+  void execute(G& g) const {
+    if (shape_of(g) != shape_)
+      throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
+                        "grid does not match the planned shape");
+    if (cfg_.tiling != Tiling::kNone)
+      omp_set_num_threads(cfg_.threads);  // always concrete after resolve
+    fn_(g, stencil_, cfg_);
+  }
+
+  const Shape& shape() const { return shape_; }
+  const S& stencil() const { return stencil_; }
+  const ResolvedOptions& config() const { return cfg_; }
+
+ private:
+  Shape shape_;
+  S stencil_;
+  ResolvedOptions cfg_;
+  detail::ExecFn<G, S> fn_;
+};
+
+template <int R>
+using Plan1D = TypedPlan<Grid1D<double>, Stencil1D<R>>;
+template <int R, int NR>
+using Plan2D = TypedPlan<Grid2D<double>, Stencil2D<R, NR>>;
+template <int R, int NR>
+using Plan3D = TypedPlan<Grid3D<double>, Stencil3D<R, NR>>;
+
+/// Builds a plan for an explicit stencil descriptor. Validates once against
+/// the registry; throws ConfigError on invalid configurations.
+template <typename S>
+TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
+                                              const S& stencil,
+                                              const Options& o = {}) {
+  if (shape.rank != S::dim)
+    throw ConfigError(o.method, o.tiling, shape.rank,
+                      "shape rank does not match the stencil's rank");
+  return TypedPlan<detail::grid_for_t<S>, S>(
+      shape, stencil, resolve_options(shape, S::radius, o));
+}
+
+/// Rank-erased plan for runtime stencil kinds (CLI / bench / service use).
+/// Holds a TypedPlan for one of the named Table-1 stencils; execute() on the
+/// wrong grid rank throws ConfigError.
+class Plan {
+ public:
+  void execute(Grid1D<double>& g) const { dispatch(f1_, g); }
+  void execute(Grid2D<double>& g) const { dispatch(f2_, g); }
+  void execute(Grid3D<double>& g) const { dispatch(f3_, g); }
+
+  int rank() const { return shape_.rank; }
+  const Shape& shape() const { return shape_; }
+  const ResolvedOptions& config() const { return cfg_; }
+
+ private:
+  friend Plan make_plan(const Shape& shape, StencilKind kind,
+                        const Options& o);
+
+  template <typename F, typename G>
+  void dispatch(const F& f, G& g) const {
+    if (!f)
+      throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
+                        "plan was built for a different grid rank");
+    f(g);
+  }
+
+  std::function<void(Grid1D<double>&)> f1_;
+  std::function<void(Grid2D<double>&)> f2_;
+  std::function<void(Grid3D<double>&)> f3_;
+  Shape shape_;
+  ResolvedOptions cfg_;
+};
+
+/// Builds a rank-erased plan for one of the named Table-1 stencil kinds
+/// (with the factory-default weights). Defined in plan.cpp.
+Plan make_plan(const Shape& shape, StencilKind kind, const Options& o = {});
+
+}  // namespace tsv

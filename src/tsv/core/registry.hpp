@@ -1,0 +1,49 @@
+#pragma once
+// The capability registry: the single source of truth for which
+// (method, tiling, rank, ISA) combinations this library executes.
+//
+// Benches, examples, tests and CLI parsers enumerate methods from here
+// instead of hard-coding lists; plan creation validates against it. See
+// capability.hpp for the row format.
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "tsv/core/capability.hpp"
+
+namespace tsv {
+
+/// All implemented (method, tiling) combinations, in stable order: tiling
+/// major (untiled, then tessellate, then split), method minor. Bench column
+/// order and the generated capability table follow this order.
+const std::vector<Capability>& capabilities();
+
+/// The registry row for (method, tiling), or nullptr when the combination
+/// is not implemented for any rank.
+const Capability* find_capability(Method m, Tiling t);
+
+/// True when (method, tiling) is implemented for grid rank @p rank and the
+/// kernels for @p isa are compiled into this binary and can run on this
+/// machine. kAuto resolves to best_isa().
+bool supports(Method m, Tiling t, int rank, Isa isa = Isa::kAuto);
+
+/// Methods usable with tiling @p t at rank @p rank, in registry order.
+std::vector<Method> supported_methods(Tiling t, int rank);
+
+/// ISAs compiled into this binary AND supported by this machine, widest
+/// last. Always contains at least Isa::kScalar; never contains kAuto.
+std::vector<Isa> runnable_isas();
+
+/// Every enumerator, for exhaustive sweeps (kAuto excluded from all_isas).
+const std::vector<Method>& all_methods();
+const std::vector<Tiling>& all_tilings();
+const std::vector<Isa>& all_isas();
+
+/// Name -> enum inverses of method_name/tiling_name/isa_name, for CLI and
+/// bench parsing. Return nullopt for unknown names.
+std::optional<Method> method_from_name(std::string_view name);
+std::optional<Tiling> tiling_from_name(std::string_view name);
+std::optional<Isa> isa_from_name(std::string_view name);
+
+}  // namespace tsv

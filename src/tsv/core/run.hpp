@@ -1,216 +1,43 @@
 #pragma once
-// Public entry point: dispatches (method × tiling × ISA) to the kernels.
+// Source-compatible one-shot entry point: plan + execute in one call.
 //
 //   tsv::Grid1D<double> g(nx, /*halo=*/1);
 //   g.fill(...);
 //   tsv::run(g, tsv::make_1d3p(), {.method = tsv::Method::kTransposeUJ,
 //                                  .tiling = tsv::Tiling::kTessellate,
-//                                  .isa = tsv::best_isa(), .steps = 1000,
-//                                  .bx = 2048, .bt = 128});
+//                                  .steps = 1000, .bx = 2048, .bt = 128});
+//
+// run() is a thin wrapper over the plan engine (core/plan.hpp): it builds a
+// Plan for the grid's shape — validating once against the capability
+// registry and resolving ISA/threads/blocks — and executes it. Services
+// that execute the same configuration repeatedly should call make_plan()
+// once and reuse the Plan instead.
 //
 // Untiled runs are single-threaded by design (the paper's block-free
 // experiments are sequential; multicore execution always goes through a
 // tiling framework). Tiled runs use OpenMP with `options.threads` threads.
 
-#include <omp.h>
-
-#include "tsv/core/options.hpp"
-#include "tsv/kernels/reference.hpp"
-#include "tsv/tiling/tiled.hpp"
+#include "tsv/core/plan.hpp"
 
 namespace tsv {
 
-namespace detail {
-
-inline void validate_common(const Options& o) {
-  require(o.steps >= 0, "run: steps must be >= 0");
-  require_fmt(isa_supported(o.isa), "run: ISA ", isa_name(o.isa),
-              " not supported on this machine");
-  if (o.tiling != Tiling::kNone) {
-    require(o.bx > 0 || o.tiling == Tiling::kSplit,
-            "run: tiled execution needs block sizes (bx, ...)");
-    require(o.bt > 0, "run: tiled execution needs a temporal block (bt)");
-  }
-  if (o.tiling == Tiling::kSplit)
-    require(o.method == Method::kDlt,
-            "run: split tiling is defined over the DLT layout (method kDlt)");
-  if (o.tiling == Tiling::kTessellate)
-    require(o.method != Method::kDlt && o.method != Method::kScalar,
-            "run: tessellate tiling supports autovec/multiload/reorg/"
-            "transpose/transposeUJ methods");
-}
-
-inline void apply_threads(const Options& o) {
-  if (o.threads > 0) omp_set_num_threads(o.threads);
-}
-
-// Per-width 1D dispatch.
-template <typename V, int R>
-void run_1d_w(Grid1D<double>& g, const Stencil1D<R>& s, const Options& o) {
-  switch (o.tiling) {
-    case Tiling::kNone:
-      switch (o.method) {
-        case Method::kScalar: reference_run(g, s, o.steps); return;
-        case Method::kAutoVec: autovec_run(g, s, o.steps); return;
-        case Method::kMultiLoad: multiload_run<V>(g, s, o.steps); return;
-        case Method::kReorg: reorg_run<V>(g, s, o.steps); return;
-        case Method::kDlt: dlt_run<V>(g, s, o.steps); return;
-        case Method::kTranspose: transpose_vs_run<V>(g, s, o.steps); return;
-        case Method::kTransposeUJ:
-          unroll_jam_run<V, R, 2>(g, s, o.steps);
-          return;
-      }
-      break;
-    case Tiling::kTessellate:
-      apply_threads(o);
-      switch (o.method) {
-        case Method::kAutoVec:
-          tess_autovec_run(g, s, o.steps, o.bx, o.bt);
-          return;
-        case Method::kMultiLoad:
-          tess_multiload_run<V>(g, s, o.steps, o.bx, o.bt);
-          return;
-        case Method::kReorg:
-          tess_reorg_run<V>(g, s, o.steps, o.bx, o.bt);
-          return;
-        case Method::kTranspose:
-          tess_transpose_run<V>(g, s, o.steps, o.bx, o.bt);
-          return;
-        case Method::kTransposeUJ:
-          tess_transpose_uj2_run<V>(g, s, o.steps, o.bx, o.bt);
-          return;
-        default: break;
-      }
-      break;
-    case Tiling::kSplit:
-      apply_threads(o);
-      // bx is interpreted in elements; split tiling blocks DLT columns.
-      sdsl_run<V>(g, s, o.steps, std::max<index>(1, o.bx / V::width), o.bt);
-      return;
-  }
-  throw std::invalid_argument("run: unsupported method/tiling combination");
-}
-
-template <typename V, int R, int NR>
-void run_2d_w(Grid2D<double>& g, const Stencil2D<R, NR>& s, const Options& o) {
-  switch (o.tiling) {
-    case Tiling::kNone:
-      switch (o.method) {
-        case Method::kScalar: reference_run(g, s, o.steps); return;
-        case Method::kAutoVec: autovec_run(g, s, o.steps); return;
-        case Method::kMultiLoad: multiload_run<V>(g, s, o.steps); return;
-        case Method::kReorg: reorg_run<V>(g, s, o.steps); return;
-        case Method::kDlt: dlt_run<V>(g, s, o.steps); return;
-        case Method::kTranspose: transpose_vs_run<V>(g, s, o.steps); return;
-        case Method::kTransposeUJ: unroll_jam2_run<V>(g, s, o.steps); return;
-      }
-      break;
-    case Tiling::kTessellate:
-      apply_threads(o);
-      switch (o.method) {
-        case Method::kAutoVec:
-          tess_autovec_run(g, s, o.steps, o.bx, o.by, o.bt);
-          return;
-        case Method::kTranspose:
-          tess_transpose_run<V>(g, s, o.steps, o.bx, o.by, o.bt);
-          return;
-        case Method::kTransposeUJ:
-          tess_transpose_uj2_run<V>(g, s, o.steps, o.bx, o.by, o.bt);
-          return;
-        default: break;
-      }
-      break;
-    case Tiling::kSplit:
-      apply_threads(o);
-      sdsl_run<V>(g, s, o.steps, o.by > 0 ? o.by : o.bx, o.bt);
-      return;
-  }
-  throw std::invalid_argument("run: unsupported method/tiling combination");
-}
-
-template <typename V, int R, int NR>
-void run_3d_w(Grid3D<double>& g, const Stencil3D<R, NR>& s, const Options& o) {
-  switch (o.tiling) {
-    case Tiling::kNone:
-      switch (o.method) {
-        case Method::kScalar: reference_run(g, s, o.steps); return;
-        case Method::kAutoVec: autovec_run(g, s, o.steps); return;
-        case Method::kMultiLoad: multiload_run<V>(g, s, o.steps); return;
-        case Method::kReorg: reorg_run<V>(g, s, o.steps); return;
-        case Method::kDlt: dlt_run<V>(g, s, o.steps); return;
-        case Method::kTranspose: transpose_vs_run<V>(g, s, o.steps); return;
-        case Method::kTransposeUJ: unroll_jam2_run<V>(g, s, o.steps); return;
-      }
-      break;
-    case Tiling::kTessellate:
-      apply_threads(o);
-      switch (o.method) {
-        case Method::kAutoVec:
-          tess_autovec_run(g, s, o.steps, o.bx, o.by, o.bz, o.bt);
-          return;
-        case Method::kTranspose:
-          tess_transpose_run<V>(g, s, o.steps, o.bx, o.by, o.bz, o.bt);
-          return;
-        case Method::kTransposeUJ:
-          tess_transpose_uj2_run<V>(g, s, o.steps, o.bx, o.by, o.bz, o.bt);
-          return;
-        default: break;
-      }
-      break;
-    case Tiling::kSplit:
-      apply_threads(o);
-      sdsl_run<V>(g, s, o.steps, o.bz > 0 ? o.bz : o.bx, o.bt);
-      return;
-  }
-  throw std::invalid_argument("run: unsupported method/tiling combination");
-}
-
-}  // namespace detail
-
 /// Advances @p g by `o.steps` Jacobi steps of stencil @p s using the selected
 /// method / tiling / ISA. The result (and the untouched Dirichlet halo) ends
-/// in @p g. Throws std::invalid_argument on invalid configurations, including
-/// layout-divisibility violations.
+/// in @p g. Throws tsv::ConfigError (a std::invalid_argument) on invalid
+/// configurations, including layout-divisibility violations.
 template <int R>
 void run(Grid1D<double>& g, const Stencil1D<R>& s, const Options& o) {
-  detail::validate_common(o);
-  switch (o.isa) {
-#if defined(__AVX2__)
-    case Isa::kAvx2: detail::run_1d_w<Vec<double, 4>>(g, s, o); return;
-#endif
-#if defined(__AVX512F__)
-    case Isa::kAvx512: detail::run_1d_w<Vec<double, 8>>(g, s, o); return;
-#endif
-    default: detail::run_1d_w<Vec<double, 2>>(g, s, o); return;
-  }
+  make_plan(shape_of(g), s, o).execute(g);
 }
 
 template <int R, int NR>
 void run(Grid2D<double>& g, const Stencil2D<R, NR>& s, const Options& o) {
-  detail::validate_common(o);
-  switch (o.isa) {
-#if defined(__AVX2__)
-    case Isa::kAvx2: detail::run_2d_w<Vec<double, 4>>(g, s, o); return;
-#endif
-#if defined(__AVX512F__)
-    case Isa::kAvx512: detail::run_2d_w<Vec<double, 8>>(g, s, o); return;
-#endif
-    default: detail::run_2d_w<Vec<double, 2>>(g, s, o); return;
-  }
+  make_plan(shape_of(g), s, o).execute(g);
 }
 
 template <int R, int NR>
 void run(Grid3D<double>& g, const Stencil3D<R, NR>& s, const Options& o) {
-  detail::validate_common(o);
-  switch (o.isa) {
-#if defined(__AVX2__)
-    case Isa::kAvx2: detail::run_3d_w<Vec<double, 4>>(g, s, o); return;
-#endif
-#if defined(__AVX512F__)
-    case Isa::kAvx512: detail::run_3d_w<Vec<double, 8>>(g, s, o); return;
-#endif
-    default: detail::run_3d_w<Vec<double, 2>>(g, s, o); return;
-  }
+  make_plan(shape_of(g), s, o).execute(g);
 }
 
 }  // namespace tsv

@@ -9,20 +9,30 @@
 //
 //   tsv::Grid2D<double> grid(nx, ny, /*halo=*/1);
 //   grid.fill([](tsv::index x, tsv::index y) { return initial(x, y); });
+//
+//   // One-shot:
 //   tsv::run(grid, tsv::make_2d5p(), {.method = tsv::Method::kTransposeUJ,
 //                                     .tiling = tsv::Tiling::kTessellate,
-//                                     .isa = tsv::best_isa(),
 //                                     .steps = 1000,
 //                                     .bx = 256, .by = 128, .bt = 32});
 //
-// See README.md for the architecture overview and DESIGN.md for the paper
-// reproduction map.
+//   // Configure once, execute many:
+//   auto plan = tsv::make_plan(tsv::shape_of(grid), tsv::make_2d5p(),
+//                              {.tiling = tsv::Tiling::kTessellate,
+//                               .steps = 1000, .bx = 256, .by = 128,
+//                               .bt = 32});
+//   plan.execute(grid);
+//
+// See README.md for the architecture overview and the capability table.
 
-#include "tsv/common/aligned.hpp"   // IWYU pragma: export
-#include "tsv/common/cpu.hpp"       // IWYU pragma: export
-#include "tsv/common/grid.hpp"      // IWYU pragma: export
-#include "tsv/common/timer.hpp"     // IWYU pragma: export
-#include "tsv/core/options.hpp"     // IWYU pragma: export
-#include "tsv/core/problems.hpp"    // IWYU pragma: export
-#include "tsv/core/run.hpp"         // IWYU pragma: export
-#include "tsv/kernels/stencil.hpp"  // IWYU pragma: export
+#include "tsv/common/aligned.hpp"    // IWYU pragma: export
+#include "tsv/common/cpu.hpp"        // IWYU pragma: export
+#include "tsv/common/grid.hpp"       // IWYU pragma: export
+#include "tsv/common/timer.hpp"      // IWYU pragma: export
+#include "tsv/core/capability.hpp"   // IWYU pragma: export
+#include "tsv/core/options.hpp"      // IWYU pragma: export
+#include "tsv/core/plan.hpp"         // IWYU pragma: export
+#include "tsv/core/problems.hpp"     // IWYU pragma: export
+#include "tsv/core/registry.hpp"     // IWYU pragma: export
+#include "tsv/core/run.hpp"          // IWYU pragma: export
+#include "tsv/kernels/stencil.hpp"   // IWYU pragma: export

@@ -30,9 +30,9 @@ TEST(Run1D, EveryUntiledMethodMatchesReference) {
   ref.fill(f1);
   reference_run(ref, s, 5);
 
-  for (Method m : {Method::kScalar, Method::kAutoVec, Method::kMultiLoad,
-                   Method::kReorg, Method::kDlt, Method::kTranspose,
-                   Method::kTransposeUJ}) {
+  // Enumerated from the registry, not a hard-coded list: new methods are
+  // covered the day their registry row lands.
+  for (Method m : supported_methods(Tiling::kNone, 1)) {
     Grid1D<double> g(nx, 1);
     g.fill(f1);
     Options o;
@@ -85,8 +85,7 @@ TEST(Run2D, DispatchAcrossIsas) {
   ref.fill(f2);
   reference_run(ref, s, 4);
 
-  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
-    if (!isa_supported(isa)) continue;
+  for (Isa isa : runnable_isas()) {
     Grid2D<double> g(nx, ny, 1);
     g.fill(f2);
     Options o;
@@ -131,17 +130,12 @@ TEST(Run, RejectsInvalidConfigurations) {
   EXPECT_THROW(run(g, s, o), std::invalid_argument);
 
   o = Options{};
-  o.tiling = Tiling::kTessellate;
-  o.steps = 2;  // missing bx/bt
-  EXPECT_THROW(run(g, s, o), std::invalid_argument);
-
-  o = Options{};
   o.method = Method::kReorg;  // split tiling needs DLT
   o.tiling = Tiling::kSplit;
   o.steps = 2;
   o.bx = 32;
   o.bt = 2;
-  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+  EXPECT_THROW(run(g, s, o), ConfigError);
 
   o = Options{};
   o.method = Method::kDlt;  // tessellate excludes DLT
@@ -149,7 +143,24 @@ TEST(Run, RejectsInvalidConfigurations) {
   o.steps = 2;
   o.bx = 32;
   o.bt = 2;
-  EXPECT_THROW(run(g, s, o), std::invalid_argument);
+  EXPECT_THROW(run(g, s, o), ConfigError);
+}
+
+TEST(Run, TiledRunResolvesDefaultBlocks) {
+  // The seed threw on missing bx/bt; the plan engine resolves sane
+  // defaults instead and the result still matches the reference.
+  const auto s = make_1d3p();
+  const index nx = 256;
+  Grid1D<double> ref(nx, 1), g(nx, 1);
+  ref.fill(f1);
+  g.fill(f1);
+  reference_run(ref, s, 2);
+
+  Options o;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 2;  // bx/bt unset on purpose
+  EXPECT_NO_THROW(run(g, s, o));
+  EXPECT_LE(max_abs_diff(ref, g), 1e-11);
 }
 
 TEST(Problems, Table1PresetsAreConforming) {

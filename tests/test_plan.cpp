@@ -1,0 +1,265 @@
+// Plan-engine tests: configure-once/execute-many semantics, default
+// resolution (ISA, threads, blocks), the unified split-tiling blocking rule,
+// structured ConfigError reporting, and the rank-erased StencilKind plans.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+constexpr double kTol = 1e-11;
+
+double f1(index x) { return std::sin(0.05 * x) + 0.002 * x; }
+double f2(index x, index y) { return std::sin(0.04 * x - 0.06 * y); }
+double f3(index x, index y, index z) {
+  return std::sin(0.04 * x - 0.06 * y + 0.02 * z);
+}
+
+TEST(Plan, ExecuteIsRepeatable) {
+  const auto s = make_1d3p(0.3);
+  const index nx = 256;
+  Grid1D<double> ref(nx, 1), g(nx, 1);
+  ref.fill(f1);
+  g.fill(f1);
+  reference_run(ref, s, 6);
+
+  Options o;
+  o.method = Method::kTranspose;
+  o.steps = 3;
+  const auto plan = make_plan(shape1d(nx), s, o);
+  plan.execute(g);  // 3 steps
+  plan.execute(g);  // 3 more: the plan is reusable with no re-validation
+  EXPECT_LE(max_abs_diff(ref, g), kTol);
+}
+
+TEST(Plan, DefaultOptionsResolveToConcreteValues) {
+  const auto plan = make_plan(shape1d(128), make_1d3p(), Options{});
+  const ResolvedOptions& r = plan.config();
+  EXPECT_EQ(r.isa, best_isa());  // kAuto resolved at plan time
+  EXPECT_NE(r.isa, Isa::kAuto);
+  EXPECT_EQ(r.width, kernel_width(best_isa()));
+  EXPECT_EQ(r.tiling, Tiling::kNone);
+  EXPECT_EQ(r.bx, 0);       // untiled: no blocking
+  EXPECT_EQ(r.threads, 1);  // untiled sweeps are single-threaded by design
+}
+
+TEST(Plan, TiledThreadsResolveToConcreteTeam) {
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 2;
+  EXPECT_GT(make_plan(shape1d(256), make_1d3p(), o).config().threads, 0);
+  o.threads = 3;
+  EXPECT_EQ(make_plan(shape1d(256), make_1d3p(), o).config().threads, 3);
+}
+
+// The seed defaulted Options::isa to kAvx512, which threw on any
+// non-AVX-512 host. Default-constructed options must now run everywhere.
+TEST(Plan, DefaultConstructedOptionsRunOnAnyHost) {
+  const auto s = make_1d3p(0.3);
+  Grid1D<double> ref(128, 1), g(128, 1);
+  ref.fill(f1);
+  g.fill(f1);
+  reference_run(ref, s, 1);
+  EXPECT_NO_THROW(run(g, s, Options{}));
+  EXPECT_LE(max_abs_diff(ref, g), kTol);
+}
+
+TEST(Plan, TiledDefaultsAreResolvedAndLegal) {
+  const auto s = make_1d3p(0.3);
+  const index nx = 512;
+  Grid1D<double> ref(nx, 1), g(nx, 1);
+  ref.fill(f1);
+  g.fill(f1);
+  reference_run(ref, s, 6);
+
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 6;  // bx/bt left 0: the plan resolves sane defaults
+  const auto plan = make_plan(shape1d(nx), s, o);
+  EXPECT_GT(plan.config().bx, 0);
+  EXPECT_GT(plan.config().bt, 0);
+  plan.execute(g);
+  EXPECT_LE(max_abs_diff(ref, g), kTol);
+}
+
+// ---- unified split-tiling blocking rule (regression) -----------------------
+//
+// The seed interpreted split-tiling blocks inconsistently across ranks
+// (bx/V::width in 1D, by?by:bx rows in 2D, bz?bz:bx planes in 3D). The rule
+// is now: the split axis takes its block from its own field, falling back
+// to bx, then the full extent; 1D blocks are elements, resolved to columns.
+
+TEST(Plan, SplitBlockRule1D) {
+  Options o;
+  o.method = Method::kDlt;
+  o.tiling = Tiling::kSplit;
+  o.isa = Isa::kScalar;  // width-2 kernels
+  o.steps = 4;
+  o.bx = 64;
+  o.bt = 2;
+  const auto plan = make_plan(shape1d(128), make_1d3p(), o);
+  EXPECT_EQ(plan.config().split_block, 32);  // 64 elements / W=2 columns
+}
+
+TEST(Plan, SplitBlockRule2DFallsBackToBx) {
+  Options o;
+  o.method = Method::kDlt;
+  o.tiling = Tiling::kSplit;
+  o.steps = 4;
+  o.bx = 16;  // by unset: falls back to bx, in rows
+  const auto plan = make_plan(shape2d(128, 24), make_2d5p(), o);
+  EXPECT_EQ(plan.config().split_block, 16);
+
+  Options o2 = o;
+  o2.by = 5;  // own axis field wins
+  EXPECT_EQ(make_plan(shape2d(128, 24), make_2d5p(), o2).config().split_block,
+            5);
+}
+
+TEST(Plan, SplitBlockRule3DFallsBackToBx) {
+  Options o;
+  o.method = Method::kDlt;
+  o.tiling = Tiling::kSplit;
+  o.steps = 2;
+  o.bx = 7;  // bz unset: falls back to bx, in planes
+  const auto plan = make_plan(shape3d(128, 6, 14), make_3d7p(), o);
+  EXPECT_EQ(plan.config().split_block, 7);
+
+  Options o2 = o;
+  o2.bz = 3;
+  EXPECT_EQ(
+      make_plan(shape3d(128, 6, 14), make_3d7p(), o2).config().split_block, 3);
+}
+
+TEST(Plan, SplitTilingMatchesReferenceAtEveryRank) {
+  Options o;
+  o.method = Method::kDlt;
+  o.tiling = Tiling::kSplit;
+  o.steps = 5;
+  o.bx = 64;
+  o.bt = 2;
+  o.threads = 2;
+  {
+    const auto s = make_1d3p(0.3);
+    Grid1D<double> ref(256, 1), g(256, 1);
+    ref.fill(f1);
+    g.fill(f1);
+    reference_run(ref, s, 5);
+    make_plan(shape1d(256), s, o).execute(g);
+    EXPECT_LE(max_abs_diff(ref, g), kTol) << "rank 1";
+  }
+  {
+    const auto s = make_2d5p();
+    Grid2D<double> ref(128, 24, 1), g(128, 24, 1);
+    ref.fill(f2);
+    g.fill(f2);
+    reference_run(ref, s, 5);
+    make_plan(shape2d(128, 24), s, o).execute(g);
+    EXPECT_LE(max_abs_diff(ref, g), kTol) << "rank 2";
+  }
+  {
+    const auto s = make_3d7p();
+    Grid3D<double> ref(128, 6, 14, 1), g(128, 6, 14, 1);
+    ref.fill(f3);
+    g.fill(f3);
+    reference_run(ref, s, 5);
+    make_plan(shape3d(128, 6, 14), s, o).execute(g);
+    EXPECT_LE(max_abs_diff(ref, g), kTol) << "rank 3";
+  }
+}
+
+// ---- structured errors ------------------------------------------------------
+
+TEST(Plan, ConfigErrorCarriesStructuredFields) {
+  Options o;
+  o.method = Method::kReorg;  // split tiling is DLT-only
+  o.tiling = Tiling::kSplit;
+  o.steps = 2;
+  try {
+    make_plan(shape1d(128), make_1d3p(), o);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.method(), Method::kReorg);
+    EXPECT_EQ(e.tiling(), Tiling::kSplit);
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_FALSE(e.reason().empty());
+    EXPECT_NE(std::string(e.what()).find("reorg"), std::string::npos);
+  }
+  // Source compatibility: ConfigError is a std::invalid_argument.
+  EXPECT_THROW(make_plan(shape1d(128), make_1d3p(), o), std::invalid_argument);
+}
+
+TEST(Plan, LayoutViolationsFailAtPlanTime) {
+  Options o;  // default method kTranspose needs nx % W^2 == 0
+  const index bad_nx = 10;  // not a multiple of 4, 16 or 64
+  EXPECT_THROW(make_plan(shape1d(bad_nx), make_1d3p(), o), ConfigError);
+  o.method = Method::kDlt;
+  o.isa = Isa::kScalar;
+  EXPECT_THROW(make_plan(shape1d(101), make_1d3p(), o), ConfigError);
+  // MultiLoad has no layout rule: same size must plan fine.
+  o.method = Method::kMultiLoad;
+  EXPECT_NO_THROW(make_plan(shape1d(101), make_1d3p(), o));
+}
+
+TEST(Plan, EvenBtCheckedAtPlanTime) {
+  Options o;
+  o.method = Method::kTransposeUJ;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 8;
+  o.bx = 128;
+  o.bt = 3;  // must be even
+  EXPECT_THROW(make_plan(shape1d(256), make_1d3p(), o), ConfigError);
+  o.bt = 4;
+  EXPECT_NO_THROW(make_plan(shape1d(256), make_1d3p(), o));
+}
+
+TEST(Plan, HaloSmallerThanRadiusRejected) {
+  EXPECT_THROW(make_plan(shape1d(128, /*halo=*/1), make_1d5p(), Options{}),
+               ConfigError);
+  EXPECT_NO_THROW(make_plan(shape1d(128, /*halo=*/2), make_1d5p(), Options{}));
+}
+
+TEST(Plan, ShapeMismatchAtExecute) {
+  const auto s = make_1d3p();
+  const auto plan = make_plan(shape1d(128), s, Options{});
+  Grid1D<double> wrong(192, 1);
+  wrong.fill(f1);
+  EXPECT_THROW(plan.execute(wrong), ConfigError);
+}
+
+TEST(Plan, ShapeRankMismatchAtPlanTime) {
+  EXPECT_THROW(make_plan(shape2d(128, 8), make_1d3p(), Options{}),
+               ConfigError);
+}
+
+// ---- rank-erased plans ------------------------------------------------------
+
+TEST(Plan, StencilKindPlanExecutes) {
+  const index nx = 128, ny = 16;
+  Grid2D<double> ref(nx, ny, 1), g(nx, ny, 1);
+  ref.fill(f2);
+  g.fill(f2);
+  reference_run(ref, make_2d5p(), 4);
+
+  Options o;
+  o.method = Method::kTranspose;
+  o.steps = 4;
+  const Plan plan = make_plan(shape2d(nx, ny), StencilKind::k2d5p, o);
+  EXPECT_EQ(plan.rank(), 2);
+  EXPECT_EQ(plan.config().isa, best_isa());
+  plan.execute(g);
+  EXPECT_LE(max_abs_diff(ref, g), kTol);
+
+  Grid1D<double> g1(nx, 1);
+  g1.fill(f1);
+  EXPECT_THROW(plan.execute(g1), ConfigError);  // wrong rank
+}
+
+}  // namespace
+}  // namespace tsv

@@ -1,0 +1,192 @@
+// Registry-consistency suite: every (method, tiling, rank, isa) combination
+// the registry claims to support must plan and execute correctly — agreeing
+// with the scalar reference — and every combination it does not claim must
+// fail with a structured ConfigError at plan time, never from inside a
+// kernel. Also covers the name <-> enum round-trips used by CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+constexpr double kTol = 1e-11;
+
+double f1(index x) { return std::sin(0.041 * x) + 0.002 * x; }
+double f2(index x, index y) { return std::sin(0.041 * x - 0.07 * y); }
+double f3(index x, index y, index z) {
+  return std::sin(0.041 * x - 0.07 * y + 0.03 * z);
+}
+
+// Conforming extents: nx is a multiple of 64 = W^2 for the widest kernels,
+// so every layout rule accepts the shape for every compiled width.
+constexpr index kNx = 128, kNy = 6, kNz = 4, kSteps = 4;
+
+Options combo_options(Method m, Tiling t, Isa isa) {
+  Options o;
+  o.method = m;
+  o.tiling = t;
+  o.isa = isa;
+  o.steps = kSteps;
+  // Blocks stay 0: the plan must resolve sane defaults for tiled runs.
+  return o;
+}
+
+std::string combo_label(Method m, Tiling t, int rank, Isa isa) {
+  std::string s = method_name(m);
+  s += "+";
+  s += tiling_name(t);
+  s += " rank=" + std::to_string(rank) + " isa=";
+  s += isa_name(isa);
+  return s;
+}
+
+// Plans and executes one claimed combination at the given rank and checks
+// agreement with the scalar reference.
+void expect_combo_matches(Method m, Tiling t, int rank, Isa isa) {
+  const Options o = combo_options(m, t, isa);
+  const std::string label = combo_label(m, t, rank, isa);
+  switch (rank) {
+    case 1: {
+      const auto s = make_1d3p(0.3);
+      Grid1D<double> ref(kNx, 1), g(kNx, 1);
+      ref.fill(f1);
+      g.fill(f1);
+      reference_run(ref, s, kSteps);
+      auto plan = make_plan(shape1d(kNx), s, o);
+      plan.execute(g);
+      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      break;
+    }
+    case 2: {
+      const auto s = make_2d5p(0.5, 0.12, 0.13);
+      Grid2D<double> ref(kNx, kNy, 1), g(kNx, kNy, 1);
+      ref.fill(f2);
+      g.fill(f2);
+      reference_run(ref, s, kSteps);
+      auto plan = make_plan(shape2d(kNx, kNy), s, o);
+      plan.execute(g);
+      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      break;
+    }
+    default: {
+      const auto s = make_3d7p();
+      Grid3D<double> ref(kNx, kNy, kNz, 1), g(kNx, kNy, kNz, 1);
+      ref.fill(f3);
+      g.fill(f3);
+      reference_run(ref, s, kSteps);
+      auto plan = make_plan(shape3d(kNx, kNy, kNz), s, o);
+      plan.execute(g);
+      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      break;
+    }
+  }
+}
+
+// make_plan must fail with ConfigError exactly when the registry says the
+// combination is unsupported.
+void expect_combo_rejected_at_plan_time(Method m, Tiling t, int rank,
+                                        Isa isa) {
+  const Options o = combo_options(m, t, isa);
+  const std::string label = combo_label(m, t, rank, isa);
+  switch (rank) {
+    case 1:
+      EXPECT_THROW(make_plan(shape1d(kNx), make_1d3p(), o), ConfigError)
+          << label;
+      break;
+    case 2:
+      EXPECT_THROW(make_plan(shape2d(kNx, kNy), make_2d5p(), o), ConfigError)
+          << label;
+      break;
+    default:
+      EXPECT_THROW(make_plan(shape3d(kNx, kNy, kNz), make_3d7p(), o),
+                   ConfigError)
+          << label;
+      break;
+  }
+}
+
+TEST(Registry, EveryClaimedComboExecutesAndMatchesReference) {
+  int executed = 0;
+  for (Method m : all_methods())
+    for (Tiling t : all_tilings())
+      for (int rank = 1; rank <= 3; ++rank)
+        for (Isa isa : all_isas()) {
+          if (supports(m, t, rank, isa)) {
+            expect_combo_matches(m, t, rank, isa);
+            ++executed;
+          } else {
+            expect_combo_rejected_at_plan_time(m, t, rank, isa);
+          }
+        }
+  // At least the scalar-ISA rows must have run on any machine.
+  EXPECT_GE(executed, 20);
+}
+
+TEST(Registry, TableIsWellFormed) {
+  ASSERT_FALSE(capabilities().empty());
+  for (const Capability& c : capabilities()) {
+    EXPECT_NE(c.rank_mask, 0u) << method_name(c.method);
+    EXPECT_EQ(c.rank_mask & ~7u, 0u) << method_name(c.method);
+    EXPECT_NE(c.note, nullptr);
+    EXPECT_EQ(find_capability(c.method, c.tiling), &c);
+  }
+  // No duplicate (method, tiling) rows.
+  for (std::size_t i = 0; i < capabilities().size(); ++i)
+    for (std::size_t j = i + 1; j < capabilities().size(); ++j)
+      EXPECT_FALSE(capabilities()[i].method == capabilities()[j].method &&
+                   capabilities()[i].tiling == capabilities()[j].tiling);
+}
+
+TEST(Registry, KnownUnsupportedCombos) {
+  EXPECT_EQ(find_capability(Method::kScalar, Tiling::kTessellate), nullptr);
+  EXPECT_EQ(find_capability(Method::kDlt, Tiling::kTessellate), nullptr);
+  EXPECT_EQ(find_capability(Method::kReorg, Tiling::kSplit), nullptr);
+  EXPECT_FALSE(supports(Method::kMultiLoad, Tiling::kTessellate, 2));
+  EXPECT_FALSE(supports(Method::kReorg, Tiling::kTessellate, 3));
+  EXPECT_TRUE(supports(Method::kTranspose, Tiling::kNone, 2));
+}
+
+TEST(Registry, SupportedMethodsEnumerates) {
+  const auto untiled_1d = supported_methods(Tiling::kNone, 1);
+  EXPECT_EQ(untiled_1d.size(), 7u);  // all methods sweep untiled
+  const auto tess_2d = supported_methods(Tiling::kTessellate, 2);
+  for (Method m : tess_2d)
+    EXPECT_TRUE(m == Method::kAutoVec || m == Method::kTranspose ||
+                m == Method::kTransposeUJ)
+        << method_name(m);
+  const auto split_3d = supported_methods(Tiling::kSplit, 3);
+  ASSERT_EQ(split_3d.size(), 1u);
+  EXPECT_EQ(split_3d[0], Method::kDlt);
+}
+
+TEST(Registry, NameRoundTrips) {
+  for (Method m : all_methods())
+    EXPECT_EQ(method_from_name(method_name(m)), m) << method_name(m);
+  for (Tiling t : all_tilings())
+    EXPECT_EQ(tiling_from_name(tiling_name(t)), t) << tiling_name(t);
+  for (Isa isa : all_isas())
+    EXPECT_EQ(isa_from_name(isa_name(isa)), isa) << isa_name(isa);
+  EXPECT_EQ(isa_from_name("auto"), Isa::kAuto);
+  EXPECT_FALSE(method_from_name("no-such-method").has_value());
+  EXPECT_FALSE(tiling_from_name("").has_value());
+  EXPECT_FALSE(isa_from_name("avx1024").has_value());
+}
+
+TEST(Registry, RunnableIsasAreOrderedAndRunnable) {
+  const auto isas = runnable_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (Isa isa : isas) {
+    EXPECT_TRUE(isa_compiled(isa));
+    EXPECT_TRUE(isa_supported(isa));
+    EXPECT_NE(isa, Isa::kAuto);
+  }
+  EXPECT_EQ(isas.back(), best_isa());
+}
+
+}  // namespace
+}  // namespace tsv
