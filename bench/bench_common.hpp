@@ -1,11 +1,17 @@
 #pragma once
 // Shared benchmark harness: size ladders derived from the detected cache
-// hierarchy, timing/GFLOP/s helpers, table printing and optional CSV output.
+// hierarchy, timing/GFLOP/s helpers, table printing and optional CSV/JSON
+// output.
 //
 // Conventions shared by every bench binary:
 //   --paper-scale   use the paper's Table 1 problem sizes and step counts
 //   --long          10x the time steps (paper's T=10000 variants)
+//   --smoke         tiny sizes + step counts (CI artifact runs: seconds, not
+//                   minutes; every enabled combination still executes)
 //   --csv FILE      additionally append rows as CSV
+//   --json FILE     write every measurement as a JSON array (machine-readable
+//                   perf trajectory; uploaded as the bench-smoke artifact)
+//   --dtype D       element type sweep: f64 (default), f32, or both
 //   --threads N     cap the thread count (default: all logical cores)
 
 #include <omp.h>
@@ -25,7 +31,11 @@ using tsv::index;
 struct Config {
   bool paper_scale = false;
   bool long_t = false;
+  bool smoke = false;
   std::string csv_path;
+  std::string json_path;
+  std::vector<tsv::Dtype> dtypes = {tsv::Dtype::kF64};
+  tsv::Isa isa = tsv::Isa::kAuto;  ///< pin one ISA (--isa avx2); kAuto = best
   int threads = 0;
 
   static Config parse(int argc, char** argv) {
@@ -34,12 +44,35 @@ struct Config {
     for (int i = 1; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--paper-scale")) c.paper_scale = true;
       else if (!std::strcmp(argv[i], "--long")) c.long_t = true;
+      else if (!std::strcmp(argv[i], "--smoke")) c.smoke = true;
       else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
         c.csv_path = argv[++i];
-      else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+      else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        c.json_path = argv[++i];
+      else if (!std::strcmp(argv[i], "--dtype") && i + 1 < argc) {
+        const char* d = argv[++i];
+        if (!std::strcmp(d, "both")) {
+          c.dtypes = {tsv::Dtype::kF64, tsv::Dtype::kF32};
+        } else if (auto parsed = tsv::dtype_from_name(d)) {
+          c.dtypes = {*parsed};
+        } else {
+          std::fprintf(stderr, "unknown --dtype %s (want f64|f32|both)\n", d);
+          std::exit(2);
+        }
+      } else if (!std::strcmp(argv[i], "--isa") && i + 1 < argc) {
+        const char* a = argv[++i];
+        if (auto parsed = tsv::isa_from_name(a)) {
+          c.isa = *parsed;
+        } else {
+          std::fprintf(stderr, "unknown --isa %s\n", a);
+          std::exit(2);
+        }
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
         c.threads = std::atoi(argv[++i]);
       else if (!std::strcmp(argv[i], "--help")) {
-        std::printf("flags: --paper-scale --long --csv FILE --threads N\n");
+        std::printf(
+            "flags: --paper-scale --long --smoke --csv FILE --json FILE "
+            "--dtype f64|f32|both --isa auto|scalar|avx2|avx512 --threads N\n");
         std::exit(0);
       }
     }
@@ -71,25 +104,78 @@ class CsvSink {
   std::FILE* f_ = nullptr;
 };
 
+/// Collects printf-formatted JSON objects and writes them as one JSON array
+/// at destruction. Empty path = disabled. The records are flat key/value
+/// objects so downstream tooling (jq, pandas) can diff runs without a schema.
+class JsonSink {
+ public:
+  explicit JsonSink(const std::string& path) : path_(path) {}
+
+  ~JsonSink() {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[");
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      std::fprintf(f, "%s%s", i ? ",\n " : "\n ", records_[i].c_str());
+    std::fprintf(f, "\n]\n");
+    std::fclose(f);
+  }
+
+  /// record("{\"bench\":\"fig7\",...}") — caller supplies a complete object.
+  template <typename... Args>
+  void record(const char* fmt, Args... args) {
+    if (path_.empty()) return;
+    // Two-pass format: a truncated record would corrupt the JSON array far
+    // from the cause (the CI jq merge), so size exactly.
+    const int n = std::snprintf(nullptr, 0, fmt, args...);
+    if (n < 0) {
+      std::fprintf(stderr, "json: bad record format %s\n", fmt);
+      std::abort();
+    }
+    std::string buf(static_cast<std::size_t>(n) + 1, '\0');
+    std::snprintf(buf.data(), buf.size(), fmt, args...);
+    buf.resize(static_cast<std::size_t>(n));
+    records_.push_back(std::move(buf));
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
 /// One rung of the working-set ladder (paper Figs. 7-8 x-axis).
 struct SizeRung {
   const char* level;  ///< "L1", "L2", "L3", "Mem"
-  index nx;           ///< 1D interior elements (multiple of 64)
+  index nx;           ///< 1D interior elements (multiple of 256)
 };
 
-/// Sizes whose two-buffer working set lands in each storage level.
-inline std::vector<SizeRung> storage_ladder() {
+/// Sizes whose two-buffer working set lands in each storage level for
+/// elements of @p dtype (half the bytes per element means twice the rung in
+/// elements — the levels must stay honest for the f32 sweeps). Rounded to
+/// multiples of 256 so every layout rule accepts them at every compiled
+/// width and dtype (float AVX-512 needs nx % 16^2 == 0).
+inline std::vector<SizeRung> storage_ladder(bool smoke = false,
+                                            tsv::Dtype dtype = tsv::Dtype::kF64) {
+  if (smoke)  // one tiny rung: every combination executes in milliseconds
+    return {{"smoke", 4096}};
   const auto& cpu = tsv::cpu_info();
-  auto fit = [](index cap_bytes, double frac) {
-    // two buffers of nx doubles; rounded down to a multiple of 64 elements
+  const index esz = tsv::dtype_size(dtype);
+  auto fit = [esz](index cap_bytes, double frac) {
+    // two buffers of nx elements; rounded down to a multiple of 256
     return tsv::round_up(
-               static_cast<index>(cap_bytes * frac / (2 * 8)) - 63, 64);
+               static_cast<index>(cap_bytes * frac / (2 * esz)) - 255, 256);
   };
   return {
       {"L1", fit(cpu.l1_bytes, 0.5)},
       {"L2", fit(cpu.l2_bytes, 0.5)},
       {"L3", fit(cpu.l3_bytes, 0.4)},
-      {"Mem", tsv::round_up(4 * cpu.l3_bytes / 8, 64)},
+      {"Mem", tsv::round_up(4 * cpu.l3_bytes / esz, 256)},
   };
 }
 
@@ -107,6 +193,13 @@ double time_run(Grid& g, const S& s, const tsv::Options& o, index points) {
          static_cast<double>(s.flops_per_point) / sec;
 }
 
+/// Grid-point updates per second for a GFLOP/s figure of the same run — the
+/// dtype-fair metric (a float and a double run do the same updates/s work at
+/// equal GFLOP/s, but the float run serves 2x the lanes per vector).
+inline double points_per_sec(double gflops, index flops_per_point) {
+  return gflops * 1e9 / static_cast<double>(flops_per_point);
+}
+
 inline void print_header(const char* title) {
   std::printf("## %s\n", title);
   std::printf("machine: %td cores, ISA %s, caches L1=%tdK L2=%tdK L3=%tdM\n\n",
@@ -122,62 +215,74 @@ inline void setup_omp() {
   setenv("OMP_DYNAMIC", "false", 0);
 }
 
-/// Runs one Table-1 problem with the given method/tiling/ISA/thread count and
-/// returns GFLOP/s. steps_override > 0 replaces the preset step count.
+namespace detail {
+
+template <typename T>
+double run_problem_t(const tsv::Problem& p, const tsv::Options& o) {
+  auto fill1 = [](index x) {
+    return T(0.3 + 1e-4 * static_cast<double>(x % 97));
+  };
+  auto fill2 = [](index x, index y) {
+    return T(0.3 + 1e-4 * static_cast<double>((x + 3 * y) % 97));
+  };
+  auto fill3 = [](index x, index y, index z) {
+    return T(0.3 + 1e-4 * static_cast<double>((x + 3 * y + 7 * z) % 97));
+  };
+  switch (p.kind) {
+    case tsv::StencilKind::k1d3p: {
+      tsv::Grid1D<T> g(p.nx, 1);
+      g.fill(fill1);
+      return time_run(g, tsv::make_1d3p<T>(1.0 / 3.0), o, p.nx);
+    }
+    case tsv::StencilKind::k1d5p: {
+      tsv::Grid1D<T> g(p.nx, 2);
+      g.fill(fill1);
+      return time_run(g, tsv::make_1d5p<T>(), o, p.nx);
+    }
+    case tsv::StencilKind::k2d5p: {
+      tsv::Grid2D<T> g(p.nx, p.ny, 1);
+      g.fill(fill2);
+      return time_run(g, tsv::make_2d5p<T>(), o, p.nx * p.ny);
+    }
+    case tsv::StencilKind::k2d9p: {
+      tsv::Grid2D<T> g(p.nx, p.ny, 1);
+      g.fill(fill2);
+      return time_run(g, tsv::make_2d9p<T>(), o, p.nx * p.ny);
+    }
+    case tsv::StencilKind::k3d7p: {
+      tsv::Grid3D<T> g(p.nx, p.ny, p.nz, 1);
+      g.fill(fill3);
+      return time_run(g, tsv::make_3d7p<T>(), o, p.nx * p.ny * p.nz);
+    }
+    case tsv::StencilKind::k3d27p: {
+      tsv::Grid3D<T> g(p.nx, p.ny, p.nz, 1);
+      g.fill(fill3);
+      return time_run(g, tsv::make_3d27p<T>(), o, p.nx * p.ny * p.nz);
+    }
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Runs one Table-1 problem with the given method/tiling/ISA/dtype/thread
+/// count and returns GFLOP/s. steps_override > 0 replaces the preset steps.
 inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
-                          tsv::Isa isa, int threads, index steps_override = 0) {
+                          tsv::Isa isa, int threads, index steps_override = 0,
+                          tsv::Dtype dtype = tsv::Dtype::kF64) {
   tsv::Options o;
   o.method = m;
   o.tiling = t;
   o.isa = isa;
+  o.dtype = dtype;
   o.steps = steps_override > 0 ? steps_override : p.steps;
   o.bx = p.bx;
   o.by = p.by;
   o.bz = p.bz;
   o.bt = p.bt;
   o.threads = threads;
-
-  switch (p.kind) {
-    case tsv::StencilKind::k1d3p: {
-      tsv::Grid1D<double> g(p.nx, 1);
-      g.fill([](index x) { return 0.3 + 1e-4 * static_cast<double>(x % 97); });
-      return time_run(g, tsv::make_1d3p(1.0 / 3.0), o, p.nx);
-    }
-    case tsv::StencilKind::k1d5p: {
-      tsv::Grid1D<double> g(p.nx, 2);
-      g.fill([](index x) { return 0.3 + 1e-4 * static_cast<double>(x % 97); });
-      return time_run(g, tsv::make_1d5p(), o, p.nx);
-    }
-    case tsv::StencilKind::k2d5p: {
-      tsv::Grid2D<double> g(p.nx, p.ny, 1);
-      g.fill([](index x, index y) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y) % 97);
-      });
-      return time_run(g, tsv::make_2d5p(), o, p.nx * p.ny);
-    }
-    case tsv::StencilKind::k2d9p: {
-      tsv::Grid2D<double> g(p.nx, p.ny, 1);
-      g.fill([](index x, index y) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y) % 97);
-      });
-      return time_run(g, tsv::make_2d9p(), o, p.nx * p.ny);
-    }
-    case tsv::StencilKind::k3d7p: {
-      tsv::Grid3D<double> g(p.nx, p.ny, p.nz, 1);
-      g.fill([](index x, index y, index z) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y + 7 * z) % 97);
-      });
-      return time_run(g, tsv::make_3d7p(), o, p.nx * p.ny * p.nz);
-    }
-    case tsv::StencilKind::k3d27p: {
-      tsv::Grid3D<double> g(p.nx, p.ny, p.nz, 1);
-      g.fill([](index x, index y, index z) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y + 7 * z) % 97);
-      });
-      return time_run(g, tsv::make_3d27p(), o, p.nx * p.ny * p.nz);
-    }
-  }
-  return 0;
+  return dtype == tsv::Dtype::kF32 ? detail::run_problem_t<float>(p, o)
+                                   : detail::run_problem_t<double>(p, o);
 }
 
 /// Best-of-N wrapper for the noisy multicore measurements: this machine is
@@ -185,11 +290,25 @@ inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
 /// repetitions is the standard robust estimator for throughput.
 inline double run_problem_best(const tsv::Problem& p, tsv::Method m,
                                tsv::Tiling t, tsv::Isa isa, int threads,
-                               int reps = 3, index steps_override = 0) {
+                               int reps = 3, index steps_override = 0,
+                               tsv::Dtype dtype = tsv::Dtype::kF64) {
   double best = 0;
   for (int i = 0; i < reps; ++i)
-    best = std::max(best, run_problem(p, m, t, isa, threads, steps_override));
+    best = std::max(best,
+                    run_problem(p, m, t, isa, threads, steps_override, dtype));
   return best;
+}
+
+/// Shrinks a Table-1 problem to smoke-test scale: every (method, isa, dtype)
+/// combination executes in milliseconds, block fields reset so the plan
+/// resolves legal defaults at the tiny extents.
+inline tsv::Problem smoke_problem(tsv::Problem p) {
+  p.nx = 512;
+  if (p.ny > 1) p.ny = 32;
+  if (p.nz > 1) p.nz = 8;
+  p.steps = 4;
+  p.bx = p.by = p.bz = p.bt = 0;
+  return p;
 }
 
 /// The four multicore contenders of Figs. 8-9 (paper naming).

@@ -1,11 +1,13 @@
 // Figure 7 — sequential block-free experiments (paper §4.2).
 //
 // Single thread, no tiling. 1D 3-point heat across problem sizes ranging
-// from L1 cache to main memory, for every vectorization method. Two total
-// step counts are reported: the default (paper T=1000, scaled to 100 here)
-// and 10x that (paper Fig. 7(b), T=10000) which amortizes DLT's global
-// transform — pass --long to run only the 10x variant, --paper-scale for the
-// published sizes/steps.
+// from L1 cache to main memory, for every vectorization method and every
+// requested element type (--dtype f64|f32|both; float doubles the lanes per
+// vector, which is the point of the dtype axis). Two total step counts are
+// reported: the default (paper T=1000, scaled to 100 here) and 10x that
+// (paper Fig. 7(b), T=10000) which amortizes DLT's global transform — pass
+// --long to run only the 10x variant, --paper-scale for the published
+// sizes/steps, --smoke for a CI-sized artifact run.
 //
 // Expected shape (paper): our 2-step variant wins everywhere; our 1-step
 // scheme beats multiload/reorg at every level; DLT is competitive only at
@@ -30,35 +32,69 @@ std::vector<tsv::Method> fig7_methods() {
   return v;
 }
 
-void sweep(tsv::index steps, const Config& cfg) {
+template <typename T>
+bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
+                 JsonSink& json) {
   const auto methods = fig7_methods();
-  std::printf("T = %td (single thread, no blocking)\n", steps);
+  const tsv::Dtype dt = tsv::dtype_of<T>();
+  bool ok = true;
+  std::printf("T = %td, dtype = %s (single thread, no blocking)\n", steps,
+              tsv::dtype_name(dt));
   std::printf("%-5s %10s |", "level", "nx");
   for (tsv::Method m : methods) std::printf(" %13s", tsv::method_name(m));
   std::printf("\n");
-  CsvSink csv(cfg.csv_path, "fig,steps,level,nx,method,gflops");
 
-  for (const SizeRung& rung : storage_ladder()) {
+  for (const SizeRung& rung : storage_ladder(cfg.smoke, dt)) {
     const tsv::index nx = cfg.paper_scale ? 10240000 : rung.nx;
     std::printf("%-5s %10td |", rung.level, nx);
     for (tsv::Method m : methods) {
-      tsv::Grid1D<double> g(nx, 1);
-      g.fill([](tsv::index x) { return 0.25 + 1e-4 * static_cast<double>(x % 101); });
       tsv::Options o;
       o.method = m;
-      o.isa = tsv::best_isa();
+      o.isa = cfg.isa;
       o.steps = steps;
-      const auto s = tsv::make_1d3p(1.0 / 3.0);
-      const double gf = time_run(g, s, o, nx);
-      std::printf(" %13.2f", gf);
-      std::fflush(stdout);
-      csv.row("7,%td,%s,%td,%s,%.3f", steps, rung.level, nx,
-              tsv::method_name(m), gf);
+      const auto s = tsv::make_1d3p<T>(1.0 / 3.0);
+      try {
+        tsv::Grid1D<T> g(nx, 1);
+        g.fill([](tsv::index x) {
+          return T(0.25 + 1e-4 * static_cast<double>(x % 101));
+        });
+        const double gf = time_run(g, s, o, nx);
+        std::printf(" %13.2f", gf);
+        std::fflush(stdout);
+        csv.row("7,%td,%s,%td,%s,%s,%.3f", steps, rung.level, nx,
+                tsv::method_name(m), tsv::dtype_name(dt), gf);
+        json.record(
+            "{\"bench\":\"fig7\",\"steps\":%td,\"level\":\"%s\",\"nx\":%td,"
+            "\"method\":\"%s\",\"isa\":\"%s\",\"dtype\":\"%s\","
+            "\"gflops\":%.3f,\"points_per_s\":%.0f}",
+            steps, rung.level, nx, tsv::method_name(m),
+            tsv::isa_name(cfg.isa == tsv::Isa::kAuto ? tsv::best_isa()
+                                                     : cfg.isa),
+            tsv::dtype_name(dt), gf, points_per_sec(gf, s.flops_per_point));
+      } catch (const std::exception& e) {
+        ok = false;
+        std::printf(" %13s", "ERROR");
+        std::fprintf(stderr, "\nfig7 %s/%s nx=%td failed: %s\n",
+                     tsv::method_name(m), tsv::dtype_name(dt), nx, e.what());
+        json.record(
+            "{\"bench\":\"fig7\",\"method\":\"%s\",\"dtype\":\"%s\","
+            "\"nx\":%td,\"error\":true}",
+            tsv::method_name(m), tsv::dtype_name(dt), nx);
+      }
     }
     std::printf("\n");
     if (cfg.paper_scale) break;  // paper uses one (large) size per T
   }
   std::printf("\n");
+  return ok;
+}
+
+bool sweep(tsv::index steps, const Config& cfg, CsvSink& csv, JsonSink& json) {
+  bool ok = true;
+  for (tsv::Dtype d : cfg.dtypes)
+    ok &= (d == tsv::Dtype::kF32) ? sweep_dtype<float>(steps, cfg, csv, json)
+                                  : sweep_dtype<double>(steps, cfg, csv, json);
+  return ok;
 }
 
 }  // namespace
@@ -67,8 +103,13 @@ int main(int argc, char** argv) {
   bench::setup_omp();
   const Config cfg = Config::parse(argc, argv);
   print_header("Figure 7: sequential block-free performance (1D heat)");
-  const tsv::index base = cfg.paper_scale ? 1000 : 100;
-  if (!cfg.long_t) sweep(base, cfg);       // Fig. 7(a)
-  sweep(base * 10, cfg);                   // Fig. 7(b)
-  return 0;
+  CsvSink csv(cfg.csv_path, "fig,steps,level,nx,method,dtype,gflops");
+  JsonSink json(cfg.json_path);
+  const tsv::index base = cfg.smoke ? 4 : cfg.paper_scale ? 1000 : 100;
+  bool ok = true;
+  // --smoke runs exactly one sweep regardless of --long (otherwise the two
+  // flags together would skip both sweeps and pass vacuously).
+  if (cfg.smoke || !cfg.long_t) ok &= sweep(base, cfg, csv, json);  // Fig. 7(a)
+  if (!cfg.smoke) ok &= sweep(base * 10, cfg, csv, json);  // Fig. 7(b)
+  return ok ? 0 : 1;
 }

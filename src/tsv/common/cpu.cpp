@@ -91,15 +91,31 @@ index isa_width(Isa isa) {
   return 1;
 }
 
-index kernel_width(Isa isa) {
-  switch (isa) {
-    case Isa::kAvx512: return 8;
-    case Isa::kAvx2: return 4;
-    case Isa::kScalar: return 2;  // generic width-2 kernels
-    case Isa::kAuto: return kernel_width(best_isa());
+const char* dtype_name(Dtype d) {
+  switch (d) {
+    case Dtype::kF64: return "f64";
+    case Dtype::kF32: return "f32";
   }
-  return 2;
+  return "?";
 }
+
+index dtype_size(Dtype d) { return d == Dtype::kF32 ? 4 : 8; }
+
+index kernel_width(Isa isa, Dtype dtype) {
+  // One register's worth of lanes: 512/256/128 bits over the element size.
+  // The scalar ISA runs the generic 128-bit-wide kernels (W=2 doubles /
+  // W=4 floats), which is also what the plan's layout rules must use.
+  index bits = 128;
+  switch (isa) {
+    case Isa::kAvx512: bits = 512; break;
+    case Isa::kAvx2: bits = 256; break;
+    case Isa::kScalar: bits = 128; break;
+    case Isa::kAuto: return kernel_width(best_isa(), dtype);
+  }
+  return bits / (8 * dtype_size(dtype));
+}
+
+index kernel_width(Isa isa) { return kernel_width(isa, Dtype::kF64); }
 
 const CpuInfo& cpu_info() {
   static const CpuInfo info = detect();

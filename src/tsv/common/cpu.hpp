@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <string>
+#include <type_traits>
 
 #include "tsv/common/aligned.hpp"
 
@@ -20,17 +21,43 @@ enum class Isa {
   kAuto,    ///< resolve to best_isa() at plan creation (Options default)
 };
 
+/// Element types the kernels are compiled for. Every vector register holds
+/// twice as many kF32 lanes as kF64 lanes — the cheapest 2x throughput lever
+/// the hardware offers for workloads that tolerate single precision.
+enum class Dtype {
+  kF64,  ///< IEEE double precision (the paper's evaluation dtype)
+  kF32,  ///< IEEE single precision (2x lanes per vector)
+};
+
 /// Human-readable name ("scalar", "avx2", "avx512", "auto").
 const char* isa_name(Isa isa);
+
+/// Human-readable name ("f64", "f32").
+const char* dtype_name(Dtype d);
+
+/// Element size in bytes (8 or 4).
+index dtype_size(Dtype d);
 
 /// Vector length in doubles for @p isa (1, 4 or 8; kAuto reports the width
 /// best_isa() would resolve to).
 index isa_width(Isa isa);
 
-/// Vector width of the KERNELS the planner binds for @p isa (2, 4 or 8):
-/// the scalar ISA still runs the width-2 generic kernels, so layout rules
-/// (nx % W, nx % W^2) use this width, not isa_width().
+/// Vector width of the KERNELS the planner binds for @p isa (2, 4 or 8 for
+/// kF64; twice that for kF32): the scalar ISA still runs the 128-bit-wide
+/// generic kernels, so layout rules (nx % W, nx % W^2) use this width, not
+/// isa_width().
+index kernel_width(Isa isa, Dtype dtype);
+
+/// Double-precision kernel width (source-compatible shorthand).
 index kernel_width(Isa isa);
+
+/// The Dtype enumerator for a C++ element type (float or double).
+template <typename T>
+constexpr Dtype dtype_of() {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                "tsv kernels support float and double elements");
+  return std::is_same_v<T, float> ? Dtype::kF32 : Dtype::kF64;
+}
 
 struct CpuInfo {
   bool has_avx2 = false;

@@ -25,17 +25,27 @@ enum class XRule {
   kWidth2,   ///< nx % W^2 == 0 (register-block transpose layout)
 };
 
+/// Dtype-mask bits for Capability rows.
+inline constexpr unsigned kDtypeF64 = 1u << 0;
+inline constexpr unsigned kDtypeF32 = 1u << 1;
+inline constexpr unsigned kAllDtypes = kDtypeF64 | kDtypeF32;
+
 /// One supported (method, tiling) combination.
 struct Capability {
   Method method;
   Tiling tiling;
   unsigned rank_mask;   ///< bit (r-1) set when grid rank r is supported
+  unsigned dtype_mask;  ///< kDtypeF64/kDtypeF32 bits for the element types
   XRule x_rule;         ///< layout divisibility constraint on nx
   bool needs_even_bt;   ///< temporal block must be even (2-step unroll&jam)
   const char* note;     ///< one-line description for docs/CLI listings
 
   bool supports_rank(int rank) const {
     return rank >= 1 && rank <= 3 && (rank_mask & (1u << (rank - 1))) != 0;
+  }
+
+  bool supports_dtype(Dtype d) const {
+    return (dtype_mask & (d == Dtype::kF32 ? kDtypeF32 : kDtypeF64)) != 0;
   }
 };
 

@@ -36,6 +36,8 @@ struct Options {
   Method method = Method::kTranspose;
   Tiling tiling = Tiling::kNone;
   Isa isa = Isa::kAuto;     ///< kAuto resolves to best_isa() at plan time
+  Dtype dtype = Dtype::kF64;  ///< element type; typed plans derive it from
+                              ///< the stencil instead
   index steps = 1;          ///< time steps T
   index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (0 = plan default)
   index bt = 0;             ///< temporal block (0 = plan default)

@@ -53,13 +53,16 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
               : o.tiling == Tiling::kNone ? 1
                                           : runtime_default_threads;
 
-  // ISA: kAuto resolves to the widest compiled+supported ISA.
+  // ISA: kAuto resolves to the widest compiled+supported ISA. The dtype is
+  // already concrete (no auto); the kernel width is lanes of that dtype.
   r.isa = (o.isa == Isa::kAuto) ? best_isa() : o.isa;
   if (!isa_compiled(r.isa)) fail(isa_err(" not compiled into this binary", r.isa));
   if (!isa_supported(r.isa)) fail(isa_err(" not supported on this machine", r.isa));
-  r.width = kernel_width(r.isa);
+  r.dtype = o.dtype;
+  r.width = kernel_width(r.isa, r.dtype);
 
-  // Registry validation: is (method, tiling) implemented at this rank?
+  // Registry validation: is (method, tiling) implemented at this rank and
+  // dtype?
   const Capability* cap = find_capability(o.method, o.tiling);
   if (cap == nullptr) {
     if (o.tiling == Tiling::kSplit)
@@ -70,6 +73,8 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   }
   if (!cap->supports_rank(rank))
     fail(std::string("not implemented for rank ") + std::to_string(rank));
+  if (!cap->supports_dtype(o.dtype))
+    fail(std::string("not implemented for dtype ") + dtype_name(o.dtype));
 
   // Layout divisibility rules, checked against the planned shape.
   switch (cap->x_rule) {
@@ -167,19 +172,36 @@ Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
     auto typed = make_plan(shape, stencil, o);
     p.cfg_ = typed.config();
     using G = detail::grid_for_t<decltype(stencil)>;
+    using T = typename decltype(stencil)::value_type;
+    constexpr bool f32 = std::is_same_v<T, float>;
     auto fn = [typed = std::move(typed)](G& g) { typed.execute(g); };
-    if constexpr (detail::grid_rank<G> == 1) p.f1_ = std::move(fn);
-    else if constexpr (detail::grid_rank<G> == 2) p.f2_ = std::move(fn);
-    else p.f3_ = std::move(fn);
+    if constexpr (detail::grid_rank<G> == 1) {
+      if constexpr (f32) p.f1f_ = std::move(fn);
+      else p.f1_ = std::move(fn);
+    } else if constexpr (detail::grid_rank<G> == 2) {
+      if constexpr (f32) p.f2f_ = std::move(fn);
+      else p.f2_ = std::move(fn);
+    } else {
+      if constexpr (f32) p.f3f_ = std::move(fn);
+      else p.f3_ = std::move(fn);
+    }
   };
-  switch (kind) {
-    case StencilKind::k1d3p: bind(make_1d3p()); break;
-    case StencilKind::k1d5p: bind(make_1d5p()); break;
-    case StencilKind::k2d5p: bind(make_2d5p()); break;
-    case StencilKind::k2d9p: bind(make_2d9p()); break;
-    case StencilKind::k3d7p: bind(make_3d7p()); break;
-    case StencilKind::k3d27p: bind(make_3d27p()); break;
-  }
+  // The Options dtype selects which instantiation of the Table-1 stencil the
+  // plan binds; the grid handed to execute() must match it.
+  auto bind_kind = [&]<typename T>() {
+    switch (kind) {
+      case StencilKind::k1d3p: bind(make_1d3p<T>()); break;
+      case StencilKind::k1d5p: bind(make_1d5p<T>()); break;
+      case StencilKind::k2d5p: bind(make_2d5p<T>()); break;
+      case StencilKind::k2d9p: bind(make_2d9p<T>()); break;
+      case StencilKind::k3d7p: bind(make_3d7p<T>()); break;
+      case StencilKind::k3d27p: bind(make_3d27p<T>()); break;
+    }
+  };
+  if (o.dtype == Dtype::kF32)
+    bind_kind.template operator()<float>();
+  else
+    bind_kind.template operator()<double>();
   return p;
 }
 

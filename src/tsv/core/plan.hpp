@@ -74,7 +74,8 @@ struct ResolvedOptions {
   Method method = Method::kTranspose;
   Tiling tiling = Tiling::kNone;
   Isa isa = Isa::kScalar;  ///< concrete ISA the kernels were bound for
-  index width = 2;         ///< kernel vector width in doubles (2, 4 or 8)
+  Dtype dtype = Dtype::kF64;  ///< concrete element type the kernels compute in
+  index width = 2;         ///< kernel vector width in dtype lanes (2..16)
   index steps = 0;
   index bx = 0, by = 0, bz = 0;  ///< resolved tessellation blocks (elements)
   index bt = 0;                  ///< resolved temporal block
@@ -106,22 +107,22 @@ inline constexpr int grid_rank<Grid2D<T>> = 2;
 template <typename T>
 inline constexpr int grid_rank<Grid3D<T>> = 3;
 
-template <int Dim>
+template <int Dim, typename T>
 struct grid_for;
-template <>
-struct grid_for<1> {
-  using type = Grid1D<double>;
+template <typename T>
+struct grid_for<1, T> {
+  using type = Grid1D<T>;
 };
-template <>
-struct grid_for<2> {
-  using type = Grid2D<double>;
+template <typename T>
+struct grid_for<2, T> {
+  using type = Grid2D<T>;
 };
-template <>
-struct grid_for<3> {
-  using type = Grid3D<double>;
+template <typename T>
+struct grid_for<3, T> {
+  using type = Grid3D<T>;
 };
 template <typename S>
-using grid_for_t = typename grid_for<S::dim>::type;
+using grid_for_t = typename grid_for<S::dim, typename S::value_type>::type;
 
 template <typename G, typename S>
 using ExecFn = void (*)(G&, const S&, const ResolvedOptions&);
@@ -250,17 +251,19 @@ void add_entries(std::vector<ExecEntry<G, S>>& table, Isa isa) {
 }
 
 /// Per-(grid, stencil) dispatch table, built once from the registry: one row
-/// per registry capability per compiled vector width.
+/// per registry capability per compiled vector width. The element type comes
+/// from the stencil; a float table binds the same kernels at 2x the lanes.
 template <typename G, typename S>
 const std::vector<ExecEntry<G, S>>& exec_table() {
+  using T = typename S::value_type;
   static const std::vector<ExecEntry<G, S>> table = [] {
     std::vector<ExecEntry<G, S>> t;
-    add_entries<Vec<double, 2>, G, S>(t, Isa::kScalar);
+    add_entries<Vec<T, 16 / sizeof(T)>, G, S>(t, Isa::kScalar);
 #if defined(__AVX2__)
-    add_entries<Vec<double, 4>, G, S>(t, Isa::kAvx2);
+    add_entries<Vec<T, 32 / sizeof(T)>, G, S>(t, Isa::kAvx2);
 #endif
 #if defined(__AVX512F__)
-    add_entries<Vec<double, 8>, G, S>(t, Isa::kAvx512);
+    add_entries<Vec<T, 64 / sizeof(T)>, G, S>(t, Isa::kAvx512);
 #endif
     return t;
   }();
@@ -316,15 +319,17 @@ class TypedPlan {
   detail::ExecFn<G, S> fn_;
 };
 
-template <int R>
-using Plan1D = TypedPlan<Grid1D<double>, Stencil1D<R>>;
-template <int R, int NR>
-using Plan2D = TypedPlan<Grid2D<double>, Stencil2D<R, NR>>;
-template <int R, int NR>
-using Plan3D = TypedPlan<Grid3D<double>, Stencil3D<R, NR>>;
+template <int R, typename T = double>
+using Plan1D = TypedPlan<Grid1D<T>, Stencil1D<R, T>>;
+template <int R, int NR, typename T = double>
+using Plan2D = TypedPlan<Grid2D<T>, Stencil2D<R, NR, T>>;
+template <int R, int NR, typename T = double>
+using Plan3D = TypedPlan<Grid3D<T>, Stencil3D<R, NR, T>>;
 
 /// Builds a plan for an explicit stencil descriptor. Validates once against
-/// the registry; throws ConfigError on invalid configurations.
+/// the registry; throws ConfigError on invalid configurations. The element
+/// type is the stencil's: Options::dtype is overridden here and only drives
+/// the StencilKind overload below.
 template <typename S>
 TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
                                               const S& stencil,
@@ -332,18 +337,24 @@ TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
   if (shape.rank != S::dim)
     throw ConfigError(o.method, o.tiling, shape.rank,
                       "shape rank does not match the stencil's rank");
+  Options oo = o;
+  oo.dtype = dtype_of<typename S::value_type>();
   return TypedPlan<detail::grid_for_t<S>, S>(
-      shape, stencil, resolve_options(shape, S::radius, o));
+      shape, stencil, resolve_options(shape, S::radius, oo));
 }
 
 /// Rank-erased plan for runtime stencil kinds (CLI / bench / service use).
-/// Holds a TypedPlan for one of the named Table-1 stencils; execute() on the
-/// wrong grid rank throws ConfigError.
+/// Holds a TypedPlan for one of the named Table-1 stencils in the dtype the
+/// Options selected; execute() on the wrong grid rank — or on a grid whose
+/// element type differs from the planned dtype — throws ConfigError.
 class Plan {
  public:
   void execute(Grid1D<double>& g) const { dispatch(f1_, g); }
   void execute(Grid2D<double>& g) const { dispatch(f2_, g); }
   void execute(Grid3D<double>& g) const { dispatch(f3_, g); }
+  void execute(Grid1D<float>& g) const { dispatch(f1f_, g); }
+  void execute(Grid2D<float>& g) const { dispatch(f2f_, g); }
+  void execute(Grid3D<float>& g) const { dispatch(f3f_, g); }
 
   int rank() const { return shape_.rank; }
   const Shape& shape() const { return shape_; }
@@ -357,13 +368,16 @@ class Plan {
   void dispatch(const F& f, G& g) const {
     if (!f)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
-                        "plan was built for a different grid rank");
+                        "plan was built for a different grid rank or dtype");
     f(g);
   }
 
   std::function<void(Grid1D<double>&)> f1_;
   std::function<void(Grid2D<double>&)> f2_;
   std::function<void(Grid3D<double>&)> f3_;
+  std::function<void(Grid1D<float>&)> f1f_;
+  std::function<void(Grid2D<float>&)> f2f_;
+  std::function<void(Grid3D<float>&)> f3f_;
   Shape shape_;
   ResolvedOptions cfg_;
 };

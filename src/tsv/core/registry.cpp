@@ -15,34 +15,40 @@ constexpr unsigned kAllRanks = kRank1 | kRank2 | kRank3;
 const std::vector<Capability>& table() {
   static const std::vector<Capability> rows = {
       // -- untiled sweeps (paper §4.2; single-threaded by design) ----------
-      {Method::kScalar, Tiling::kNone, kAllRanks, XRule::kNone, false,
-       "plain scalar reference"},
-      {Method::kAutoVec, Tiling::kNone, kAllRanks, XRule::kNone, false,
-       "compiler auto-vectorization"},
-      {Method::kMultiLoad, Tiling::kNone, kAllRanks, XRule::kNone, false,
-       "unaligned load per shifted vector (paper §2.1)"},
-      {Method::kReorg, Tiling::kNone, kAllRanks, XRule::kNone, false,
-       "aligned loads + register shuffles (paper §2.1)"},
-      {Method::kDlt, Tiling::kNone, kAllRanks, XRule::kWidth, false,
-       "dimension-lifting transpose (Henretty; paper §2.2)"},
-      {Method::kTranspose, Tiling::kNone, kAllRanks, XRule::kWidth2, false,
+      {Method::kScalar, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+       false, "plain scalar reference"},
+      {Method::kAutoVec, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+       false, "compiler auto-vectorization"},
+      {Method::kMultiLoad, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+       false, "unaligned load per shifted vector (paper §2.1)"},
+      {Method::kReorg, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+       false, "aligned loads + register shuffles (paper §2.1)"},
+      {Method::kDlt, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kWidth,
+       false, "dimension-lifting transpose (Henretty; paper §2.2)"},
+      {Method::kTranspose, Tiling::kNone, kAllRanks, kAllDtypes,
+       XRule::kWidth2, false,
        "register-block transpose layout (paper §3.2, \"Our\")"},
-      {Method::kTransposeUJ, Tiling::kNone, kAllRanks, XRule::kWidth2, false,
+      {Method::kTransposeUJ, Tiling::kNone, kAllRanks, kAllDtypes,
+       XRule::kWidth2, false,
        "transpose layout + 2-step unroll&jam (paper §3.3, \"Our (2 steps)\")"},
       // -- tessellate tiling (paper §3.4; Yuan SC'17), multicore -----------
-      {Method::kAutoVec, Tiling::kTessellate, kAllRanks, XRule::kNone, false,
+      {Method::kAutoVec, Tiling::kTessellate, kAllRanks, kAllDtypes,
+       XRule::kNone, false,
        "tessellation baseline: tiled compiler-vectorized sweeps"},
-      {Method::kMultiLoad, Tiling::kTessellate, kRank1, XRule::kNone, false,
+      {Method::kMultiLoad, Tiling::kTessellate, kRank1, kAllDtypes,
+       XRule::kNone, false,
        "ablation: tessellate tiling over multiload sweeps (1D)"},
-      {Method::kReorg, Tiling::kTessellate, kRank1, XRule::kNone, false,
-       "ablation: tessellate tiling over reorg sweeps (1D)"},
-      {Method::kTranspose, Tiling::kTessellate, kAllRanks, XRule::kWidth2,
-       false, "the paper's scheme: tessellate tiling + transpose layout"},
-      {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, XRule::kWidth2,
-       true, "pair-granular tessellation of the 2-step unroll&jam scheme"},
+      {Method::kReorg, Tiling::kTessellate, kRank1, kAllDtypes, XRule::kNone,
+       false, "ablation: tessellate tiling over reorg sweeps (1D)"},
+      {Method::kTranspose, Tiling::kTessellate, kAllRanks, kAllDtypes,
+       XRule::kWidth2, false,
+       "the paper's scheme: tessellate tiling + transpose layout"},
+      {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, kAllDtypes,
+       XRule::kWidth2, true,
+       "pair-granular tessellation of the 2-step unroll&jam scheme"},
       // -- split tiling over the DLT layout (SDSL baseline) ----------------
-      {Method::kDlt, Tiling::kSplit, kAllRanks, XRule::kWidth, false,
-       "SDSL baseline: DLT layout + split/hybrid tiling"},
+      {Method::kDlt, Tiling::kSplit, kAllRanks, kAllDtypes, XRule::kWidth,
+       false, "SDSL baseline: DLT layout + split/hybrid tiling"},
   };
   return rows;
 }
@@ -80,8 +86,15 @@ const Capability* find_capability(Method m, Tiling t) {
 }
 
 bool supports(Method m, Tiling t, int rank, Isa isa) {
+  return supports(m, t, rank, isa, Dtype::kF64) ||
+         supports(m, t, rank, isa, Dtype::kF32);
+}
+
+bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype) {
   const Capability* cap = find_capability(m, t);
-  if (cap == nullptr || !cap->supports_rank(rank)) return false;
+  if (cap == nullptr || !cap->supports_rank(rank) ||
+      !cap->supports_dtype(dtype))
+    return false;
   if (isa == Isa::kAuto) isa = best_isa();
   return isa_compiled(isa) && isa_supported(isa);
 }
@@ -119,6 +132,11 @@ const std::vector<Isa>& all_isas() {
   return v;
 }
 
+const std::vector<Dtype>& all_dtypes() {
+  static const std::vector<Dtype> v = {Dtype::kF64, Dtype::kF32};
+  return v;
+}
+
 std::optional<Method> method_from_name(std::string_view name) {
   for (Method m : all_methods())
     if (name == method_name(m)) return m;
@@ -135,6 +153,14 @@ std::optional<Isa> isa_from_name(std::string_view name) {
   if (name == isa_name(Isa::kAuto)) return Isa::kAuto;
   for (Isa isa : all_isas())
     if (name == isa_name(isa)) return isa;
+  return std::nullopt;
+}
+
+std::optional<Dtype> dtype_from_name(std::string_view name) {
+  if (name == "double") return Dtype::kF64;
+  if (name == "float") return Dtype::kF32;
+  for (Dtype d : all_dtypes())
+    if (name == dtype_name(d)) return d;
   return std::nullopt;
 }
 

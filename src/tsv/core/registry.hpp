@@ -28,6 +28,11 @@ const Capability* find_capability(Method m, Tiling t);
 /// machine. kAuto resolves to best_isa().
 bool supports(Method m, Tiling t, int rank, Isa isa = Isa::kAuto);
 
+/// Full-tuple form: additionally requires the row to claim @p dtype. The
+/// registry enumerates (method, tiling, rank, isa, dtype) tuples; plan
+/// creation rejects exactly the tuples this predicate rejects.
+bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype);
+
 /// Methods usable with tiling @p t at rank @p rank, in registry order.
 std::vector<Method> supported_methods(Tiling t, int rank);
 
@@ -39,11 +44,14 @@ std::vector<Isa> runnable_isas();
 const std::vector<Method>& all_methods();
 const std::vector<Tiling>& all_tilings();
 const std::vector<Isa>& all_isas();
+const std::vector<Dtype>& all_dtypes();
 
-/// Name -> enum inverses of method_name/tiling_name/isa_name, for CLI and
-/// bench parsing. Return nullopt for unknown names.
+/// Name -> enum inverses of method_name/tiling_name/isa_name/dtype_name, for
+/// CLI and bench parsing. Return nullopt for unknown names; dtype_from_name
+/// also accepts the spellings "double"/"float".
 std::optional<Method> method_from_name(std::string_view name);
 std::optional<Tiling> tiling_from_name(std::string_view name);
 std::optional<Isa> isa_from_name(std::string_view name);
+std::optional<Dtype> dtype_from_name(std::string_view name);
 
 }  // namespace tsv

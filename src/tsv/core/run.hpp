@@ -24,19 +24,21 @@ namespace tsv {
 /// Advances @p g by `o.steps` Jacobi steps of stencil @p s using the selected
 /// method / tiling / ISA. The result (and the untouched Dirichlet halo) ends
 /// in @p g. Throws tsv::ConfigError (a std::invalid_argument) on invalid
-/// configurations, including layout-divisibility violations.
-template <int R>
-void run(Grid1D<double>& g, const Stencil1D<R>& s, const Options& o) {
+/// configurations, including layout-divisibility violations. The element
+/// type follows the grid/stencil pair (double by default, float for
+/// Grid1D<float> + make_1d3p<float>() and friends).
+template <int R, typename T>
+void run(Grid1D<T>& g, const Stencil1D<R, T>& s, const Options& o) {
   make_plan(shape_of(g), s, o).execute(g);
 }
 
-template <int R, int NR>
-void run(Grid2D<double>& g, const Stencil2D<R, NR>& s, const Options& o) {
+template <int R, int NR, typename T>
+void run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s, const Options& o) {
   make_plan(shape_of(g), s, o).execute(g);
 }
 
-template <int R, int NR>
-void run(Grid3D<double>& g, const Stencil3D<R, NR>& s, const Options& o) {
+template <int R, int NR, typename T>
+void run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s, const Options& o) {
   make_plan(shape_of(g), s, o).execute(g);
 }
 

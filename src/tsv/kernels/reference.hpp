@@ -1,38 +1,39 @@
 #pragma once
 // Scalar reference implementations — the ground truth every optimized method
-// is tested against. Intentionally simple; no vectorization pragmas, no
-// parallelism (multicore execution in this library always goes through a
-// tiling framework, as in the paper's experiments).
+// is tested against, in the same element type T the method runs in.
+// Intentionally simple; no vectorization pragmas, no parallelism (multicore
+// execution in this library always goes through a tiling framework, as in
+// the paper's experiments).
 
 #include "tsv/common/grid.hpp"
 #include "tsv/kernels/stencil.hpp"
 
 namespace tsv {
 
-template <int R>
-void reference_step(const Grid1D<double>& in, Grid1D<double>& out,
-                    const Stencil1D<R>& s) {
-  const double* ip = in.x0();
-  double* op = out.x0();
+template <int R, typename T>
+void reference_step(const Grid1D<T>& in, Grid1D<T>& out,
+                    const Stencil1D<R, T>& s) {
+  const T* ip = in.x0();
+  T* op = out.x0();
   for (index x = 0; x < in.nx(); ++x) op[x] = s.apply(ip + x);
 }
 
-template <int R, int NR>
-void reference_step(const Grid2D<double>& in, Grid2D<double>& out,
-                    const Stencil2D<R, NR>& s) {
+template <int R, int NR, typename T>
+void reference_step(const Grid2D<T>& in, Grid2D<T>& out,
+                    const Stencil2D<R, NR, T>& s) {
   for (index y = 0; y < in.ny(); ++y) {
-    double* op = out.row(y);
+    T* op = out.row(y);
     for (index x = 0; x < in.nx(); ++x)
       op[x] = s.apply([&](int dy) { return in.row(y + dy); }, x);
   }
 }
 
-template <int R, int NR>
-void reference_step(const Grid3D<double>& in, Grid3D<double>& out,
-                    const Stencil3D<R, NR>& s) {
+template <int R, int NR, typename T>
+void reference_step(const Grid3D<T>& in, Grid3D<T>& out,
+                    const Stencil3D<R, NR, T>& s) {
   for (index z = 0; z < in.nz(); ++z)
     for (index y = 0; y < in.ny(); ++y) {
-      double* op = out.row(y, z);
+      T* op = out.row(y, z);
       for (index x = 0; x < in.nx(); ++x)
         op[x] =
             s.apply([&](int dy, int dz) { return in.row(y + dy, z + dz); }, x);

@@ -5,7 +5,8 @@
 // register arrays end up materialized on the stack and every sweep runs ~2x
 // slower (see the extern template comments in the kernel headers). Keeping
 // the instantiations here — and nothing else — guarantees clean codegen for
-// every consumer.
+// every consumer. Both element types are pinned: the float kernels are the
+// same templates at twice the lane count.
 #define TSV_KERNELS_TU 1
 
 #include "tsv/vectorize/blocked_m.hpp"
@@ -15,21 +16,21 @@
 
 namespace tsv {
 
-#define TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, R, NR)                          \
-  template void transpose_sweep_row_region<V, R, NR>(                     \
-      const std::array<const double*, NR>&, double*,                      \
-      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
-      index);
+#define TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, R, NR)                            \
+  template void transpose_sweep_row_region<V, R, NR>(                       \
+      const std::array<const V::value_type*, NR>&, V::value_type*,          \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
+      index, index);
 
-#define TSV_INSTANTIATE_DLT_SWEEP(V, R, NR)                                \
-  template void dlt_sweep_row_region<V, R, NR>(                           \
-      const std::array<const double*, NR>&, double*,                      \
-      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
-      index);
+#define TSV_INSTANTIATE_DLT_SWEEP(V, R, NR)                                  \
+  template void dlt_sweep_row_region<V, R, NR>(                             \
+      const std::array<const V::value_type*, NR>&, V::value_type*,          \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
+      index, index);
 
 #define TSV_INSTANTIATE_UJ_SWEEP(V, R, K)             \
   template void unroll_jam_sweep_row<V, R, K>(        \
-      double*, const std::array<double, 2 * R + 1>&, index);
+      V::value_type*, const std::array<V::value_type, 2 * R + 1>&, index);
 
 #define TSV_INSTANTIATE_ALL_FOR(V)        \
   TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, 1, 1) \
@@ -49,11 +50,14 @@ namespace tsv {
   TSV_INSTANTIATE_UJ_SWEEP(V, 2, 2)
 
 TSV_INSTANTIATE_ALL_FOR(VecD2)
+TSV_INSTANTIATE_ALL_FOR(VecF4)
 #if defined(__AVX2__)
 TSV_INSTANTIATE_ALL_FOR(VecD4)
+TSV_INSTANTIATE_ALL_FOR(VecF8)
 #endif
 #if defined(__AVX512F__)
 TSV_INSTANTIATE_ALL_FOR(VecD8)
+TSV_INSTANTIATE_ALL_FOR(VecF16)
 #endif
 
 }  // namespace tsv

@@ -11,6 +11,8 @@
 //  * the data-reorganization baseline uses general S in [1, W-1];
 //  * DLT seam handling uses S = 1 and W-1 as well.
 
+#include <utility>
+
 #include "tsv/simd/vec.hpp"
 
 namespace tsv {
@@ -51,6 +53,32 @@ inline Vec<double, 4> concat_shift(Vec<double, 4> a, Vec<double, 4> b) {
 }
 #endif
 
+#if defined(__AVX2__)
+template <int S>
+inline Vec<float, 8> concat_shift(Vec<float, 8> a, Vec<float, 8> b) {
+  static_assert(S >= 0 && S <= 8, "shift amount out of range");
+  if constexpr (S == 0) {
+    return a;
+  } else if constexpr (S == 8) {
+    return b;
+  } else {
+    // mid = (a_hi : b_lo); vpalignr then shifts within each 128-bit lane,
+    // and pairing (mid, a) / (b, mid) makes those per-lane shifts line up
+    // with the cross-register window: 2 instructions for any S.
+    const __m256 mid = _mm256_permute2f128_ps(a.v, b.v, 0x21);
+    if constexpr (S == 4) {
+      return Vec<float, 8>(mid);
+    } else if constexpr (S < 4) {
+      return Vec<float, 8>(_mm256_castsi256_ps(_mm256_alignr_epi8(
+          _mm256_castps_si256(mid), _mm256_castps_si256(a.v), 4 * S)));
+    } else {  // S in (4, 8)
+      return Vec<float, 8>(_mm256_castsi256_ps(_mm256_alignr_epi8(
+          _mm256_castps_si256(b.v), _mm256_castps_si256(mid), 4 * (S - 4))));
+    }
+  }
+}
+#endif
+
 #if defined(__AVX512F__)
 template <int S>
 inline Vec<double, 8> concat_shift(Vec<double, 8> a, Vec<double, 8> b) {
@@ -63,6 +91,20 @@ inline Vec<double, 8> concat_shift(Vec<double, 8> a, Vec<double, 8> b) {
     // Single cross-lane instruction: (b:a) >> S qwords.
     return Vec<double, 8>(_mm512_castsi512_pd(_mm512_alignr_epi64(
         _mm512_castpd_si512(b.v), _mm512_castpd_si512(a.v), S)));
+  }
+}
+
+template <int S>
+inline Vec<float, 16> concat_shift(Vec<float, 16> a, Vec<float, 16> b) {
+  static_assert(S >= 0 && S <= 16, "shift amount out of range");
+  if constexpr (S == 0) {
+    return a;
+  } else if constexpr (S == 16) {
+    return b;
+  } else {
+    // Single cross-lane instruction: (b:a) >> S dwords.
+    return Vec<float, 16>(_mm512_castsi512_ps(_mm512_alignr_epi32(
+        _mm512_castps_si512(b.v), _mm512_castps_si512(a.v), S)));
   }
 }
 #endif
@@ -109,35 +151,14 @@ inline Vec<double, 8> assemble_right(Vec<double, 8> cur, Vec<double, 8> next) {
 #endif
 
 /// Runtime-S dispatcher (used by generic-radius code paths; S in [0, W]).
+/// One fold over the compile-time shift ladder, so every width — including
+/// the 16-lane float vectors — dispatches to its specialized shuffles.
 template <typename T, int W>
 inline Vec<T, W> concat_shift_rt(Vec<T, W> a, Vec<T, W> b, int s) {
   Vec<T, W> r = a;
-  switch (s) {
-    case 0: r = concat_shift<0>(a, b); break;
-    case 1: r = concat_shift<1>(a, b); break;
-    case 2:
-      if constexpr (W >= 2) r = concat_shift<(W >= 2 ? 2 : 0)>(a, b);
-      break;
-    case 3:
-      if constexpr (W >= 3) r = concat_shift<(W >= 3 ? 3 : 0)>(a, b);
-      break;
-    case 4:
-      if constexpr (W >= 4) r = concat_shift<(W >= 4 ? 4 : 0)>(a, b);
-      break;
-    case 5:
-      if constexpr (W >= 5) r = concat_shift<(W >= 5 ? 5 : 0)>(a, b);
-      break;
-    case 6:
-      if constexpr (W >= 6) r = concat_shift<(W >= 6 ? 6 : 0)>(a, b);
-      break;
-    case 7:
-      if constexpr (W >= 7) r = concat_shift<(W >= 7 ? 7 : 0)>(a, b);
-      break;
-    case 8:
-      if constexpr (W >= 8) r = concat_shift<(W >= 8 ? 8 : 0)>(a, b);
-      break;
-    default: break;
-  }
+  [&]<int... S>(std::integer_sequence<int, S...>) {
+    (void)((s == S ? (r = concat_shift<S>(a, b), true) : false) || ...);
+  }(std::make_integer_sequence<int, W + 1>{});
   return r;
 }
 

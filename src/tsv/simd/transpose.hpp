@@ -59,6 +59,68 @@ inline void transpose_baseline(Vec<double, 4> (&v)[4]) {
   v[2].v = _mm256_permute2f128_pd(u0, u2, 0x31);  // a2 b2 c2 d2
   v[3].v = _mm256_permute2f128_pd(u1, u3, 0x31);  // a3 b3 c3 d3
 }
+/// 8x8 float transpose, improved schedule: the eight 3-cycle vperm2f128
+/// lane-crossing shuffles are issued first, the single-cycle unpack/shuffle
+/// stages second. 24 shuffles total = 8·log2(8).
+inline void transpose(Vec<float, 8> (&v)[8]) {
+  // Stage 1 (lane-crossing): pair the 128-bit halves of rows i and i+4, so
+  // every later stage is in-lane. p0..p3 carry columns 0-3, p4..p7 columns
+  // 4-7; lane 1 of each holds rows 4-7.
+  const __m256 p0 = _mm256_permute2f128_ps(v[0].v, v[4].v, 0x20);
+  const __m256 p1 = _mm256_permute2f128_ps(v[1].v, v[5].v, 0x20);
+  const __m256 p2 = _mm256_permute2f128_ps(v[2].v, v[6].v, 0x20);
+  const __m256 p3 = _mm256_permute2f128_ps(v[3].v, v[7].v, 0x20);
+  const __m256 p4 = _mm256_permute2f128_ps(v[0].v, v[4].v, 0x31);
+  const __m256 p5 = _mm256_permute2f128_ps(v[1].v, v[5].v, 0x31);
+  const __m256 p6 = _mm256_permute2f128_ps(v[2].v, v[6].v, 0x31);
+  const __m256 p7 = _mm256_permute2f128_ps(v[3].v, v[7].v, 0x31);
+  // Stage 2+3 (in-lane): 4x4 transpose of each 128-bit lane.
+  const __m256 t0 = _mm256_unpacklo_ps(p0, p1);
+  const __m256 t1 = _mm256_unpackhi_ps(p0, p1);
+  const __m256 t2 = _mm256_unpacklo_ps(p2, p3);
+  const __m256 t3 = _mm256_unpackhi_ps(p2, p3);
+  const __m256 t4 = _mm256_unpacklo_ps(p4, p5);
+  const __m256 t5 = _mm256_unpackhi_ps(p4, p5);
+  const __m256 t6 = _mm256_unpacklo_ps(p6, p7);
+  const __m256 t7 = _mm256_unpackhi_ps(p6, p7);
+  v[0].v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  v[1].v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  v[2].v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  v[3].v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  v[4].v = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  v[5].v = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  v[6].v = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  v[7].v = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+}
+
+/// Conventional schedule: in-lane unpack/shuffle first, the lane-crossing
+/// vperm2f128 chain exposed at the end (the comparator in ablation_transpose).
+inline void transpose_baseline(Vec<float, 8> (&v)[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(v[0].v, v[1].v);
+  const __m256 t1 = _mm256_unpackhi_ps(v[0].v, v[1].v);
+  const __m256 t2 = _mm256_unpacklo_ps(v[2].v, v[3].v);
+  const __m256 t3 = _mm256_unpackhi_ps(v[2].v, v[3].v);
+  const __m256 t4 = _mm256_unpacklo_ps(v[4].v, v[5].v);
+  const __m256 t5 = _mm256_unpackhi_ps(v[4].v, v[5].v);
+  const __m256 t6 = _mm256_unpacklo_ps(v[6].v, v[7].v);
+  const __m256 t7 = _mm256_unpackhi_ps(v[6].v, v[7].v);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  v[0].v = _mm256_permute2f128_ps(u0, u4, 0x20);
+  v[1].v = _mm256_permute2f128_ps(u1, u5, 0x20);
+  v[2].v = _mm256_permute2f128_ps(u2, u6, 0x20);
+  v[3].v = _mm256_permute2f128_ps(u3, u7, 0x20);
+  v[4].v = _mm256_permute2f128_ps(u0, u4, 0x31);
+  v[5].v = _mm256_permute2f128_ps(u1, u5, 0x31);
+  v[6].v = _mm256_permute2f128_ps(u2, u6, 0x31);
+  v[7].v = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
 #endif  // __AVX2__
 
 #if defined(__AVX512F__)
@@ -116,6 +178,69 @@ inline void transpose_baseline(Vec<double, 8> (&v)[8]) {
         _mm512_insertf64x4(_mm512_castpd256_pd512(hi[i].v), hi2[i].v, 1);
   }
 }
+
+/// 16x16 float transpose, same three-phase structure as the 8x8 double
+/// version: single-cycle in-lane unpack/shuffle stages first (they transpose
+/// every 4x4 sub-block within its 128-bit lane), then two overlapping
+/// vshuff32x4 lane-crossing stages that transpose the 4x4 grid of lanes.
+/// 64 shuffles total = 16·log2(16).
+inline void transpose(Vec<float, 16> (&v)[16]) {
+  __m512 u[16];
+  for (int g = 0; g < 4; ++g) {  // rows 4g..4g+3
+    const __m512 t0 = _mm512_unpacklo_ps(v[4 * g + 0].v, v[4 * g + 1].v);
+    const __m512 t1 = _mm512_unpackhi_ps(v[4 * g + 0].v, v[4 * g + 1].v);
+    const __m512 t2 = _mm512_unpacklo_ps(v[4 * g + 2].v, v[4 * g + 3].v);
+    const __m512 t3 = _mm512_unpackhi_ps(v[4 * g + 2].v, v[4 * g + 3].v);
+    // u[4g + c], 128-bit lane J = column 4J + c of rows 4g..4g+3.
+    u[4 * g + 0] = _mm512_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    u[4 * g + 1] = _mm512_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    u[4 * g + 2] = _mm512_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    u[4 * g + 3] = _mm512_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  }
+  for (int c = 0; c < 4; ++c) {
+    // Lane-level 4x4 transpose: out[4J + c].lane I = u[4I + c].lane J.
+    const __m512 m0 = _mm512_shuffle_f32x4(u[c], u[4 + c], 0x88);
+    const __m512 m1 = _mm512_shuffle_f32x4(u[8 + c], u[12 + c], 0x88);
+    const __m512 m2 = _mm512_shuffle_f32x4(u[c], u[4 + c], 0xDD);
+    const __m512 m3 = _mm512_shuffle_f32x4(u[8 + c], u[12 + c], 0xDD);
+    v[c].v = _mm512_shuffle_f32x4(m0, m1, 0x88);
+    v[8 + c].v = _mm512_shuffle_f32x4(m0, m1, 0xDD);
+    v[4 + c].v = _mm512_shuffle_f32x4(m2, m3, 0x88);
+    v[12 + c].v = _mm512_shuffle_f32x4(m2, m3, 0xDD);
+  }
+}
+
+#if defined(__AVX2__)
+/// Unoptimized comparator: four 8x8 sub-transposes via 256-bit
+/// extract/insert, mirroring the double-precision baseline.
+inline void transpose_baseline(Vec<float, 16> (&v)[16]) {
+  auto lo_half = [](__m512 x) { return _mm512_castps512_ps256(x); };
+  auto hi_half = [](__m512 x) {
+    return _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(x), 1));
+  };
+  Vec<float, 8> lo[8], hi[8], lo2[8], hi2[8];
+  for (int i = 0; i < 8; ++i) {
+    lo[i].v = lo_half(v[i].v);
+    hi[i].v = hi_half(v[i].v);
+    lo2[i].v = lo_half(v[i + 8].v);
+    hi2[i].v = hi_half(v[i + 8].v);
+  }
+  transpose_baseline(lo);   // block (rows 0-7, cols 0-7)
+  transpose_baseline(hi);   // block (rows 0-7, cols 8-15)
+  transpose_baseline(lo2);  // block (rows 8-15, cols 0-7)
+  transpose_baseline(hi2);  // block (rows 8-15, cols 8-15)
+  auto join = [](__m256 l, __m256 h) {
+    return _mm512_castpd_ps(_mm512_insertf64x4(
+        _mm512_castps_pd(_mm512_castps256_ps512(l)), _mm256_castps_pd(h), 1));
+  };
+  for (int i = 0; i < 8; ++i) {
+    v[i].v = join(lo[i].v, lo2[i].v);
+    v[i + 8].v = join(hi[i].v, hi2[i].v);
+  }
+}
+#else
+inline void transpose_baseline(Vec<float, 16> (&v)[16]) { transpose(v); }
+#endif
 #endif  // __AVX512F__
 
 /// Transposes one W*W-element block in place. @p p must be 64-byte aligned.

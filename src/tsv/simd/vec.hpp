@@ -3,9 +3,10 @@
 //
 // The primary template is plain portable C++ (arrays + loops) that the
 // compiler may auto-vectorize; it exists so every algorithm in the library can
-// be unit-tested for arbitrary widths. Specializations for the two ISAs the
-// paper evaluates — AVX2 (double x 4) and AVX-512 (double x 8) — are included
-// at the bottom of this header and are bit-compatible drop-ins.
+// be unit-tested for arbitrary element types and widths. Specializations for
+// the two ISAs the paper evaluates — AVX2 (double x 4 / float x 8) and
+// AVX-512 (double x 8 / float x 16) — are included at the bottom of this
+// header and are bit-compatible drop-ins.
 
 #include <cstring>
 
@@ -76,6 +77,9 @@ inline Vec<T, W> fma(Vec<T, W> a, Vec<T, W> b, Vec<T, W> c) {
 using VecD2 = Vec<double, 2>;
 using VecD4 = Vec<double, 4>;
 using VecD8 = Vec<double, 8>;
+using VecF4 = Vec<float, 4>;
+using VecF8 = Vec<float, 8>;
+using VecF16 = Vec<float, 16>;
 
 }  // namespace tsv
 

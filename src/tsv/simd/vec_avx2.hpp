@@ -1,5 +1,5 @@
 #pragma once
-// AVX2 specialization: 256-bit vectors of 4 doubles.
+// AVX2 specializations: 256-bit vectors of 4 doubles or 8 floats.
 // Included by tsv/simd/vec.hpp; do not include directly.
 
 #include <immintrin.h>
@@ -49,6 +49,48 @@ struct Vec<double, 4> {
 inline Vec<double, 4> fma(Vec<double, 4> a, Vec<double, 4> b,
                           Vec<double, 4> c) {
   return Vec<double, 4>(_mm256_fmadd_pd(a.v, b.v, c.v));
+}
+
+template <>
+struct Vec<float, 8> {
+  using value_type = float;
+  static constexpr int width = 8;
+
+  __m256 v;
+
+  Vec() = default;
+  explicit Vec(__m256 x) : v(x) {}
+
+  static Vec load(const float* p) { return Vec(_mm256_load_ps(p)); }
+  static Vec loadu(const float* p) { return Vec(_mm256_loadu_ps(p)); }
+  static Vec broadcast(float s) { return Vec(_mm256_set1_ps(s)); }
+  static Vec zero() { return Vec(_mm256_setzero_ps()); }
+
+  void store(float* p) const { _mm256_store_ps(p, v); }
+  void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+
+  /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
+  void store_mask(float* p, unsigned mask) const {
+    const __m256i m = _mm256_setr_epi32(
+        mask & 1u ? -1 : 0, mask & 2u ? -1 : 0, mask & 4u ? -1 : 0,
+        mask & 8u ? -1 : 0, mask & 16u ? -1 : 0, mask & 32u ? -1 : 0,
+        mask & 64u ? -1 : 0, mask & 128u ? -1 : 0);
+    _mm256_maskstore_ps(p, m, v);
+  }
+
+  float operator[](int i) const {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v);
+    return tmp[i];
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return Vec(_mm256_add_ps(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) { return Vec(_mm256_sub_ps(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) { return Vec(_mm256_mul_ps(a.v, b.v)); }
+};
+
+inline Vec<float, 8> fma(Vec<float, 8> a, Vec<float, 8> b, Vec<float, 8> c) {
+  return Vec<float, 8>(_mm256_fmadd_ps(a.v, b.v, c.v));
 }
 
 }  // namespace tsv

@@ -1,5 +1,5 @@
 #pragma once
-// AVX-512 specialization: 512-bit vectors of 8 doubles.
+// AVX-512 specializations: 512-bit vectors of 8 doubles or 16 floats.
 // Included by tsv/simd/vec.hpp; do not include directly.
 
 #include <immintrin.h>
@@ -46,6 +46,45 @@ struct Vec<double, 8> {
 inline Vec<double, 8> fma(Vec<double, 8> a, Vec<double, 8> b,
                           Vec<double, 8> c) {
   return Vec<double, 8>(_mm512_fmadd_pd(a.v, b.v, c.v));
+}
+
+template <>
+struct Vec<float, 16> {
+  using value_type = float;
+  static constexpr int width = 16;
+
+  __m512 v;
+
+  Vec() = default;
+  explicit Vec(__m512 x) : v(x) {}
+
+  static Vec load(const float* p) { return Vec(_mm512_load_ps(p)); }
+  static Vec loadu(const float* p) { return Vec(_mm512_loadu_ps(p)); }
+  static Vec broadcast(float s) { return Vec(_mm512_set1_ps(s)); }
+  static Vec zero() { return Vec(_mm512_setzero_ps()); }
+
+  void store(float* p) const { _mm512_store_ps(p, v); }
+  void storeu(float* p) const { _mm512_storeu_ps(p, v); }
+
+  /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
+  void store_mask(float* p, unsigned mask) const {
+    _mm512_mask_store_ps(p, static_cast<__mmask16>(mask), v);
+  }
+
+  float operator[](int i) const {
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, v);
+    return tmp[i];
+  }
+
+  friend Vec operator+(Vec a, Vec b) { return Vec(_mm512_add_ps(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) { return Vec(_mm512_sub_ps(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) { return Vec(_mm512_mul_ps(a.v, b.v)); }
+};
+
+inline Vec<float, 16> fma(Vec<float, 16> a, Vec<float, 16> b,
+                          Vec<float, 16> c) {
+  return Vec<float, 16>(_mm512_fmadd_ps(a.v, b.v, c.v));
 }
 
 }  // namespace tsv

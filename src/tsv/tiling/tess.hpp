@@ -99,8 +99,8 @@ void tess1d_engine(GridT& A, GridT& B, index domain, index units, index tau,
 // 2D engine: four tensor-product stages.
 // ---------------------------------------------------------------------------
 
-template <typename AdvanceFn>
-void tess2d_engine(Grid2D<double>& A, Grid2D<double>& B, index units,
+template <typename GridT, typename AdvanceFn>
+void tess2d_engine(GridT& A, GridT& B, index units,
                    index tau, index slope, index bx, index by,
                    AdvanceFn&& adv) {
   const index nx = A.nx(), ny = A.ny();
@@ -108,10 +108,10 @@ void tess2d_engine(Grid2D<double>& A, Grid2D<double>& B, index units,
   check_tile_dim(ny, by, slope, tau, "y");
   const index cx = tile_count(nx, bx), cy = tile_count(ny, by);
   index parity = 0;
-  auto in_buf = [&](index u) -> const Grid2D<double>& {
+  auto in_buf = [&](index u) -> const GridT& {
     return ((parity + u) % 2 == 0) ? A : B;
   };
-  auto out_buf = [&](index u) -> Grid2D<double>& {
+  auto out_buf = [&](index u) -> GridT& {
     return ((parity + u + 1) % 2 == 0) ? A : B;
   };
 
@@ -147,8 +147,8 @@ void tess2d_engine(Grid2D<double>& A, Grid2D<double>& B, index units,
 // 3D engine: eight tensor-product stages.
 // ---------------------------------------------------------------------------
 
-template <typename AdvanceFn>
-void tess3d_engine(Grid3D<double>& A, Grid3D<double>& B, index units,
+template <typename GridT, typename AdvanceFn>
+void tess3d_engine(GridT& A, GridT& B, index units,
                    index tau, index slope, index bx, index by, index bz,
                    AdvanceFn&& adv) {
   const index nx = A.nx(), ny = A.ny(), nz = A.nz();
@@ -158,10 +158,10 @@ void tess3d_engine(Grid3D<double>& A, Grid3D<double>& B, index units,
   const index cx = tile_count(nx, bx), cy = tile_count(ny, by),
               cz = tile_count(nz, bz);
   index parity = 0;
-  auto in_buf = [&](index u) -> const Grid3D<double>& {
+  auto in_buf = [&](index u) -> const GridT& {
     return ((parity + u) % 2 == 0) ? A : B;
   };
-  auto out_buf = [&](index u) -> Grid3D<double>& {
+  auto out_buf = [&](index u) -> GridT& {
     return ((parity + u + 1) % 2 == 0) ? A : B;
   };
 

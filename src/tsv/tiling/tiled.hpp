@@ -17,6 +17,9 @@
 //                            with a wrapped seam at the lane boundary;
 //                            2D/3D: hybrid tiling — outer-dimension
 //                            tessellation over full DLT rows/planes).
+//
+// Every driver is generic over the element type: the V-parameterized ones
+// compute in vec_value_t<V>, the autovec ones in the grid's own T.
 
 #include <omp.h>
 
@@ -35,79 +38,88 @@ namespace tsv {
 // 1D drivers
 // ---------------------------------------------------------------------------
 
-template <int R>
-TSV_NOINLINE void tess_autovec_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+template <int R, typename T>
+TSV_NOINLINE void tess_autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps,
                       index bx, index bt) {
-  Grid1D<double> tmp = g;
+  Grid1D<T> tmp = g;
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
-                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { autovec_step_region(in, out, s, lo, hi); });
 }
 
 template <typename V, int R>
-TSV_NOINLINE void tess_multiload_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+TSV_NOINLINE void tess_multiload_run(Grid1D<vec_value_t<V>>& g,
+                        const Stencil1D<R, vec_value_t<V>>& s, index steps,
                         index bx, index bt) {
-  Grid1D<double> tmp = g;
+  using T = vec_value_t<V>;
+  Grid1D<T> tmp = g;
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
-                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { multiload_step_region<V>(in, out, s, lo, hi); });
 }
 
 template <typename V, int R>
-TSV_NOINLINE void tess_reorg_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+TSV_NOINLINE void tess_reorg_run(Grid1D<vec_value_t<V>>& g,
+                    const Stencil1D<R, vec_value_t<V>>& s, index steps,
                     index bx, index bt) {
-  Grid1D<double> tmp = g;
+  using T = vec_value_t<V>;
+  Grid1D<T> tmp = g;
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
-                [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { reorg_step_region<V>(in, out, s, lo, hi); });
 }
 
 template <typename V, int R>
-TSV_NOINLINE void tess_transpose_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps,
+TSV_NOINLINE void tess_transpose_run(Grid1D<vec_value_t<V>>& g,
+                        const Stencil1D<R, vec_value_t<V>>& s, index steps,
                         index bx, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid1D<double> tmp = g;
+    Grid1D<T> tmp = g;
     const index nx = g.nx();
     tess1d_engine(g, tmp, nx, steps, bt, R, bx,
-                  [&](const Grid1D<double>& in, Grid1D<double>& out, index lo,
+                  [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                       index hi) {
                     transpose_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
                                                         {s.w}, nx, lo, hi);
                   });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 /// "Our (2 steps)" with tiling: pair-granular tessellation. @p bt is the time
 /// range in *steps* (must be even when tiling is active).
 template <typename V, int R>
-TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<double>& g, const Stencil1D<R>& s,
+TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<vec_value_t<V>>& g,
+                            const Stencil1D<R, vec_value_t<V>>& s,
                             index steps, index bx, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   constexpr index B = block_elems<W>;
   detail::require_transpose_conforming(g, W);
   require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
   const index nx = g.nx();
 
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid1D<double> tmp = g;
+    Grid1D<T> tmp = g;
     // Per-thread scratch for the transient odd level of one tile region.
     const index scr_len = bx + 2 * B + 2 * R + 16;
-    std::vector<detail::ScratchRow> pool(
+    std::vector<detail::ScratchRow<T>> pool(
         static_cast<std::size_t>(omp_get_max_threads()));
-    for (auto& p : pool) p = detail::ScratchRow(scr_len, std::max<index>(R, 8));
+    for (auto& p : pool)
+      p = detail::ScratchRow<T>(scr_len, std::max<index>(R, 8));
 
-    auto pair_adv = [&](const Grid1D<double>& in, Grid1D<double>& out,
+    auto pair_adv = [&](const Grid1D<T>& in, Grid1D<T>& out,
                         index lo, index hi) {
-      detail::ScratchRow& scr = pool[omp_get_thread_num()];
+      detail::ScratchRow<T>& scr = pool[omp_get_thread_num()];
       const index c_lo = std::max<index>(0, lo - R);
       const index c_hi = std::min(nx, hi + R);
       const index b0 = c_lo / B * B;
-      double* view = scr.x0() - b0;  // virtual row origin, block-aligned
+      T* view = scr.x0() - b0;  // virtual row origin, block-aligned
       if (c_lo == 0)
         for (index l = 1; l <= R; ++l) view[-l] = in.x0()[-l];
       if (c_hi == nx)
@@ -125,13 +137,13 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<double>& g, const Stencil1D<R>& 
                     pair_adv);
     if (steps % 2 != 0)  // odd tail: one ordinary tiled step
       tess1d_engine(g, tmp, nx, 1, 1, R, bx,
-                    [&](const Grid1D<double>& in, Grid1D<double>& out,
+                    [&](const Grid1D<T>& in, Grid1D<T>& out,
                         index lo, index hi) {
                       transpose_sweep_row_region<V, R, 1>(
                           {in.x0()}, out.x0(), {s.w}, nx, lo, hi);
                     });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 /// Split-tiling engine over DLT columns: like tess1d_engine, but *all* tiles
@@ -189,8 +201,10 @@ void split1d_wrap_engine(GridT& A, GridT& B, index domain, index units,
 /// SDSL baseline, 1D: DLT layout + split tiling over columns. @p bi is the
 /// tile size in columns (elements / W).
 template <typename V, int R>
-TSV_NOINLINE void sdsl_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps, index bi,
+TSV_NOINLINE void sdsl_run(Grid1D<vec_value_t<V>>& g,
+              const Stencil1D<R, vec_value_t<V>>& s, index steps, index bi,
               index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
   const index nx = g.nx();
@@ -201,49 +215,51 @@ TSV_NOINLINE void sdsl_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps
   const index last_tile = L - (ntiles - 1) * bi;
   const index tau =
       std::max<index>(1, std::min(bt, std::min(bi, last_tile) / (2 * R)));
-  Grid1D<double> dltA = g;
-  dlt_forward_grid<double, W>(g, dltA);
-  Grid1D<double> dltB = dltA;
+  Grid1D<T> dltA = g;
+  dlt_forward_grid<T, W>(g, dltA);
+  Grid1D<T> dltB = dltA;
   split1d_wrap_engine(dltA, dltB, L, steps, tau, R, bi,
-                      [&](const Grid1D<double>& in, Grid1D<double>& out,
+                      [&](const Grid1D<T>& in, Grid1D<T>& out,
                           index ilo, index ihi) {
                         dlt_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
                                                       {s.w}, nx, ilo, ihi);
                       });
-  dlt_backward_grid<double, W>(dltA, g);
+  dlt_backward_grid<T, W>(dltA, g);
 }
 
 // ---------------------------------------------------------------------------
 // 2D drivers
 // ---------------------------------------------------------------------------
 
-template <int R, int NR>
-TSV_NOINLINE void tess_autovec_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+template <int R, int NR, typename T>
+TSV_NOINLINE void tess_autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s,
                       index steps, index bx, index by, index bt) {
-  Grid2D<double> tmp = g;
+  Grid2D<T> tmp = g;
   tess2d_engine(g, tmp, steps, bt, R, bx, by,
-                [&](const Grid2D<double>& in, Grid2D<double>& out, index xlo,
+                [&](const Grid2D<T>& in, Grid2D<T>& out, index xlo,
                     index xhi, index ylo, index yhi) {
                   autovec_step_region(in, out, s, xlo, xhi, ylo, yhi);
                 });
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void tess_transpose_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+TSV_NOINLINE void tess_transpose_run(Grid2D<vec_value_t<V>>& g,
+                        const Stencil2D<R, NR, vec_value_t<V>>& s,
                         index steps, index bx, index by, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid2D<double> tmp = g;
+    Grid2D<T> tmp = g;
     const index nx = g.nx();
-    std::array<std::array<double, 2 * R + 1>, NR> w;
+    std::array<std::array<T, 2 * R + 1>, NR> w;
     for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
     tess2d_engine(g, tmp, steps, bt, R, bx, by,
-                  [&](const Grid2D<double>& in, Grid2D<double>& out, index xlo,
+                  [&](const Grid2D<T>& in, Grid2D<T>& out, index xlo,
                       index xhi, index ylo, index yhi) {
                     for (index y = ylo; y < yhi; ++y) {
-                      std::array<const double*, NR> rp;
+                      std::array<const T*, NR> rp;
                       for (int r = 0; r < NR; ++r)
                         rp[r] = in.row(y + s.rows[r].dy);
                       transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w,
@@ -251,48 +267,50 @@ TSV_NOINLINE void tess_transpose_run(Grid2D<double>& g, const Stencil2D<R, NR>& 
                     }
                   });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
+TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<vec_value_t<V>>& g,
+                            const Stencil2D<R, NR, vec_value_t<V>>& s,
                             index steps, index bx, index by, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
   const index nx = g.nx(), ny = g.ny();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
 
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid2D<double> tmp = g;
+    Grid2D<T> tmp = g;
     const index scr_ny = std::min(ny, by) + 2 * R + 4;
-    std::vector<Grid2D<double>> pool;
+    std::vector<Grid2D<T>> pool;
     pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
     for (int i = 0; i < omp_get_max_threads(); ++i)
       pool.emplace_back(nx, scr_ny, std::max<index>(R, 1));
 
-    auto pair_adv = [&](const Grid2D<double>& in, Grid2D<double>& out,
+    auto pair_adv = [&](const Grid2D<T>& in, Grid2D<T>& out,
                         index xlo, index xhi, index ylo, index yhi) {
-      Grid2D<double>& scr = pool[omp_get_thread_num()];
+      Grid2D<T>& scr = pool[omp_get_thread_num()];
       const index c_xlo = std::max<index>(0, xlo - R);
       const index c_xhi = std::min(nx, xhi + R);
       const index c_ylo = std::max<index>(0, ylo - R);
       const index c_yhi = std::min(ny, yhi + R);
       // Level +1 into scratch rows (y - c_ylo).
       for (index y = c_ylo; y < c_yhi; ++y) {
-        double* d = scr.row(y - c_ylo);
-        const double* src = in.row(y);
+        T* d = scr.row(y - c_ylo);
+        const T* src = in.row(y);
         for (index l = 1; l <= R; ++l) d[-l] = src[-l];
         for (index l = 0; l < R; ++l) d[nx + l] = src[nx + l];
-        std::array<const double*, NR> rp;
+        std::array<const T*, NR> rp;
         for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
         transpose_sweep_row_region<V, R, NR>(rp, d, w, nx, c_xlo, c_xhi);
       }
       // Level +2 into the opposite parity buffer.
       for (index y = ylo; y < yhi; ++y) {
-        std::array<const double*, NR> rp;
+        std::array<const T*, NR> rp;
         for (int r = 0; r < NR; ++r) {
           const index yy = y + s.rows[r].dy;
           rp[r] = (yy >= c_ylo && yy < c_yhi) ? scr.row(yy - c_ylo)
@@ -308,10 +326,10 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<double>& g, const Stencil2D<R, N
                     pair_adv);
     if (steps % 2 != 0)
       tess2d_engine(g, tmp, 1, 1, R, bx, by,
-                    [&](const Grid2D<double>& in, Grid2D<double>& out,
+                    [&](const Grid2D<T>& in, Grid2D<T>& out,
                         index xlo, index xhi, index ylo, index yhi) {
                       for (index y = ylo; y < yhi; ++y) {
-                        std::array<const double*, NR> rp;
+                        std::array<const T*, NR> rp;
                         for (int r = 0; r < NR; ++r)
                           rp[r] = in.row(y + s.rows[r].dy);
                         transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w,
@@ -319,45 +337,47 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<double>& g, const Stencil2D<R, N
                       }
                     });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 /// SDSL baseline, 2D (hybrid tiling): DLT layout on x, tessellation over y
 /// with full rows per region.
 template <typename V, int R, int NR>
-TSV_NOINLINE void sdsl_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps,
+TSV_NOINLINE void sdsl_run(Grid2D<vec_value_t<V>>& g,
+              const Stencil2D<R, NR, vec_value_t<V>>& s, index steps,
               index by, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
   const index nx = g.nx();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
-  Grid2D<double> dltA = g;
-  dlt_forward_grid<double, W>(g, dltA);
-  Grid2D<double> dltB = dltA;
+  Grid2D<T> dltA = g;
+  dlt_forward_grid<T, W>(g, dltA);
+  Grid2D<T> dltB = dltA;
   tess1d_engine(dltA, dltB, g.ny(), steps, bt, R, by,
-                [&](const Grid2D<double>& in, Grid2D<double>& out, index ylo,
+                [&](const Grid2D<T>& in, Grid2D<T>& out, index ylo,
                     index yhi) {
                   for (index y = ylo; y < yhi; ++y) {
-                    std::array<const double*, NR> rp;
+                    std::array<const T*, NR> rp;
                     for (int r = 0; r < NR; ++r)
                       rp[r] = in.row(y + s.rows[r].dy);
                     dlt_sweep_row<V, R, NR>(rp, out.row(y), w, nx);
                   }
                 });
-  dlt_backward_grid<double, W>(dltA, g);
+  dlt_backward_grid<T, W>(dltA, g);
 }
 
 // ---------------------------------------------------------------------------
 // 3D drivers
 // ---------------------------------------------------------------------------
 
-template <int R, int NR>
-TSV_NOINLINE void tess_autovec_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+template <int R, int NR, typename T>
+TSV_NOINLINE void tess_autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s,
                       index steps, index bx, index by, index bz, index bt) {
-  Grid3D<double> tmp = g;
+  Grid3D<T> tmp = g;
   tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
-                [&](const Grid3D<double>& in, Grid3D<double>& out, index xlo,
+                [&](const Grid3D<T>& in, Grid3D<T>& out, index xlo,
                     index xhi, index ylo, index yhi, index zlo, index zhi) {
                   autovec_step_region(in, out, s, xlo, xhi, ylo, yhi, zlo,
                                       zhi);
@@ -365,22 +385,24 @@ TSV_NOINLINE void tess_autovec_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void tess_transpose_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+TSV_NOINLINE void tess_transpose_run(Grid3D<vec_value_t<V>>& g,
+                        const Stencil3D<R, NR, vec_value_t<V>>& s,
                         index steps, index bx, index by, index bz, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid3D<double> tmp = g;
+    Grid3D<T> tmp = g;
     const index nx = g.nx();
-    std::array<std::array<double, 2 * R + 1>, NR> w;
+    std::array<std::array<T, 2 * R + 1>, NR> w;
     for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
     tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
-                  [&](const Grid3D<double>& in, Grid3D<double>& out, index xlo,
+                  [&](const Grid3D<T>& in, Grid3D<T>& out, index xlo,
                       index xhi, index ylo, index yhi, index zlo, index zhi) {
                     for (index z = zlo; z < zhi; ++z)
                       for (index y = ylo; y < yhi; ++y) {
-                        std::array<const double*, NR> rp;
+                        std::array<const T*, NR> rp;
                         for (int r = 0; r < NR; ++r)
                           rp[r] =
                               in.row(y + s.rows[r].dy, z + s.rows[r].dz);
@@ -389,33 +411,35 @@ TSV_NOINLINE void tess_transpose_run(Grid3D<double>& g, const Stencil3D<R, NR>& 
                       }
                   });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
+TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<vec_value_t<V>>& g,
+                            const Stencil3D<R, NR, vec_value_t<V>>& s,
                             index steps, index bx, index by, index bz,
                             index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   require_fmt(bt % 2 == 0, "uj2 tiling: time range bt=", bt, " must be even");
   const index nx = g.nx(), ny = g.ny(), nz = g.nz();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
 
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   {
-    Grid3D<double> tmp = g;
+    Grid3D<T> tmp = g;
     const index scr_nz = std::min(nz, bz) + 2 * R + 4;
-    std::vector<Grid3D<double>> pool;
+    std::vector<Grid3D<T>> pool;
     pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
     for (int i = 0; i < omp_get_max_threads(); ++i)
       pool.emplace_back(nx, ny, scr_nz, std::max<index>(R, 1));
 
-    auto pair_adv = [&](const Grid3D<double>& in, Grid3D<double>& out,
+    auto pair_adv = [&](const Grid3D<T>& in, Grid3D<T>& out,
                         index xlo, index xhi, index ylo, index yhi, index zlo,
                         index zhi) {
-      Grid3D<double>& scr = pool[omp_get_thread_num()];
+      Grid3D<T>& scr = pool[omp_get_thread_num()];
       const index c_xlo = std::max<index>(0, xlo - R);
       const index c_xhi = std::min(nx, xhi + R);
       const index c_ylo = std::max<index>(0, ylo - R);
@@ -424,18 +448,18 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<double>& g, const Stencil3D<R, N
       const index c_zhi = std::min(nz, zhi + R);
       for (index z = c_zlo; z < c_zhi; ++z)
         for (index y = c_ylo; y < c_yhi; ++y) {
-          double* d = scr.row(y, z - c_zlo);
-          const double* src = in.row(y, z);
+          T* d = scr.row(y, z - c_zlo);
+          const T* src = in.row(y, z);
           for (index l = 1; l <= R; ++l) d[-l] = src[-l];
           for (index l = 0; l < R; ++l) d[nx + l] = src[nx + l];
-          std::array<const double*, NR> rp;
+          std::array<const T*, NR> rp;
           for (int r = 0; r < NR; ++r)
             rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
           transpose_sweep_row_region<V, R, NR>(rp, d, w, nx, c_xlo, c_xhi);
         }
       for (index z = zlo; z < zhi; ++z)
         for (index y = ylo; y < yhi; ++y) {
-          std::array<const double*, NR> rp;
+          std::array<const T*, NR> rp;
           for (int r = 0; r < NR; ++r) {
             const index yy = y + s.rows[r].dy;
             const index zz = z + s.rows[r].dz;
@@ -454,12 +478,12 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<double>& g, const Stencil3D<R, N
                     bz, pair_adv);
     if (steps % 2 != 0)
       tess3d_engine(g, tmp, 1, 1, R, bx, by, bz,
-                    [&](const Grid3D<double>& in, Grid3D<double>& out,
+                    [&](const Grid3D<T>& in, Grid3D<T>& out,
                         index xlo, index xhi, index ylo, index yhi, index zlo,
                         index zhi) {
                       for (index z = zlo; z < zhi; ++z)
                         for (index y = ylo; y < yhi; ++y) {
-                          std::array<const double*, NR> rp;
+                          std::array<const T*, NR> rp;
                           for (int r = 0; r < NR; ++r)
                             rp[r] =
                                 in.row(y + s.rows[r].dy, z + s.rows[r].dz);
@@ -468,34 +492,36 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<double>& g, const Stencil3D<R, N
                         }
                     });
   }
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 /// SDSL baseline, 3D (hybrid tiling): DLT layout on x, tessellation over z
 /// with full (x, y) planes per region.
 template <typename V, int R, int NR>
-TSV_NOINLINE void sdsl_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps,
+TSV_NOINLINE void sdsl_run(Grid3D<vec_value_t<V>>& g,
+              const Stencil3D<R, NR, vec_value_t<V>>& s, index steps,
               index bz, index bt) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
   const index nx = g.nx();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
-  Grid3D<double> dltA = g;
-  dlt_forward_grid<double, W>(g, dltA);
-  Grid3D<double> dltB = dltA;
+  Grid3D<T> dltA = g;
+  dlt_forward_grid<T, W>(g, dltA);
+  Grid3D<T> dltB = dltA;
   tess1d_engine(dltA, dltB, g.nz(), steps, bt, R, bz,
-                [&](const Grid3D<double>& in, Grid3D<double>& out, index zlo,
+                [&](const Grid3D<T>& in, Grid3D<T>& out, index zlo,
                     index zhi) {
                   for (index z = zlo; z < zhi; ++z)
                     for (index y = 0; y < in.ny(); ++y) {
-                      std::array<const double*, NR> rp;
+                      std::array<const T*, NR> rp;
                       for (int r = 0; r < NR; ++r)
                         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
                       dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, nx);
                     }
                 });
-  dlt_backward_grid<double, W>(dltA, g);
+  dlt_backward_grid<T, W>(dltA, g);
 }
 
 }  // namespace tsv

@@ -16,42 +16,42 @@ namespace tsv {
 
 // ---- 1D --------------------------------------------------------------------
 
-template <int R>
-TSV_NOINLINE void autovec_step_region(const Grid1D<double>& in, Grid1D<double>& out,
-                         const Stencil1D<R>& s, index xlo, index xhi) {
-  const double* __restrict ip = in.x0();
-  double* __restrict op = out.x0();
+template <int R, typename T>
+TSV_NOINLINE void autovec_step_region(const Grid1D<T>& in, Grid1D<T>& out,
+                         const Stencil1D<R, T>& s, index xlo, index xhi) {
+  const T* __restrict ip = in.x0();
+  T* __restrict op = out.x0();
   const auto w = s.w;  // local copy: lets the vectorizer keep weights in regs
 #pragma omp simd
   for (index x = xlo; x < xhi; ++x) {
-    double acc = 0;
+    T acc = 0;
     for (int dx = -R; dx <= R; ++dx) acc += w[dx + R] * ip[x + dx];
     op[x] = acc;
   }
 }
 
-template <int R>
-TSV_NOINLINE void autovec_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+template <int R, typename T>
+TSV_NOINLINE void autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx());
   });
 }
 
 // ---- 2D --------------------------------------------------------------------
 
-template <int R, int NR>
-TSV_NOINLINE void autovec_step_region(const Grid2D<double>& in, Grid2D<double>& out,
-                         const Stencil2D<R, NR>& s, index xlo, index xhi,
+template <int R, int NR, typename T>
+TSV_NOINLINE void autovec_step_region(const Grid2D<T>& in, Grid2D<T>& out,
+                         const Stencil2D<R, NR, T>& s, index xlo, index xhi,
                          index ylo, index yhi) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index y = ylo; y < yhi; ++y) {
-    double* __restrict op = out.row(y);
-    std::array<const double*, NR> rp;
+    T* __restrict op = out.row(y);
+    std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
 #pragma omp simd
     for (index x = xlo; x < xhi; ++x) {
-      double acc = 0;
+      T acc = 0;
       for (int r = 0; r < NR; ++r)
         for (int dx = -R; dx <= R; ++dx) acc += w[r][dx + R] * rp[r][x + dx];
       op[x] = acc;
@@ -59,30 +59,30 @@ TSV_NOINLINE void autovec_step_region(const Grid2D<double>& in, Grid2D<double>& 
   }
 }
 
-template <int R, int NR>
-TSV_NOINLINE void autovec_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+template <int R, int NR, typename T>
+TSV_NOINLINE void autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid2D<T>& in, Grid2D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny());
   });
 }
 
 // ---- 3D --------------------------------------------------------------------
 
-template <int R, int NR>
-TSV_NOINLINE void autovec_step_region(const Grid3D<double>& in, Grid3D<double>& out,
-                         const Stencil3D<R, NR>& s, index xlo, index xhi,
+template <int R, int NR, typename T>
+TSV_NOINLINE void autovec_step_region(const Grid3D<T>& in, Grid3D<T>& out,
+                         const Stencil3D<R, NR, T>& s, index xlo, index xhi,
                          index ylo, index yhi, index zlo, index zhi) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index z = zlo; z < zhi; ++z)
     for (index y = ylo; y < yhi; ++y) {
-      double* __restrict op = out.row(y, z);
-      std::array<const double*, NR> rp;
+      T* __restrict op = out.row(y, z);
+      std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
 #pragma omp simd
       for (index x = xlo; x < xhi; ++x) {
-        double acc = 0;
+        T acc = 0;
         for (int r = 0; r < NR; ++r)
           for (int dx = -R; dx <= R; ++dx) acc += w[r][dx + R] * rp[r][x + dx];
         op[x] = acc;
@@ -90,9 +90,9 @@ TSV_NOINLINE void autovec_step_region(const Grid3D<double>& in, Grid3D<double>& 
     }
 }
 
-template <int R, int NR>
-TSV_NOINLINE void autovec_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+template <int R, int NR, typename T>
+TSV_NOINLINE void autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s, index steps) {
+  jacobi_run(g, steps, [&](const Grid3D<T>& in, Grid3D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
   });
 }

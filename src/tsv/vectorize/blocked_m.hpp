@@ -59,8 +59,8 @@ namespace detail {
 /// Vector j of the block at @p base (j may spill into [-R, m+R) for edge
 /// dependents; assembled exactly like the m == W scheme).
 template <typename V, int R>
-TSV_ALWAYS_INLINE V blocked_m_vec_at(const double* ip, index base, index m,
-                                     index nx, index j) {
+TSV_ALWAYS_INLINE V blocked_m_vec_at(const vec_value_t<V>* ip, index base,
+                                     index m, index nx, index j) {
   constexpr int W = V::width;
   const index bl = W * m;
   if (j >= 0 && j < m) return V::load(ip + base + j * W);
@@ -72,8 +72,9 @@ TSV_ALWAYS_INLINE V blocked_m_vec_at(const double* ip, index base, index m,
     return assemble_left(prev, cur);
   }
   const index l = j - m + 1;  // right dependent #l
-  const double sc = (base + bl + l - 1 < nx) ? ip[base + bl + (l - 1) * W]
-                                             : ip[nx + l - 1];
+  const vec_value_t<V> sc = (base + bl + l - 1 < nx)
+                                ? ip[base + bl + (l - 1) * W]
+                                : ip[nx + l - 1];
   return assemble_right(V::load(ip + base + (l - 1) * W), V::broadcast(sc));
 }
 
@@ -81,9 +82,9 @@ TSV_ALWAYS_INLINE V blocked_m_vec_at(const double* ip, index base, index m,
 
 /// One Jacobi step over an m-blocked row (out of place, full row).
 template <typename V, int R>
-void blocked_m_sweep_row(const double* ip, double* op,
-                         const std::array<double, 2 * R + 1>& w, index nx,
-                         index m) {
+void blocked_m_sweep_row(const vec_value_t<V>* ip, vec_value_t<V>* op,
+                         const std::array<vec_value_t<V>, 2 * R + 1>& w,
+                         index nx, index m) {
   constexpr int W = V::width;
   require_fmt(m >= R, "blocked_m: m must be >= stencil radius");
   const index bl = W * m;
@@ -95,7 +96,7 @@ void blocked_m_sweep_row(const double* ip, double* op,
     for (index j = 0; j < m; ++j) {
       V acc = V::zero();
       static_for<0, 2 * R + 1>([&]<int DXI>() {
-        if (w[DXI] != 0.0)
+        if (w[DXI] != 0)
           acc = fma(V::broadcast(w[DXI]), win[DXI], acc);
       });
       acc.store(op + base + j * W);
@@ -107,14 +108,16 @@ void blocked_m_sweep_row(const double* ip, double* op,
 
 /// Full run driver: forward transform, T Jacobi steps, backward transform.
 template <typename V, int R>
-TSV_NOINLINE void blocked_m_run(Grid1D<double>& g, const Stencil1D<R>& s,
+TSV_NOINLINE void blocked_m_run(Grid1D<vec_value_t<V>>& g,
+                                const Stencil1D<R, vec_value_t<V>>& s,
                                 index steps, index m) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  blocked_m_forward_row<double, W>(g.x0(), g.nx(), m);
-  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+  blocked_m_forward_row<T, W>(g.x0(), g.nx(), m);
+  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
     blocked_m_sweep_row<V, R>(in.x0(), out.x0(), s.w, in.nx(), m);
   });
-  blocked_m_backward_row<double, W>(g.x0(), g.nx(), m);
+  blocked_m_backward_row<T, W>(g.x0(), g.nx(), m);
 }
 
 }  // namespace tsv

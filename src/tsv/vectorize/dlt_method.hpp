@@ -18,7 +18,8 @@ namespace detail {
 /// Vector of column @p c (may be out of [0, L)) of a DLT row. @p rp is the
 /// DLT-layout row; halo scalars are read from its original-layout x halo.
 template <typename V>
-TSV_ALWAYS_INLINE V dlt_column_vec(const double* rp, index c, index L, index nx) {
+TSV_ALWAYS_INLINE V dlt_column_vec(const vec_value_t<V>* rp, index c, index L,
+                                   index nx) {
   constexpr int W = V::width;
   if (c < 0)  // lane 0 wraps to the left halo, lanes shift down
     return assemble_left(V::broadcast(rp[c]), V::load(rp + (L + c) * W));
@@ -30,10 +31,12 @@ TSV_ALWAYS_INLINE V dlt_column_vec(const double* rp, index c, index L, index nx)
 
 /// Accumulates one padded tap row at column @p i (seam-safe path).
 template <typename V, int R>
-TSV_ALWAYS_INLINE V dlt_row_acc_seam(const double* rp, index i, index L, index nx,
-                          const std::array<double, 2 * R + 1>& w, V acc) {
+TSV_ALWAYS_INLINE V dlt_row_acc_seam(const vec_value_t<V>* rp, index i, index L,
+                          index nx,
+                          const std::array<vec_value_t<V>, 2 * R + 1>& w,
+                          V acc) {
   for (int dx = -R; dx <= R; ++dx)
-    if (w[dx + R] != 0.0)
+    if (w[dx + R] != 0)
       acc = fma(V::broadcast(w[dx + R]), dlt_column_vec<V>(rp, i + dx, L, nx),
                 acc);
   return acc;
@@ -41,11 +44,12 @@ TSV_ALWAYS_INLINE V dlt_row_acc_seam(const double* rp, index i, index L, index n
 
 /// Accumulates one padded tap row at interior column @p i (aligned loads).
 template <typename V, int R>
-TSV_ALWAYS_INLINE V dlt_row_acc_core(const double* rp, index i,
-                          const std::array<double, 2 * R + 1>& w, V acc) {
+TSV_ALWAYS_INLINE V dlt_row_acc_core(const vec_value_t<V>* rp, index i,
+                          const std::array<vec_value_t<V>, 2 * R + 1>& w,
+                          V acc) {
   constexpr int W = V::width;
   static_for<0, 2 * R + 1>([&]<int DXI>() {
-    if (w[DXI] != 0.0)
+    if (w[DXI] != 0)
       acc = fma(V::broadcast(w[DXI]), V::load(rp + (i + (DXI - R)) * W), acc);
   });
   return acc;
@@ -58,9 +62,10 @@ TSV_ALWAYS_INLINE V dlt_row_acc_core(const double* rp, index i,
 /// the global column ends take the seam-safe path; everything else is
 /// aligned loads. Split tiling (the SDSL baseline) drives this per tile.
 template <typename V, int R, int NR>
-void dlt_sweep_row_region(const std::array<const double*, NR>& rp, double* op,
-                          const std::array<std::array<double, 2 * R + 1>, NR>& w,
-                          index nx, index ilo, index ihi) {
+void dlt_sweep_row_region(
+    const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
+    const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx,
+    index ilo, index ihi) {
   constexpr int W = V::width;
   const index L = nx / W;
   const index head = std::min<index>(std::max<index>(R, ilo), ihi);
@@ -88,18 +93,18 @@ void dlt_sweep_row_region(const std::array<const double*, NR>& rp, double* op,
 
 /// Full-row sweep (all columns).
 template <typename V, int R, int NR>
-inline void dlt_sweep_row(const std::array<const double*, NR>& rp, double* op,
-                          const std::array<std::array<double, 2 * R + 1>, NR>& w,
-                          index nx) {
+inline void dlt_sweep_row(
+    const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
+    const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx) {
   dlt_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx / V::width);
 }
 
 // Compiled once in src/tsv/kernels_tu.cpp; see transpose_vs.hpp for why.
-#define TSV_DECLARE_DLT_SWEEP(V, R, NR)                                    \
-  extern template void dlt_sweep_row_region<V, R, NR>(                    \
-      const std::array<const double*, NR>&, double*,                      \
-      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
-      index);
+#define TSV_DECLARE_DLT_SWEEP(V, R, NR)                                      \
+  extern template void dlt_sweep_row_region<V, R, NR>(                       \
+      const std::array<const V::value_type*, NR>&, V::value_type*,           \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
+      index, index);
 
 #define TSV_DECLARE_DLT_SWEEPS_FOR(V) \
   TSV_DECLARE_DLT_SWEEP(V, 1, 1)      \
@@ -110,42 +115,47 @@ inline void dlt_sweep_row(const std::array<const double*, NR>& rp, double* op,
 
 #if !defined(TSV_KERNELS_TU)
 TSV_DECLARE_DLT_SWEEPS_FOR(VecD2)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecF4)
 #if defined(__AVX2__)
 TSV_DECLARE_DLT_SWEEPS_FOR(VecD4)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecF8)
 #endif
 #if defined(__AVX512F__)
 TSV_DECLARE_DLT_SWEEPS_FOR(VecD8)
+TSV_DECLARE_DLT_SWEEPS_FOR(VecF16)
 #endif
 #endif  // !TSV_KERNELS_TU
 
 // ---- full-grid steps (grids already in DLT layout) ---------------------------
 
 template <typename V, int R>
-void dlt_step(const Grid1D<double>& in, Grid1D<double>& out,
-              const Stencil1D<R>& s) {
+void dlt_step(const Grid1D<vec_value_t<V>>& in, Grid1D<vec_value_t<V>>& out,
+              const Stencil1D<R, vec_value_t<V>>& s) {
   dlt_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
 }
 
 template <typename V, int R, int NR>
-void dlt_step(const Grid2D<double>& in, Grid2D<double>& out,
-              const Stencil2D<R, NR>& s) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+void dlt_step(const Grid2D<vec_value_t<V>>& in, Grid2D<vec_value_t<V>>& out,
+              const Stencil2D<R, NR, vec_value_t<V>>& s) {
+  using T = vec_value_t<V>;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index y = 0; y < in.ny(); ++y) {
-    std::array<const double*, NR> rp;
+    std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
     dlt_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
   }
 }
 
 template <typename V, int R, int NR>
-void dlt_step(const Grid3D<double>& in, Grid3D<double>& out,
-              const Stencil3D<R, NR>& s) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+void dlt_step(const Grid3D<vec_value_t<V>>& in, Grid3D<vec_value_t<V>>& out,
+              const Stencil3D<R, NR, vec_value_t<V>>& s) {
+  using T = vec_value_t<V>;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index z = 0; z < in.nz(); ++z)
     for (index y = 0; y < in.ny(); ++y) {
-      std::array<const double*, NR> rp;
+      std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
       dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
@@ -156,16 +166,17 @@ void dlt_step(const Grid3D<double>& in, Grid3D<double>& out,
 /// the paper counts against DLT), T steps inside the layout, backward DLT.
 template <typename V, typename Grid, typename S>
 TSV_NOINLINE void dlt_run(Grid& g, const S& s, index steps) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "DLT requires nx (", g.nx(),
               ") to be a multiple of W = ", static_cast<index>(W));
   require_fmt(g.nx() / W > S::radius, "DLT requires nx/W > stencil radius");
   Grid t = g;  // same shape and halo values
-  dlt_forward_grid<double, W>(g, t);
+  dlt_forward_grid<T, W>(g, t);
   jacobi_run(t, steps, [&](const Grid& in, Grid& out) {
     dlt_step<V>(in, out, s);
   });
-  dlt_backward_grid<double, W>(t, g);
+  dlt_backward_grid<T, W>(t, g);
 }
 
 }  // namespace tsv

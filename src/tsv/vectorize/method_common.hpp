@@ -11,6 +11,10 @@
 
 namespace tsv {
 
+/// Element type a vector kernel computes in (the dtype the plan resolved).
+template <typename V>
+using vec_value_t = typename V::value_type;
+
 /// Compile-time counted loop: static_for<0, N>([&]<int I>() { ... }).
 ///
 /// Deliberately flat (one fold expression, no recursion): a recursive
@@ -31,8 +35,8 @@ TSV_ALWAYS_INLINE constexpr void static_for(F&& f) {
 /// x-offset dx, zero where the row has no tap. Lets kernels unroll the tap
 /// loop at compile time and skip structural zeros at run time.
 template <int R, typename Row>
-std::array<double, 2 * R + 1> padded_taps(const Row& r) {
-  std::array<double, 2 * R + 1> w{};
+std::array<typename Row::value_type, 2 * R + 1> padded_taps(const Row& r) {
+  std::array<typename Row::value_type, 2 * R + 1> w{};
   for (int dx = r.xlo; dx <= r.xhi; ++dx) w[dx + R] = r.w[dx - r.xlo];
   return w;
 }

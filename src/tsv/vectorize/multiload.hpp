@@ -14,20 +14,20 @@ namespace detail {
 
 /// Vector-accumulates all taps of one padded row at position x.
 template <typename V, int R>
-TSV_ALWAYS_INLINE V multiload_row_acc(const double* p, index x,
-                           const std::array<double, 2 * R + 1>& w, V acc) {
+TSV_ALWAYS_INLINE V multiload_row_acc(const vec_value_t<V>* p, index x,
+                           const std::array<vec_value_t<V>, 2 * R + 1>& w,
+                           V acc) {
   static_for<0, 2 * R + 1>([&]<int DXI>() {
-    if (w[DXI] != 0.0)
+    if (w[DXI] != 0)
       acc = fma(V::broadcast(w[DXI]), V::loadu(p + x + (DXI - R)), acc);
   });
   return acc;
 }
 
 /// Scalar tap application on one padded row.
-template <int R>
-TSV_ALWAYS_INLINE double scalar_row_acc(const double* p, index x,
-                             const std::array<double, 2 * R + 1>& w,
-                             double acc) {
+template <int R, typename T>
+TSV_ALWAYS_INLINE T scalar_row_acc(const T* p, index x,
+                             const std::array<T, 2 * R + 1>& w, T acc) {
   for (int dx = -R; dx <= R; ++dx) acc += w[dx + R] * p[x + dx];
   return acc;
 }
@@ -37,23 +37,28 @@ TSV_ALWAYS_INLINE double scalar_row_acc(const double* p, index x,
 // ---- 1D --------------------------------------------------------------------
 
 template <typename V, int R>
-TSV_NOINLINE void multiload_step_region(const Grid1D<double>& in, Grid1D<double>& out,
-                           const Stencil1D<R>& s, index xlo, index xhi) {
+TSV_NOINLINE void multiload_step_region(const Grid1D<vec_value_t<V>>& in,
+                           Grid1D<vec_value_t<V>>& out,
+                           const Stencil1D<R, vec_value_t<V>>& s, index xlo,
+                           index xhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  const double* ip = in.x0();
-  double* op = out.x0();
+  const T* ip = in.x0();
+  T* op = out.x0();
   index x = xlo;
   for (; x + W <= xhi; x += W) {
     const V acc = detail::multiload_row_acc<V, R>(ip, x, s.w, V::zero());
     acc.storeu(op + x);
   }
   for (; x < xhi; ++x)
-    op[x] = detail::scalar_row_acc<R>(ip, x, s.w, 0.0);
+    op[x] = detail::scalar_row_acc<R>(ip, x, s.w, T(0));
 }
 
 template <typename V, int R>
-TSV_NOINLINE void multiload_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+TSV_NOINLINE void multiload_run(Grid1D<vec_value_t<V>>& g,
+                   const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
     multiload_step_region<V>(in, out, s, 0, g.nx());
   });
 }
@@ -61,15 +66,17 @@ TSV_NOINLINE void multiload_run(Grid1D<double>& g, const Stencil1D<R>& s, index 
 // ---- 2D --------------------------------------------------------------------
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void multiload_step_region(const Grid2D<double>& in, Grid2D<double>& out,
-                           const Stencil2D<R, NR>& s, index xlo, index xhi,
-                           index ylo, index yhi) {
+TSV_NOINLINE void multiload_step_region(const Grid2D<vec_value_t<V>>& in,
+                           Grid2D<vec_value_t<V>>& out,
+                           const Stencil2D<R, NR, vec_value_t<V>>& s,
+                           index xlo, index xhi, index ylo, index yhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index y = ylo; y < yhi; ++y) {
-    double* op = out.row(y);
-    std::array<const double*, NR> rp;
+    T* op = out.row(y);
+    std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
     index x = xlo;
     for (; x + W <= xhi; x += W) {
@@ -79,7 +86,7 @@ TSV_NOINLINE void multiload_step_region(const Grid2D<double>& in, Grid2D<double>
       acc.storeu(op + x);
     }
     for (; x < xhi; ++x) {
-      double acc = 0;
+      T acc = 0;
       for (int r = 0; r < NR; ++r)
         acc = detail::scalar_row_acc<R>(rp[r], x, w[r], acc);
       op[x] = acc;
@@ -88,8 +95,10 @@ TSV_NOINLINE void multiload_step_region(const Grid2D<double>& in, Grid2D<double>
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void multiload_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+TSV_NOINLINE void multiload_run(Grid2D<vec_value_t<V>>& g,
+                   const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid2D<T>& in, Grid2D<T>& out) {
     multiload_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny());
   });
 }
@@ -97,16 +106,19 @@ TSV_NOINLINE void multiload_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, in
 // ---- 3D --------------------------------------------------------------------
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void multiload_step_region(const Grid3D<double>& in, Grid3D<double>& out,
-                           const Stencil3D<R, NR>& s, index xlo, index xhi,
-                           index ylo, index yhi, index zlo, index zhi) {
+TSV_NOINLINE void multiload_step_region(const Grid3D<vec_value_t<V>>& in,
+                           Grid3D<vec_value_t<V>>& out,
+                           const Stencil3D<R, NR, vec_value_t<V>>& s,
+                           index xlo, index xhi, index ylo, index yhi,
+                           index zlo, index zhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index z = zlo; z < zhi; ++z)
     for (index y = ylo; y < yhi; ++y) {
-      double* op = out.row(y, z);
-      std::array<const double*, NR> rp;
+      T* op = out.row(y, z);
+      std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
       index x = xlo;
@@ -117,7 +129,7 @@ TSV_NOINLINE void multiload_step_region(const Grid3D<double>& in, Grid3D<double>
         acc.storeu(op + x);
       }
       for (; x < xhi; ++x) {
-        double acc = 0;
+        T acc = 0;
         for (int r = 0; r < NR; ++r)
           acc = detail::scalar_row_acc<R>(rp[r], x, w[r], acc);
         op[x] = acc;
@@ -126,8 +138,10 @@ TSV_NOINLINE void multiload_step_region(const Grid3D<double>& in, Grid3D<double>
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void multiload_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+TSV_NOINLINE void multiload_run(Grid3D<vec_value_t<V>>& g,
+                   const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid3D<T>& in, Grid3D<T>& out) {
     multiload_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
   });
 }

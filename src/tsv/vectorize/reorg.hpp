@@ -11,6 +11,7 @@
 // unaligned edges fall back to scalar cells at the rims.
 
 #include "tsv/vectorize/method_common.hpp"
+#include "tsv/vectorize/multiload.hpp"
 
 namespace tsv {
 
@@ -19,21 +20,21 @@ namespace detail {
 /// Accumulates all taps of one padded row for the aligned vector at x
 /// (x % W == 0). Aligned loads of prev/cur/next + compile-time shifts.
 template <typename V, int R>
-TSV_ALWAYS_INLINE V reorg_row_acc(const double* p, index x,
-                       const std::array<double, 2 * R + 1>& w, V acc) {
+TSV_ALWAYS_INLINE V reorg_row_acc(const vec_value_t<V>* p, index x,
+                       const std::array<vec_value_t<V>, 2 * R + 1>& w, V acc) {
   constexpr int W = V::width;
   const V cur = V::load(p + x);
-  if (w[R] != 0.0) acc = fma(V::broadcast(w[R]), cur, acc);
+  if (w[R] != 0) acc = fma(V::broadcast(w[R]), cur, acc);
 
   bool need_prev = false, need_next = false;
-  for (int dx = -R; dx < 0; ++dx) need_prev |= (w[dx + R] != 0.0);
-  for (int dx = 1; dx <= R; ++dx) need_next |= (w[dx + R] != 0.0);
+  for (int dx = -R; dx < 0; ++dx) need_prev |= (w[dx + R] != 0);
+  for (int dx = 1; dx <= R; ++dx) need_next |= (w[dx + R] != 0);
 
   if (need_prev) {
     const V prev = V::load(p + x - W);
     static_for<0, R>([&]<int I>() {
       constexpr int dx = I - R;  // dx in [-R, 0)
-      if (w[I] != 0.0)
+      if (w[I] != 0)
         acc = fma(V::broadcast(w[I]), concat_shift<W + dx>(prev, cur), acc);
     });
   }
@@ -41,7 +42,7 @@ TSV_ALWAYS_INLINE V reorg_row_acc(const double* p, index x,
     const V next = V::load(p + x + W);
     static_for<R + 1, 2 * R + 1>([&]<int I>() {
       constexpr int dx = I - R;  // dx in (0, R]
-      if (w[I] != 0.0)
+      if (w[I] != 0)
         acc = fma(V::broadcast(w[I]), concat_shift<dx>(cur, next), acc);
     });
   }
@@ -53,22 +54,27 @@ TSV_ALWAYS_INLINE V reorg_row_acc(const double* p, index x,
 // ---- 1D --------------------------------------------------------------------
 
 template <typename V, int R>
-TSV_NOINLINE void reorg_step_region(const Grid1D<double>& in, Grid1D<double>& out,
-                       const Stencil1D<R>& s, index xlo, index xhi) {
+TSV_NOINLINE void reorg_step_region(const Grid1D<vec_value_t<V>>& in,
+                       Grid1D<vec_value_t<V>>& out,
+                       const Stencil1D<R, vec_value_t<V>>& s, index xlo,
+                       index xhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  const double* ip = in.x0();
-  double* op = out.x0();
+  const T* ip = in.x0();
+  T* op = out.x0();
   index x = xlo;
   const index xv = std::min(round_up(xlo, W), xhi);
-  for (; x < xv; ++x) op[x] = detail::scalar_row_acc<R>(ip, x, s.w, 0.0);
+  for (; x < xv; ++x) op[x] = detail::scalar_row_acc<R>(ip, x, s.w, T(0));
   for (; x + W <= xhi; x += W)
     detail::reorg_row_acc<V, R>(ip, x, s.w, V::zero()).store(op + x);
-  for (; x < xhi; ++x) op[x] = detail::scalar_row_acc<R>(ip, x, s.w, 0.0);
+  for (; x < xhi; ++x) op[x] = detail::scalar_row_acc<R>(ip, x, s.w, T(0));
 }
 
 template <typename V, int R>
-TSV_NOINLINE void reorg_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+TSV_NOINLINE void reorg_run(Grid1D<vec_value_t<V>>& g,
+               const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx());
   });
 }
@@ -76,20 +82,22 @@ TSV_NOINLINE void reorg_run(Grid1D<double>& g, const Stencil1D<R>& s, index step
 // ---- 2D --------------------------------------------------------------------
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void reorg_step_region(const Grid2D<double>& in, Grid2D<double>& out,
-                       const Stencil2D<R, NR>& s, index xlo, index xhi,
-                       index ylo, index yhi) {
+TSV_NOINLINE void reorg_step_region(const Grid2D<vec_value_t<V>>& in,
+                       Grid2D<vec_value_t<V>>& out,
+                       const Stencil2D<R, NR, vec_value_t<V>>& s, index xlo,
+                       index xhi, index ylo, index yhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index y = ylo; y < yhi; ++y) {
-    double* op = out.row(y);
-    std::array<const double*, NR> rp;
+    T* op = out.row(y);
+    std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
     index x = xlo;
     const index xv = std::min(round_up(xlo, W), xhi);
     auto scalar_cell = [&](index xx) {
-      double acc = 0;
+      T acc = 0;
       for (int r = 0; r < NR; ++r)
         acc = detail::scalar_row_acc<R>(rp[r], xx, w[r], acc);
       op[xx] = acc;
@@ -106,8 +114,10 @@ TSV_NOINLINE void reorg_step_region(const Grid2D<double>& in, Grid2D<double>& ou
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void reorg_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+TSV_NOINLINE void reorg_run(Grid2D<vec_value_t<V>>& g,
+               const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid2D<T>& in, Grid2D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny());
   });
 }
@@ -115,22 +125,24 @@ TSV_NOINLINE void reorg_run(Grid2D<double>& g, const Stencil2D<R, NR>& s, index 
 // ---- 3D --------------------------------------------------------------------
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void reorg_step_region(const Grid3D<double>& in, Grid3D<double>& out,
-                       const Stencil3D<R, NR>& s, index xlo, index xhi,
-                       index ylo, index yhi, index zlo, index zhi) {
+TSV_NOINLINE void reorg_step_region(const Grid3D<vec_value_t<V>>& in,
+                       Grid3D<vec_value_t<V>>& out,
+                       const Stencil3D<R, NR, vec_value_t<V>>& s, index xlo,
+                       index xhi, index ylo, index yhi, index zlo, index zhi) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index z = zlo; z < zhi; ++z)
     for (index y = ylo; y < yhi; ++y) {
-      double* op = out.row(y, z);
-      std::array<const double*, NR> rp;
+      T* op = out.row(y, z);
+      std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
       index x = xlo;
       const index xv = std::min(round_up(xlo, W), xhi);
       auto scalar_cell = [&](index xx) {
-        double acc = 0;
+        T acc = 0;
         for (int r = 0; r < NR; ++r)
           acc = detail::scalar_row_acc<R>(rp[r], xx, w[r], acc);
         op[xx] = acc;
@@ -147,8 +159,10 @@ TSV_NOINLINE void reorg_step_region(const Grid3D<double>& in, Grid3D<double>& ou
 }
 
 template <typename V, int R, int NR>
-TSV_NOINLINE void reorg_run(Grid3D<double>& g, const Stencil3D<R, NR>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+TSV_NOINLINE void reorg_run(Grid3D<vec_value_t<V>>& g,
+               const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
+  jacobi_run(g, steps, [&](const Grid3D<T>& in, Grid3D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
   });
 }

@@ -14,7 +14,10 @@
 //
 // Everything else is aligned loads, FMAs and aligned stores. Neighbour rows
 // (2D/3D) contribute through the same machinery at their own row pointers;
-// rows whose only tap is the centre need no assembly at all.
+// rows whose only tap is the centre need no assembly at all. The whole
+// scheme is generic over the element type: with float elements every vector
+// set covers twice the cells of the double variant at the same register
+// count.
 
 #include "tsv/layout/block_transpose.hpp"
 #include "tsv/vectorize/method_common.hpp"
@@ -30,7 +33,7 @@ struct LeftTail {
 
   /// Boundary initialisation: lane W-1 of v[R-l] must equal element -l,
   /// which lives at original position -l in the row's x halo.
-  static LeftTail boundary(const double* row) {
+  static LeftTail boundary(const vec_value_t<V>* row) {
     LeftTail t;
     static_for<1, R + 1>([&]<int L>() { t.v[R - L] = V::broadcast(row[-L]); });
     return t;
@@ -44,8 +47,8 @@ struct LeftTail {
 /// Right-dependent scalar #l (l in 1..R) of the set with base @p base:
 /// element base+W²+l-1, read from the next transposed block or, at the row
 /// end, from the original-layout halo.
-template <int W>
-TSV_ALWAYS_INLINE double right_dep_scalar(const double* row, index base, index nx,
+template <int W, typename T>
+TSV_ALWAYS_INLINE T right_dep_scalar(const T* row, index base, index nx,
                                int l) {
   const index x = base + W * W + (l - 1);
   return (x < nx) ? row[base + W * W + (l - 1) * W] : row[x];
@@ -54,11 +57,10 @@ TSV_ALWAYS_INLINE double right_dep_scalar(const double* row, index base, index n
 /// Accumulates one tap row into acc[W] for the vector set at @p base.
 /// @p v holds the row's W input vectors; @p tail its left-tail state.
 template <typename V, int R>
-TSV_ALWAYS_INLINE void transpose_set_acc(const double* row, index base, index nx,
-                              const V (&v)[V::width],
-                              const std::array<double, 2 * R + 1>& w,
-                              const LeftTail<V, R>& tail,
-                              V (&acc)[V::width]) {
+TSV_ALWAYS_INLINE void transpose_set_acc(
+    const vec_value_t<V>* row, index base, index nx, const V (&v)[V::width],
+    const std::array<vec_value_t<V>, 2 * R + 1>& w, const LeftTail<V, R>& tail,
+    V (&acc)[V::width]) {
   constexpr int W = V::width;
   // All indices below are compile-time so ext/v/acc stay in registers even
   // when the surrounding function is compiled without IPA cloning.
@@ -73,7 +75,7 @@ TSV_ALWAYS_INLINE void transpose_set_acc(const double* row, index base, index nx
   });
   static_for<0, V::width>([&]<int J>() {
     static_for<0, 2 * R + 1>([&]<int DXI>() {
-      if (w[DXI] != 0.0)
+      if (w[DXI] != 0)
         acc[J] = fma(V::broadcast(w[DXI]), ext[J + DXI], acc[J]);
     });
   });
@@ -81,16 +83,16 @@ TSV_ALWAYS_INLINE void transpose_set_acc(const double* row, index base, index nx
 
 /// Centre-tap-only accumulation (star-stencil off-axis rows): plain FMAs.
 template <typename V>
-TSV_ALWAYS_INLINE void center_only_acc(const V (&v)[V::width], double wc,
+TSV_ALWAYS_INLINE void center_only_acc(const V (&v)[V::width], vec_value_t<V> wc,
                             V (&acc)[V::width]) {
   const V wv = V::broadcast(wc);
   static_for<0, V::width>([&]<int J>() { acc[J] = fma(wv, v[J], acc[J]); });
 }
 
-template <int R>
-inline bool has_off_center(const std::array<double, 2 * R + 1>& w) {
+template <int R, typename T>
+inline bool has_off_center(const std::array<T, 2 * R + 1>& w) {
   for (int dx = -R; dx <= R; ++dx)
-    if (dx != 0 && w[dx + R] != 0.0) return true;
+    if (dx != 0 && w[dx + R] != 0) return true;
   return false;
 }
 
@@ -98,8 +100,8 @@ inline bool has_off_center(const std::array<double, 2 * R + 1>& w) {
 
 /// Reads interior element @p x of a transpose-layout row with original-layout
 /// x halo (boundary/partial-set path).
-template <int W>
-TSV_ALWAYS_INLINE double load_tl(const double* row, index x, index nx) {
+template <int W, typename T>
+TSV_ALWAYS_INLINE T load_tl(const T* row, index x, index nx) {
   return (x < 0 || x >= nx) ? row[x] : row[block_transposed_offset<W>(x)];
 }
 
@@ -116,8 +118,8 @@ TSV_ALWAYS_INLINE double load_tl(const double* row, index x, index nx) {
 /// boundary treatment.
 template <typename V, int R, int NR>
 void transpose_sweep_row_region(
-    const std::array<const double*, NR>& rp, double* op,
-    const std::array<std::array<double, 2 * R + 1>, NR>& w, index nx,
+    const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
+    const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx,
     index xlo, index xhi) {
   constexpr int W = V::width;
   constexpr index B = block_elems<W>;
@@ -175,11 +177,9 @@ void transpose_sweep_row_region(
 
 /// Full-row sweep (whole interior).
 template <typename V, int R, int NR>
-inline void transpose_sweep_row(const std::array<const double*, NR>& rp,
-                                double* op,
-                                const std::array<std::array<double, 2 * R + 1>,
-                                                 NR>& w,
-                                index nx) {
+inline void transpose_sweep_row(
+    const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
+    const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx) {
   transpose_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx);
 }
 
@@ -190,11 +190,11 @@ inline void transpose_sweep_row(const std::array<const double*, NR>& rp,
 // extern template pins every caller to the clean instantiation instead.
 // Instantiations not on this list still compile implicitly (correct, and
 // usually fine because rare combinations imply small TUs).
-#define TSV_DECLARE_TRANSPOSE_SWEEP(V, R, NR)                              \
-  extern template void transpose_sweep_row_region<V, R, NR>(              \
-      const std::array<const double*, NR>&, double*,                      \
-      const std::array<std::array<double, 2 * R + 1>, NR>&, index, index, \
-      index);
+#define TSV_DECLARE_TRANSPOSE_SWEEP(V, R, NR)                                \
+  extern template void transpose_sweep_row_region<V, R, NR>(                 \
+      const std::array<const V::value_type*, NR>&, V::value_type*,           \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
+      index, index);
 
 #define TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(V) \
   TSV_DECLARE_TRANSPOSE_SWEEP(V, 1, 1)      \
@@ -205,42 +205,50 @@ inline void transpose_sweep_row(const std::array<const double*, NR>& rp,
 
 #if !defined(TSV_KERNELS_TU)
 TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD2)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecF4)
 #if defined(__AVX2__)
 TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD4)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecF8)
 #endif
 #if defined(__AVX512F__)
 TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecD8)
+TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecF16)
 #endif
 #endif  // !TSV_KERNELS_TU
 
 // ---- full-grid steps (grids already in transpose layout) --------------------
 
 template <typename V, int R>
-void transpose_step(const Grid1D<double>& in, Grid1D<double>& out,
-                    const Stencil1D<R>& s) {
+void transpose_step(const Grid1D<vec_value_t<V>>& in,
+                    Grid1D<vec_value_t<V>>& out,
+                    const Stencil1D<R, vec_value_t<V>>& s) {
   transpose_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
 }
 
 template <typename V, int R, int NR>
-void transpose_step(const Grid2D<double>& in, Grid2D<double>& out,
-                    const Stencil2D<R, NR>& s) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+void transpose_step(const Grid2D<vec_value_t<V>>& in,
+                    Grid2D<vec_value_t<V>>& out,
+                    const Stencil2D<R, NR, vec_value_t<V>>& s) {
+  using T = vec_value_t<V>;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index y = 0; y < in.ny(); ++y) {
-    std::array<const double*, NR> rp;
+    std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
     transpose_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
   }
 }
 
 template <typename V, int R, int NR>
-void transpose_step(const Grid3D<double>& in, Grid3D<double>& out,
-                    const Stencil3D<R, NR>& s) {
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+void transpose_step(const Grid3D<vec_value_t<V>>& in,
+                    Grid3D<vec_value_t<V>>& out,
+                    const Stencil3D<R, NR, vec_value_t<V>>& s) {
+  using T = vec_value_t<V>;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
   for (index z = 0; z < in.nz(); ++z)
     for (index y = 0; y < in.ny(); ++y) {
-      std::array<const double*, NR> rp;
+      std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
       transpose_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
@@ -260,13 +268,14 @@ void require_transpose_conforming(const Grid& g, int width) {
 
 template <typename V, typename Grid, typename S>
 TSV_NOINLINE void transpose_vs_run(Grid& g, const S& s, index steps) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   jacobi_run(g, steps, [&](const Grid& in, Grid& out) {
     transpose_step<V>(in, out, s);
   });
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 }  // namespace tsv

@@ -30,7 +30,7 @@ namespace detail {
 /// source level (the next set's vectors 0..R-1, or halo broadcasts).
 template <typename V, int R>
 TSV_ALWAYS_INLINE void set_step(const V (&lt)[R], V (&v)[V::width], const V* rn,
-                     const std::array<double, 2 * R + 1>& w) {
+                     const std::array<vec_value_t<V>, 2 * R + 1>& w) {
   constexpr int W = V::width;
   V ext[W + 2 * R];
   static_for<1, R + 1>(
@@ -43,7 +43,7 @@ TSV_ALWAYS_INLINE void set_step(const V (&lt)[R], V (&v)[V::width], const V* rn,
   static_for<0, V::width>([&]<int J>() {
     out[J] = V::zero();
     static_for<0, 2 * R + 1>([&]<int DXI>() {
-      if (w[DXI] != 0.0)
+      if (w[DXI] != 0)
         out[J] = fma(V::broadcast(w[DXI]), ext[J + DXI], out[J]);
     });
   });
@@ -56,7 +56,8 @@ TSV_ALWAYS_INLINE void set_step(const V (&lt)[R], V (&v)[V::width], const V* rn,
 /// with boot and epilogue folded into the slot guards). @p row must hold a
 /// whole number of W² blocks; the x halo provides Dirichlet values.
 template <typename V, int R, int K>
-void unroll_jam_sweep_row(double* row, const std::array<double, 2 * R + 1>& w,
+void unroll_jam_sweep_row(vec_value_t<V>* row,
+                          const std::array<vec_value_t<V>, 2 * R + 1>& w,
                           index nx) {
   constexpr int W = V::width;
   constexpr index B = block_elems<W>;
@@ -108,7 +109,7 @@ void unroll_jam_sweep_row(double* row, const std::array<double, 2 * R + 1>& w,
 // Compiled once in src/tsv/kernels_tu.cpp; see transpose_vs.hpp for why.
 #define TSV_DECLARE_UJ_SWEEP(V, R, K)                   \
   extern template void unroll_jam_sweep_row<V, R, K>(   \
-      double*, const std::array<double, 2 * R + 1>&, index);
+      V::value_type*, const std::array<V::value_type, 2 * R + 1>&, index);
 
 #define TSV_DECLARE_UJ_SWEEPS_FOR(V) \
   TSV_DECLARE_UJ_SWEEP(V, 1, 1)      \
@@ -119,30 +120,35 @@ void unroll_jam_sweep_row(double* row, const std::array<double, 2 * R + 1>& w,
 
 #if !defined(TSV_KERNELS_TU)
 TSV_DECLARE_UJ_SWEEPS_FOR(VecD2)
+TSV_DECLARE_UJ_SWEEPS_FOR(VecF4)
 #if defined(__AVX2__)
 TSV_DECLARE_UJ_SWEEPS_FOR(VecD4)
+TSV_DECLARE_UJ_SWEEPS_FOR(VecF8)
 #endif
 #if defined(__AVX512F__)
 TSV_DECLARE_UJ_SWEEPS_FOR(VecD8)
+TSV_DECLARE_UJ_SWEEPS_FOR(VecF16)
 #endif
 #endif  // !TSV_KERNELS_TU
 
 /// 1D run driver: transform to transpose layout, ⌊T/K⌋ pipelined in-place
 /// sweeps + remainder Jacobi steps, transform back.
 template <typename V, int R, int K = 2>
-TSV_NOINLINE void unroll_jam_run(Grid1D<double>& g, const Stencil1D<R>& s, index steps) {
+TSV_NOINLINE void unroll_jam_run(Grid1D<vec_value_t<V>>& g,
+                    const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
   const index sweeps = steps / K;
   for (index q = 0; q < sweeps; ++q)
     unroll_jam_sweep_row<V, R, K>(g.x0(), s.w, g.nx());
   const index rem = steps - sweeps * K;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid1D<double>& in, Grid1D<double>& out) {
+    jacobi_run(g, rem, [&](const Grid1D<T>& in, Grid1D<T>& out) {
       transpose_step<V>(in, out, s);
     });
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 // ---- 2D: ring of row buffers holding the intermediate level -----------------
@@ -150,49 +156,51 @@ TSV_NOINLINE void unroll_jam_run(Grid1D<double>& g, const Stencil1D<R>& s, index
 namespace detail {
 
 /// Scratch row with the same alignment/halo contract as a grid row.
+template <typename T>
 class ScratchRow {
  public:
   ScratchRow() = default;
   ScratchRow(index nx, index halo)
       : lead_(round_up(std::max<index>(halo, 1),
-                       static_cast<index>(kAlignment / sizeof(double)))),
+                       static_cast<index>(kAlignment / sizeof(T)))),
         buf_(lead_ + nx + lead_) {}
 
-  double* x0() { return buf_.data() + lead_; }
-  const double* x0() const { return buf_.data() + lead_; }
+  T* x0() { return buf_.data() + lead_; }
+  const T* x0() const { return buf_.data() + lead_; }
 
   /// Copies the (constant) x halo from a grid row so boundary assembly works.
-  void copy_halo(const double* grid_row, index nx, index halo) {
+  void copy_halo(const T* grid_row, index nx, index halo) {
     for (index l = 1; l <= halo; ++l) x0()[-l] = grid_row[-l];
     for (index l = 0; l < halo; ++l) x0()[nx + l] = grid_row[nx + l];
   }
 
  private:
   index lead_ = 0;
-  AlignedBuffer<double> buf_;
+  AlignedBuffer<T> buf_;
 };
 
 }  // namespace detail
 
 /// 2D K=2 run driver (see header comment). Grid ends in original layout.
 template <typename V, int R, int NR>
-TSV_NOINLINE void unroll_jam2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
-                     index steps) {
+TSV_NOINLINE void unroll_jam2_run(Grid2D<vec_value_t<V>>& g,
+                     const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   const index nx = g.nx(), ny = g.ny();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
 
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 
   // Ring of 2R+1 level-1 rows; level-1 values of halo rows are the halo rows
   // themselves (Dirichlet), provided by pointer selection in row_l1().
   constexpr index RB = 2 * R + 1;
-  std::array<detail::ScratchRow, RB> ring;
-  for (auto& r : ring) r = detail::ScratchRow(nx, R);
+  std::array<detail::ScratchRow<T>, RB> ring;
+  for (auto& r : ring) r = detail::ScratchRow<T>(nx, R);
   auto ring_slot = [&](index y) { return ((y % RB) + RB) % RB; };
-  auto row_l1 = [&](index y) -> const double* {
+  auto row_l1 = [&](index y) -> const T* {
     return (y < 0 || y >= ny) ? g.row(y) : ring[ring_slot(y)].x0();
   };
 
@@ -201,16 +209,16 @@ TSV_NOINLINE void unroll_jam2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
     for (index yy = 0; yy <= ny - 1 + R; ++yy) {
       if (yy < ny) {
         // Level 1 of row yy from level-0 rows (still intact in g).
-        detail::ScratchRow& dst = ring[ring_slot(yy)];
+        detail::ScratchRow<T>& dst = ring[ring_slot(yy)];
         dst.copy_halo(g.row(yy), nx, R);
-        std::array<const double*, NR> rp;
+        std::array<const T*, NR> rp;
         for (int r = 0; r < NR; ++r) rp[r] = g.row(yy + s.rows[r].dy);
         transpose_sweep_row<V, R, NR>(rp, dst.x0(), w, nx);
       }
       const index y2 = yy - R;
       if (y2 >= 0 && y2 < ny) {
         // Level 2 of row y2 from the ring, written in place.
-        std::array<const double*, NR> rp;
+        std::array<const T*, NR> rp;
         for (int r = 0; r < NR; ++r) rp[r] = row_l1(y2 + s.rows[r].dy);
         transpose_sweep_row<V, R, NR>(rp, g.row(y2), w, nx);
       }
@@ -218,10 +226,10 @@ TSV_NOINLINE void unroll_jam2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
   }
   const index rem = steps - pairs * 2;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid2D<double>& in, Grid2D<double>& out) {
+    jacobi_run(g, rem, [&](const Grid2D<T>& in, Grid2D<T>& out) {
       transpose_step<V>(in, out, s);
     });
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 // ---- 3D: ring of plane buffers ----------------------------------------------
@@ -229,24 +237,25 @@ TSV_NOINLINE void unroll_jam2_run(Grid2D<double>& g, const Stencil2D<R, NR>& s,
 /// 3D K=2 run driver: the intermediate level lives in 2R+1 plane buffers
 /// (Grid2D scratch, same row layout as g's planes).
 template <typename V, int R, int NR>
-TSV_NOINLINE void unroll_jam2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
-                     index steps) {
+TSV_NOINLINE void unroll_jam2_run(Grid3D<vec_value_t<V>>& g,
+                     const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+  using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   const index nx = g.nx(), ny = g.ny(), nz = g.nz();
-  std::array<std::array<double, 2 * R + 1>, NR> w;
+  std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
 
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 
   constexpr index RB = 2 * R + 1;
-  std::vector<Grid2D<double>> ring;
+  std::vector<Grid2D<T>> ring;
   ring.reserve(RB);
   for (index i = 0; i < RB; ++i) ring.emplace_back(nx, ny, R);
   auto ring_slot = [&](index z) { return ((z % RB) + RB) % RB; };
   // Row y of the level-1 plane z; halo planes and halo rows resolve to the
   // main grid (Dirichlet values, valid at every level).
-  auto row_l1 = [&](index y, index z) -> const double* {
+  auto row_l1 = [&](index y, index z) -> const T* {
     if (z < 0 || z >= nz || y < 0 || y >= ny) return g.row(y, z);
     return ring[ring_slot(z)].row(y);
   };
@@ -255,14 +264,14 @@ TSV_NOINLINE void unroll_jam2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
   for (index q = 0; q < pairs; ++q) {
     for (index zz = 0; zz <= nz - 1 + R; ++zz) {
       if (zz < nz) {
-        Grid2D<double>& dst = ring[ring_slot(zz)];
+        Grid2D<T>& dst = ring[ring_slot(zz)];
         for (index y = 0; y < ny; ++y) {
           // x halo of the scratch rows must carry the Dirichlet values.
-          double* d = dst.row(y);
-          const double* srow = g.row(y, zz);
+          T* d = dst.row(y);
+          const T* srow = g.row(y, zz);
           for (index l = 1; l <= R; ++l) d[-l] = srow[-l];
           for (index l = 0; l < R; ++l) d[nx + l] = srow[nx + l];
-          std::array<const double*, NR> rp;
+          std::array<const T*, NR> rp;
           for (int r = 0; r < NR; ++r)
             rp[r] = g.row(y + s.rows[r].dy, zz + s.rows[r].dz);
           transpose_sweep_row<V, R, NR>(rp, d, w, nx);
@@ -271,7 +280,7 @@ TSV_NOINLINE void unroll_jam2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
       const index z2 = zz - R;
       if (z2 >= 0 && z2 < nz) {
         for (index y = 0; y < ny; ++y) {
-          std::array<const double*, NR> rp;
+          std::array<const T*, NR> rp;
           for (int r = 0; r < NR; ++r)
             rp[r] = row_l1(y + s.rows[r].dy, z2 + s.rows[r].dz);
           transpose_sweep_row<V, R, NR>(rp, g.row(y, z2), w, nx);
@@ -281,10 +290,10 @@ TSV_NOINLINE void unroll_jam2_run(Grid3D<double>& g, const Stencil3D<R, NR>& s,
   }
   const index rem = steps - pairs * 2;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid3D<double>& in, Grid3D<double>& out) {
+    jacobi_run(g, rem, [&](const Grid3D<T>& in, Grid3D<T>& out) {
       transpose_step<V>(in, out, s);
     });
-  block_transpose_grid<double, W>(g);
+  block_transpose_grid<T, W>(g);
 }
 
 }  // namespace tsv

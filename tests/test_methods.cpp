@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tsv/kernels/reference.hpp"
 #include "tsv/vectorize/autovec.hpp"
@@ -347,6 +348,166 @@ TEST(RegionSweep, WritesOnlyRangeAvx2) {
 #if defined(__AVX512F__)
 TEST(RegionSweep, WritesOnlyRangeAvx512) {
   check_region_writes_only_range<Vec<double, 8>>();
+}
+#endif
+
+// ---- float methods: every kernel in single precision -------------------------
+
+// Bounded away from zero: ULP comparisons are meaningful for O(1)-magnitude
+// values, while cells near zero see cancellation-amplified relative error.
+template <typename T>
+T ffield1(index x) {
+  return T(1.5 + std::sin(0.037 * double(x)) + 0.01 * double(x % 61));
+}
+
+// Runs method_fn and the same-dtype reference on identical float grids and
+// compares under the dtype-aware tolerance (check.hpp policy).
+template <typename V, int R, typename Fn>
+void expect_matches_float_reference_1d(index nx, index steps,
+                                       const Stencil1D<R, float>& s,
+                                       Fn&& method_fn) {
+  Grid1D<float> ref(nx, R), got(nx, R);
+  ref.fill(ffield1<float>);
+  got.fill(ffield1<float>);
+  reference_run(ref, s, steps);
+  method_fn(got, s, steps);
+  EXPECT_LE(max_abs_diff(ref, got), accuracy_tolerance<float>(steps))
+      << "nx=" << nx << " T=" << steps << " W=" << V::width;
+}
+
+template <typename V>
+void all_float_methods_1d() {
+  constexpr int W = V::width;
+  const auto s3 = make_1d3p<float>(0.31);
+  const auto s5 = make_1d5p<float>(0.04, 0.21, 0.47);
+  for (index nx : {static_cast<index>(W * W), static_cast<index>(3 * W * W)})
+    for (index steps : {0, 1, 2, 7}) {
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s3,
+          [](auto& g, auto& s, index t) { multiload_run<V>(g, s, t); });
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s3,
+          [](auto& g, auto& s, index t) { reorg_run<V>(g, s, t); });
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s3,
+          [](auto& g, auto& s, index t) { dlt_run<V>(g, s, t); });
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s3,
+          [](auto& g, auto& s, index t) { transpose_vs_run<V>(g, s, t); });
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s3, [](auto& g, auto& s, index t) {
+            unroll_jam_run<V, 1, 2>(g, s, t);
+          });
+      expect_matches_float_reference_1d<V>(
+          nx, steps, s5,
+          [](auto& g, auto& s, index t) { transpose_vs_run<V>(g, s, t); });
+    }
+}
+
+TEST(FloatMethods1D, GenericW4) { all_float_methods_1d<Vec<float, 4>>(); }
+#if defined(__AVX2__)
+TEST(FloatMethods1D, Avx2W8) { all_float_methods_1d<Vec<float, 8>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(FloatMethods1D, Avx512W16) { all_float_methods_1d<Vec<float, 16>>(); }
+#endif
+
+template <typename V>
+void float_methods_2d_3d() {
+  constexpr int W = V::width;
+  const auto tol = [](index steps) { return accuracy_tolerance<float>(steps); };
+  {
+    const auto s = make_2d5p<float>(0.46, 0.13, 0.14);
+    const index nx = W * W, ny = 5, steps = 3;
+    Grid2D<float> ref(nx, ny, 1), got(nx, ny, 1);
+    auto f = [](index x, index y) {
+      return float(std::sin(0.037 * double(x) + 0.11 * double(y)));
+    };
+    ref.fill(f);
+    got.fill(f);
+    reference_run(ref, s, steps);
+    transpose_vs_run<V>(got, s, steps);
+    EXPECT_LE(max_abs_diff(ref, got), tol(steps)) << "2d W=" << W;
+    Grid2D<float> got_uj(nx, ny, 1);
+    got_uj.fill(f);
+    unroll_jam2_run<V>(got_uj, s, steps);
+    EXPECT_LE(max_abs_diff(ref, got_uj), tol(steps)) << "2d uj W=" << W;
+  }
+  {
+    const auto s = make_3d7p<float>(0.39, 0.1, 0.11, 0.09);
+    const index nx = W * W, ny = 4, nz = 3, steps = 2;
+    Grid3D<float> ref(nx, ny, nz, 1), got(nx, ny, nz, 1);
+    auto f = [](index x, index y, index z) {
+      return float(std::sin(0.037 * double(x) + 0.11 * double(y) -
+                            0.05 * double(z)));
+    };
+    ref.fill(f);
+    got.fill(f);
+    reference_run(ref, s, steps);
+    transpose_vs_run<V>(got, s, steps);
+    EXPECT_LE(max_abs_diff(ref, got), tol(steps)) << "3d W=" << W;
+  }
+}
+
+TEST(FloatMethods2D3D, GenericW4) { float_methods_2d_3d<Vec<float, 4>>(); }
+#if defined(__AVX2__)
+TEST(FloatMethods2D3D, Avx2W8) { float_methods_2d_3d<Vec<float, 8>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(FloatMethods2D3D, Avx512W16) { float_methods_2d_3d<Vec<float, 16>>(); }
+#endif
+
+// ---- float-vs-double ULP bound ------------------------------------------------
+// The float run must track the double run to within a small number of float
+// ulps per step: the only divergence sources are rounding (0.5 ulp/op) and
+// reassociation, both of which scale with the step count.
+
+int64_t float_ulp_distance(float a, float b) {
+  auto key = [](float x) {
+    int32_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    // Map the sign-magnitude float ordering onto a monotone integer line.
+    return (i < 0) ? int64_t{INT32_MIN} - i : int64_t{i};
+  };
+  const int64_t d = key(a) - key(b);
+  return d < 0 ? -d : d;
+}
+
+template <typename V>
+void float_tracks_double_within_ulps() {
+  constexpr int W = V::width;
+  const index nx = 4 * W * W;
+  const index steps = 6;
+  const auto sd = make_1d3p(0.33);
+  const auto sf = make_1d3p<float>(0.33);
+
+  Grid1D<double> gd(nx, 1);
+  Grid1D<float> gf(nx, 1);
+  gd.fill([](index x) { return double(ffield1<float>(x)); });  // same values
+  gf.fill(ffield1<float>);
+  reference_run(gd, sd, steps);
+  transpose_vs_run<V>(gf, sf, steps);
+
+  // Rounding + reassociation contribute a few ulps per step, and boundary
+  // cells see mild cancellation that amplifies the relative error; 4
+  // ulps/step (+ the final cast) covers both with margin.
+  const int64_t bound = 4 * steps + 4;
+  for (index x = 0; x < nx; ++x)
+    EXPECT_LE(float_ulp_distance(gf.at(x), float(gd.at(x))), bound)
+        << "x=" << x << " W=" << W;
+}
+
+TEST(FloatVsDouble, UlpBoundGenericW4) {
+  float_tracks_double_within_ulps<Vec<float, 4>>();
+}
+#if defined(__AVX2__)
+TEST(FloatVsDouble, UlpBoundAvx2W8) {
+  float_tracks_double_within_ulps<Vec<float, 8>>();
+}
+#endif
+#if defined(__AVX512F__)
+TEST(FloatVsDouble, UlpBoundAvx512W16) {
+  float_tracks_double_within_ulps<Vec<float, 16>>();
 }
 #endif
 

@@ -1,8 +1,9 @@
-// Registry-consistency suite: every (method, tiling, rank, isa) combination
-// the registry claims to support must plan and execute correctly — agreeing
-// with the scalar reference — and every combination it does not claim must
-// fail with a structured ConfigError at plan time, never from inside a
-// kernel. Also covers the name <-> enum round-trips used by CLI parsing.
+// Registry-consistency suite: every (method, tiling, rank, isa, dtype)
+// combination the registry claims to support must plan and execute correctly
+// — agreeing with the scalar reference of the same dtype — and every
+// combination it does not claim must fail with a structured ConfigError at
+// plan time, never from inside a kernel. Also covers the name <-> enum
+// round-trips used by CLI parsing.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,96 +14,110 @@
 namespace tsv {
 namespace {
 
-constexpr double kTol = 1e-11;
-
-double f1(index x) { return std::sin(0.041 * x) + 0.002 * x; }
-double f2(index x, index y) { return std::sin(0.041 * x - 0.07 * y); }
-double f3(index x, index y, index z) {
-  return std::sin(0.041 * x - 0.07 * y + 0.03 * z);
+template <typename T>
+T f1(index x) {
+  return T(std::sin(0.041 * double(x)) + 0.002 * double(x));
+}
+template <typename T>
+T f2(index x, index y) {
+  return T(std::sin(0.041 * double(x) - 0.07 * double(y)));
+}
+template <typename T>
+T f3(index x, index y, index z) {
+  return T(std::sin(0.041 * double(x) - 0.07 * double(y) + 0.03 * double(z)));
 }
 
-// Conforming extents: nx is a multiple of 64 = W^2 for the widest kernels,
-// so every layout rule accepts the shape for every compiled width.
-constexpr index kNx = 128, kNy = 6, kNz = 4, kSteps = 4;
+// Conforming extents: nx is a multiple of 256 = W^2 for the widest kernels
+// (float AVX-512, W = 16), so every layout rule accepts the shape for every
+// compiled width and dtype.
+constexpr index kNx = 256, kNy = 6, kNz = 4, kSteps = 4;
 
-Options combo_options(Method m, Tiling t, Isa isa) {
+Options combo_options(Method m, Tiling t, Isa isa, Dtype d) {
   Options o;
   o.method = m;
   o.tiling = t;
   o.isa = isa;
+  o.dtype = d;
   o.steps = kSteps;
   // Blocks stay 0: the plan must resolve sane defaults for tiled runs.
   return o;
 }
 
-std::string combo_label(Method m, Tiling t, int rank, Isa isa) {
+std::string combo_label(Method m, Tiling t, int rank, Isa isa, Dtype d) {
   std::string s = method_name(m);
   s += "+";
   s += tiling_name(t);
   s += " rank=" + std::to_string(rank) + " isa=";
   s += isa_name(isa);
+  s += " dtype=";
+  s += dtype_name(d);
   return s;
 }
 
 // Plans and executes one claimed combination at the given rank and checks
-// agreement with the scalar reference.
+// agreement with the scalar reference of the same dtype, within the
+// dtype-aware tolerance (check.hpp).
+template <typename T>
 void expect_combo_matches(Method m, Tiling t, int rank, Isa isa) {
-  const Options o = combo_options(m, t, isa);
-  const std::string label = combo_label(m, t, rank, isa);
+  const Options o = combo_options(m, t, isa, dtype_of<T>());
+  const std::string label = combo_label(m, t, rank, isa, dtype_of<T>());
+  const double tol = accuracy_tolerance<T>(kSteps);
   switch (rank) {
     case 1: {
-      const auto s = make_1d3p(0.3);
-      Grid1D<double> ref(kNx, 1), g(kNx, 1);
-      ref.fill(f1);
-      g.fill(f1);
+      const auto s = make_1d3p<T>(0.3);
+      Grid1D<T> ref(kNx, 1), g(kNx, 1);
+      ref.fill(f1<T>);
+      g.fill(f1<T>);
       reference_run(ref, s, kSteps);
       auto plan = make_plan(shape1d(kNx), s, o);
       plan.execute(g);
-      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      EXPECT_LE(max_abs_diff(ref, g), tol) << label;
       break;
     }
     case 2: {
-      const auto s = make_2d5p(0.5, 0.12, 0.13);
-      Grid2D<double> ref(kNx, kNy, 1), g(kNx, kNy, 1);
-      ref.fill(f2);
-      g.fill(f2);
+      const auto s = make_2d5p<T>(0.5, 0.12, 0.13);
+      Grid2D<T> ref(kNx, kNy, 1), g(kNx, kNy, 1);
+      ref.fill(f2<T>);
+      g.fill(f2<T>);
       reference_run(ref, s, kSteps);
       auto plan = make_plan(shape2d(kNx, kNy), s, o);
       plan.execute(g);
-      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      EXPECT_LE(max_abs_diff(ref, g), tol) << label;
       break;
     }
     default: {
-      const auto s = make_3d7p();
-      Grid3D<double> ref(kNx, kNy, kNz, 1), g(kNx, kNy, kNz, 1);
-      ref.fill(f3);
-      g.fill(f3);
+      const auto s = make_3d7p<T>();
+      Grid3D<T> ref(kNx, kNy, kNz, 1), g(kNx, kNy, kNz, 1);
+      ref.fill(f3<T>);
+      g.fill(f3<T>);
       reference_run(ref, s, kSteps);
       auto plan = make_plan(shape3d(kNx, kNy, kNz), s, o);
       plan.execute(g);
-      EXPECT_LE(max_abs_diff(ref, g), kTol) << label;
+      EXPECT_LE(max_abs_diff(ref, g), tol) << label;
       break;
     }
   }
 }
 
 // make_plan must fail with ConfigError exactly when the registry says the
-// combination is unsupported.
-void expect_combo_rejected_at_plan_time(Method m, Tiling t, int rank,
-                                        Isa isa) {
-  const Options o = combo_options(m, t, isa);
-  const std::string label = combo_label(m, t, rank, isa);
+// combination is unsupported. The rank-erased (StencilKind) overload is used
+// here so the dtype axis goes through Options::dtype dispatch.
+void expect_combo_rejected_at_plan_time(Method m, Tiling t, int rank, Isa isa,
+                                        Dtype d) {
+  const Options o = combo_options(m, t, isa, d);
+  const std::string label = combo_label(m, t, rank, isa, d);
   switch (rank) {
     case 1:
-      EXPECT_THROW(make_plan(shape1d(kNx), make_1d3p(), o), ConfigError)
+      EXPECT_THROW(make_plan(shape1d(kNx), StencilKind::k1d3p, o), ConfigError)
           << label;
       break;
     case 2:
-      EXPECT_THROW(make_plan(shape2d(kNx, kNy), make_2d5p(), o), ConfigError)
+      EXPECT_THROW(make_plan(shape2d(kNx, kNy), StencilKind::k2d5p, o),
+                   ConfigError)
           << label;
       break;
     default:
-      EXPECT_THROW(make_plan(shape3d(kNx, kNy, kNz), make_3d7p(), o),
+      EXPECT_THROW(make_plan(shape3d(kNx, kNy, kNz), StencilKind::k3d7p, o),
                    ConfigError)
           << label;
       break;
@@ -114,16 +129,42 @@ TEST(Registry, EveryClaimedComboExecutesAndMatchesReference) {
   for (Method m : all_methods())
     for (Tiling t : all_tilings())
       for (int rank = 1; rank <= 3; ++rank)
-        for (Isa isa : all_isas()) {
-          if (supports(m, t, rank, isa)) {
-            expect_combo_matches(m, t, rank, isa);
-            ++executed;
-          } else {
-            expect_combo_rejected_at_plan_time(m, t, rank, isa);
+        for (Isa isa : all_isas())
+          for (Dtype d : all_dtypes()) {
+            if (supports(m, t, rank, isa, d)) {
+              if (d == Dtype::kF32)
+                expect_combo_matches<float>(m, t, rank, isa);
+              else
+                expect_combo_matches<double>(m, t, rank, isa);
+              ++executed;
+            } else {
+              expect_combo_rejected_at_plan_time(m, t, rank, isa, d);
+            }
           }
-        }
-  // At least the scalar-ISA rows must have run on any machine.
-  EXPECT_GE(executed, 20);
+  // At least the scalar-ISA rows must have run, in both dtypes, on any
+  // machine.
+  EXPECT_GE(executed, 40);
+}
+
+TEST(Registry, RankErasedPlanDispatchesOnDtype) {
+  Options o = combo_options(Method::kTranspose, Tiling::kNone, Isa::kAuto,
+                            Dtype::kF32);
+  Plan p = make_plan(shape1d(kNx), StencilKind::k1d3p, o);
+  EXPECT_EQ(p.config().dtype, Dtype::kF32);
+
+  Grid1D<float> gf(kNx, 1);
+  gf.fill(f1<float>);
+  EXPECT_NO_THROW(p.execute(gf));
+  // A double grid on a float plan is a structured error, not a crash.
+  Grid1D<double> gd(kNx, 1);
+  gd.fill(f1<double>);
+  EXPECT_THROW(p.execute(gd), ConfigError);
+
+  // Float kernels are twice as wide: the resolved width doubles.
+  Options od = o;
+  od.dtype = Dtype::kF64;
+  Plan pd = make_plan(shape1d(kNx), StencilKind::k1d3p, od);
+  EXPECT_EQ(2 * pd.config().width, p.config().width);
 }
 
 TEST(Registry, TableIsWellFormed) {
@@ -131,6 +172,8 @@ TEST(Registry, TableIsWellFormed) {
   for (const Capability& c : capabilities()) {
     EXPECT_NE(c.rank_mask, 0u) << method_name(c.method);
     EXPECT_EQ(c.rank_mask & ~7u, 0u) << method_name(c.method);
+    EXPECT_NE(c.dtype_mask, 0u) << method_name(c.method);
+    EXPECT_EQ(c.dtype_mask & ~kAllDtypes, 0u) << method_name(c.method);
     EXPECT_NE(c.note, nullptr);
     EXPECT_EQ(find_capability(c.method, c.tiling), &c);
   }
@@ -148,6 +191,11 @@ TEST(Registry, KnownUnsupportedCombos) {
   EXPECT_FALSE(supports(Method::kMultiLoad, Tiling::kTessellate, 2));
   EXPECT_FALSE(supports(Method::kReorg, Tiling::kTessellate, 3));
   EXPECT_TRUE(supports(Method::kTranspose, Tiling::kNone, 2));
+  // Every currently implemented row claims both dtypes (the kernels are one
+  // template); the mask exists so future rows can opt out.
+  for (Dtype d : all_dtypes())
+    EXPECT_TRUE(supports(Method::kTranspose, Tiling::kNone, 2, Isa::kAuto, d))
+        << dtype_name(d);
 }
 
 TEST(Registry, SupportedMethodsEnumerates) {
@@ -170,10 +218,15 @@ TEST(Registry, NameRoundTrips) {
     EXPECT_EQ(tiling_from_name(tiling_name(t)), t) << tiling_name(t);
   for (Isa isa : all_isas())
     EXPECT_EQ(isa_from_name(isa_name(isa)), isa) << isa_name(isa);
+  for (Dtype d : all_dtypes())
+    EXPECT_EQ(dtype_from_name(dtype_name(d)), d) << dtype_name(d);
   EXPECT_EQ(isa_from_name("auto"), Isa::kAuto);
+  EXPECT_EQ(dtype_from_name("double"), Dtype::kF64);
+  EXPECT_EQ(dtype_from_name("float"), Dtype::kF32);
   EXPECT_FALSE(method_from_name("no-such-method").has_value());
   EXPECT_FALSE(tiling_from_name("").has_value());
   EXPECT_FALSE(isa_from_name("avx1024").has_value());
+  EXPECT_FALSE(dtype_from_name("f16").has_value());
 }
 
 TEST(Registry, RunnableIsasAreOrderedAndRunnable) {
@@ -186,6 +239,18 @@ TEST(Registry, RunnableIsasAreOrderedAndRunnable) {
     EXPECT_NE(isa, Isa::kAuto);
   }
   EXPECT_EQ(isas.back(), best_isa());
+}
+
+TEST(Registry, KernelWidthsPerDtype) {
+  EXPECT_EQ(kernel_width(Isa::kScalar, Dtype::kF64), 2);
+  EXPECT_EQ(kernel_width(Isa::kScalar, Dtype::kF32), 4);
+  EXPECT_EQ(kernel_width(Isa::kAvx2, Dtype::kF64), 4);
+  EXPECT_EQ(kernel_width(Isa::kAvx2, Dtype::kF32), 8);
+  EXPECT_EQ(kernel_width(Isa::kAvx512, Dtype::kF64), 8);
+  EXPECT_EQ(kernel_width(Isa::kAvx512, Dtype::kF32), 16);
+  // The one-argument form stays the double-precision width.
+  for (Isa isa : all_isas())
+    EXPECT_EQ(kernel_width(isa), kernel_width(isa, Dtype::kF64));
 }
 
 }  // namespace
