@@ -13,6 +13,12 @@
 //                   perf trajectory; uploaded as the bench-smoke artifact)
 //   --dtype D       element type sweep: f64 (default), f32, or both
 //   --threads N     cap the thread count (default: all logical cores)
+//   --tune MODE     block autotuning: off (default), cached, or full; every
+//                   --json record carries threads/tune/resolved blocks so
+//                   BENCH_*.json trajectories are self-describing
+//   --nx N          replace the cache ladder with one custom rung of N
+//                   elements (A/B runs at a pinned size)
+//   --stream MODE   non-temporal store policy: auto (default), off, on
 
 #include <omp.h>
 
@@ -28,6 +34,12 @@ namespace bench {
 
 using tsv::index;
 
+/// Process-wide streaming-store policy for every run_problem() plan, set by
+/// Config::parse from --stream. A global (not another positional argument)
+/// because every bench body already threads 8 parameters into run_problem
+/// and the policy is a harness-wide A/B switch, never per-measurement.
+inline tsv::StreamMode g_stream = tsv::StreamMode::kAuto;
+
 struct Config {
   bool paper_scale = false;
   bool long_t = false;
@@ -37,6 +49,9 @@ struct Config {
   std::vector<tsv::Dtype> dtypes = {tsv::Dtype::kF64};
   tsv::Isa isa = tsv::Isa::kAuto;  ///< pin one ISA (--isa avx2); kAuto = best
   int threads = 0;
+  tsv::Tune tune = tsv::Tune::kOff;  ///< plan-time block autotuning
+  index nx_override = 0;             ///< --nx: one custom ladder rung
+  tsv::StreamMode stream = tsv::StreamMode::kAuto;
 
   static Config parse(int argc, char** argv) {
     Config c;
@@ -67,15 +82,37 @@ struct Config {
           std::fprintf(stderr, "unknown --isa %s\n", a);
           std::exit(2);
         }
-      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
         c.threads = std::atoi(argv[++i]);
-      else if (!std::strcmp(argv[i], "--help")) {
+      } else if (!std::strcmp(argv[i], "--tune") && i + 1 < argc) {
+        const char* t = argv[++i];
+        if (auto parsed = tsv::tune_from_name(t)) {
+          c.tune = *parsed;
+        } else {
+          std::fprintf(stderr, "unknown --tune %s (want off|cached|full)\n",
+                       t);
+          std::exit(2);
+        }
+      } else if (!std::strcmp(argv[i], "--nx") && i + 1 < argc) {
+        c.nx_override = std::atoll(argv[++i]);
+      } else if (!std::strcmp(argv[i], "--stream") && i + 1 < argc) {
+        const char* m = argv[++i];
+        if (!std::strcmp(m, "auto")) c.stream = tsv::StreamMode::kAuto;
+        else if (!std::strcmp(m, "off")) c.stream = tsv::StreamMode::kOff;
+        else if (!std::strcmp(m, "on")) c.stream = tsv::StreamMode::kOn;
+        else {
+          std::fprintf(stderr, "unknown --stream %s (want auto|off|on)\n", m);
+          std::exit(2);
+        }
+      } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "flags: --paper-scale --long --smoke --csv FILE --json FILE "
-            "--dtype f64|f32|both --isa auto|scalar|avx2|avx512 --threads N\n");
+            "--dtype f64|f32|both --isa auto|scalar|avx2|avx512 --threads N "
+            "--tune off|cached|full --nx N --stream auto|off|on\n");
         std::exit(0);
       }
     }
+    g_stream = c.stream;  // picked up by every run_problem() plan
     return c;
   }
 };
@@ -180,17 +217,34 @@ inline std::vector<SizeRung> storage_ladder(bool smoke = false,
 }
 
 /// Times one execution; returns GFLOP/s. Plan construction (registry
-/// validation, ISA/block resolution, kernel binding) happens once, outside
-/// the measured region — the timer sees only Plan::execute.
+/// validation, ISA/block resolution, kernel binding — and autotuning trials
+/// when Options::tune is on) happens once, outside the measured region —
+/// the timer sees only Plan::execute. @p cfg_out (optional) receives the
+/// fully resolved configuration so callers can report the blocks that
+/// actually ran.
 template <typename Grid, typename S>
-double time_run(Grid& g, const S& s, const tsv::Options& o, index points) {
+double time_run(Grid& g, const S& s, const tsv::Options& o, index points,
+                tsv::ResolvedOptions* cfg_out = nullptr) {
   const auto plan = tsv::make_plan(tsv::shape_of(g), s, o);
+  if (cfg_out != nullptr) *cfg_out = plan.config();
   tsv::Timer t;
   plan.execute(g);
   const double sec = t.seconds();
   return 1e-9 * static_cast<double>(points) *
          static_cast<double>(o.steps) *
          static_cast<double>(s.flops_per_point) / sec;
+}
+
+/// The harness-config fields every --json record must carry (threads, tune
+/// mode, resolved blocks): formatted once here so the benches stay in sync.
+inline std::string json_cfg_fields(const tsv::ResolvedOptions& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                ",\"threads\":%d,\"tune\":\"%s\",\"bx\":%td,\"by\":%td,"
+                "\"bz\":%td,\"bt\":%td,\"streaming\":%s",
+                r.threads, tsv::tune_name(r.tune), r.bx, r.by, r.bz, r.bt,
+                r.streaming ? "true" : "false");
+  return buf;
 }
 
 /// Grid-point updates per second for a GFLOP/s figure of the same run — the
@@ -218,7 +272,8 @@ inline void setup_omp() {
 namespace detail {
 
 template <typename T>
-double run_problem_t(const tsv::Problem& p, const tsv::Options& o) {
+double run_problem_t(const tsv::Problem& p, const tsv::Options& o,
+                     tsv::ResolvedOptions* cfg_out) {
   auto fill1 = [](index x) {
     return T(0.3 + 1e-4 * static_cast<double>(x % 97));
   };
@@ -232,32 +287,32 @@ double run_problem_t(const tsv::Problem& p, const tsv::Options& o) {
     case tsv::StencilKind::k1d3p: {
       tsv::Grid1D<T> g(p.nx, 1);
       g.fill(fill1);
-      return time_run(g, tsv::make_1d3p<T>(1.0 / 3.0), o, p.nx);
+      return time_run(g, tsv::make_1d3p<T>(1.0 / 3.0), o, p.nx, cfg_out);
     }
     case tsv::StencilKind::k1d5p: {
       tsv::Grid1D<T> g(p.nx, 2);
       g.fill(fill1);
-      return time_run(g, tsv::make_1d5p<T>(), o, p.nx);
+      return time_run(g, tsv::make_1d5p<T>(), o, p.nx, cfg_out);
     }
     case tsv::StencilKind::k2d5p: {
       tsv::Grid2D<T> g(p.nx, p.ny, 1);
       g.fill(fill2);
-      return time_run(g, tsv::make_2d5p<T>(), o, p.nx * p.ny);
+      return time_run(g, tsv::make_2d5p<T>(), o, p.nx * p.ny, cfg_out);
     }
     case tsv::StencilKind::k2d9p: {
       tsv::Grid2D<T> g(p.nx, p.ny, 1);
       g.fill(fill2);
-      return time_run(g, tsv::make_2d9p<T>(), o, p.nx * p.ny);
+      return time_run(g, tsv::make_2d9p<T>(), o, p.nx * p.ny, cfg_out);
     }
     case tsv::StencilKind::k3d7p: {
       tsv::Grid3D<T> g(p.nx, p.ny, p.nz, 1);
       g.fill(fill3);
-      return time_run(g, tsv::make_3d7p<T>(), o, p.nx * p.ny * p.nz);
+      return time_run(g, tsv::make_3d7p<T>(), o, p.nx * p.ny * p.nz, cfg_out);
     }
     case tsv::StencilKind::k3d27p: {
       tsv::Grid3D<T> g(p.nx, p.ny, p.nz, 1);
       g.fill(fill3);
-      return time_run(g, tsv::make_3d27p<T>(), o, p.nx * p.ny * p.nz);
+      return time_run(g, tsv::make_3d27p<T>(), o, p.nx * p.ny * p.nz, cfg_out);
     }
   }
   return 0;
@@ -269,7 +324,9 @@ double run_problem_t(const tsv::Problem& p, const tsv::Options& o) {
 /// count and returns GFLOP/s. steps_override > 0 replaces the preset steps.
 inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
                           tsv::Isa isa, int threads, index steps_override = 0,
-                          tsv::Dtype dtype = tsv::Dtype::kF64) {
+                          tsv::Dtype dtype = tsv::Dtype::kF64,
+                          tsv::Tune tune = tsv::Tune::kOff,
+                          tsv::ResolvedOptions* cfg_out = nullptr) {
   tsv::Options o;
   o.method = m;
   o.tiling = t;
@@ -281,8 +338,11 @@ inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
   o.bz = p.bz;
   o.bt = p.bt;
   o.threads = threads;
-  return dtype == tsv::Dtype::kF32 ? detail::run_problem_t<float>(p, o)
-                                   : detail::run_problem_t<double>(p, o);
+  o.tune = tune;
+  o.stream = g_stream;
+  return dtype == tsv::Dtype::kF32
+             ? detail::run_problem_t<float>(p, o, cfg_out)
+             : detail::run_problem_t<double>(p, o, cfg_out);
 }
 
 /// Best-of-N wrapper for the noisy multicore measurements: this machine is
@@ -291,11 +351,23 @@ inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
 inline double run_problem_best(const tsv::Problem& p, tsv::Method m,
                                tsv::Tiling t, tsv::Isa isa, int threads,
                                int reps = 3, index steps_override = 0,
-                               tsv::Dtype dtype = tsv::Dtype::kF64) {
+                               tsv::Dtype dtype = tsv::Dtype::kF64,
+                               tsv::Tune tune = tsv::Tune::kOff,
+                               tsv::ResolvedOptions* cfg_out = nullptr) {
   double best = 0;
-  for (int i = 0; i < reps; ++i)
-    best = std::max(best,
-                    run_problem(p, m, t, isa, threads, steps_override, dtype));
+  tsv::ResolvedOptions best_cfg;
+  for (int i = 0; i < reps; ++i) {
+    tsv::ResolvedOptions rc;
+    const double gf =
+        run_problem(p, m, t, isa, threads, steps_override, dtype, tune, &rc);
+    // Keep the config of the rep that produced the best number: under
+    // Tune::kFull each rep re-tunes and may pick different blocks, and the
+    // JSON record must attribute the reported gflops to the blocks that
+    // actually ran it.
+    if (gf >= best || i == 0) best_cfg = rc;
+    best = std::max(best, gf);
+  }
+  if (cfg_out != nullptr) *cfg_out = best_cfg;
   return best;
 }
 
@@ -303,10 +375,14 @@ inline double run_problem_best(const tsv::Problem& p, tsv::Method m,
 /// combination executes in milliseconds, block fields reset so the plan
 /// resolves legal defaults at the tiny extents.
 inline tsv::Problem smoke_problem(tsv::Problem p) {
-  p.nx = 512;
+  // Sizes and steps are the smallest that keep one measurement in the
+  // hundreds-of-microseconds range: smoke timings feed the CI regression
+  // gate, and a microsecond-scale measurement is all jitter. 8192 is a
+  // multiple of 256, so every layout rule accepts it at every width/dtype.
+  p.nx = p.ny > 1 ? 512 : 8192;
   if (p.ny > 1) p.ny = 32;
   if (p.nz > 1) p.nz = 8;
-  p.steps = 4;
+  p.steps = 16;
   p.bx = p.by = p.bz = p.bt = 0;
   return p;
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a bench-smoke JSON run against the
+committed baseline.
+
+Usage: compare_baseline.py BASELINE.json NEW.json [--tolerance 0.6]
+                           [--report FILE]
+
+Records are joined on their identifying fields (everything except the
+measurements and the harness-config fields the benches attach). Because CI
+runners differ wildly in absolute speed, each record's ratio new/baseline is
+normalized by the MEDIAN ratio across all joined records — the gate catches
+a configuration that regressed relative to the rest of the suite, not a
+slow runner. A record fails when its normalized ratio drops below the
+tolerance (default 0.6, generous on purpose: smoke runs are short and
+noisy).
+
+Hard failures regardless of timing:
+  * a record in the new run carries "error": true
+  * a baseline configuration is missing from the new run (coverage loss)
+
+Exit status 0 = gate passed, 1 = regression / coverage loss, 2 = bad input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Fields that do NOT identify a configuration: measurements, and the
+# harness-config fields every record now carries (threads vary by runner;
+# resolved blocks vary with tuning).
+NON_IDENTITY = {
+    "gflops", "points_per_s", "speedup", "error",
+    "threads", "tune", "bx", "by", "bz", "bt", "streaming",
+}
+
+
+def identity(rec):
+    return tuple(sorted((k, v) for k, v in rec.items() if k not in NON_IDENTITY))
+
+
+def metric(rec):
+    if "points_per_s" in rec:
+        return float(rec["points_per_s"])
+    if "gflops" in rec:
+        return float(rec["gflops"])
+    return None
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        sys.exit(f"{path}: expected a JSON array of records")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.6,
+                    help="fail below tolerance * median(new/baseline)")
+    ap.add_argument("--report", default=None, help="also write report here")
+    args = ap.parse_args()
+
+    base = {identity(r): r for r in load(args.baseline) if metric(r)}
+    new = {identity(r): r for r in load(args.new)}
+
+    lines = []
+    failures = []
+
+    for key, rec in new.items():
+        if rec.get("error"):
+            failures.append(f"ERROR record in new run: {dict(key)}")
+
+    joined = []
+    for key, brec in base.items():
+        nrec = new.get(key)
+        if nrec is None:
+            failures.append(f"MISSING from new run: {dict(key)}")
+            continue
+        m_new = metric(nrec)
+        if m_new is None or m_new <= 0:
+            failures.append(f"NO METRIC in new run: {dict(key)}")
+            continue
+        joined.append((key, metric(brec), m_new))
+
+    if not joined:
+        print("no joinable records between baseline and new run", file=sys.stderr)
+        return 2
+
+    ratios = [m_new / m_base for _, m_base, m_new in joined]
+    med = statistics.median(ratios)
+    floor = args.tolerance * med
+    lines.append(f"records joined: {len(joined)}   median new/baseline: "
+                 f"{med:.3f}   floor: {args.tolerance} * median = {floor:.3f}")
+
+    for (key, m_base, m_new), ratio in zip(joined, ratios):
+        norm = ratio / med
+        mark = "FAIL" if ratio < floor else "ok"
+        if ratio < floor:
+            failures.append(
+                f"REGRESSION {dict(key)}: {m_new:.3g} vs baseline "
+                f"{m_base:.3g} (normalized {norm:.2f}x < {args.tolerance})")
+        lines.append(f"  [{mark}] norm={norm:5.2f}x  new={m_new:12.3g}  "
+                     f"base={m_base:12.3g}  {dict(key)}")
+
+    lines.append("")
+    if failures:
+        lines.append(f"GATE FAILED: {len(failures)} problem(s)")
+        lines.extend("  " + f for f in failures)
+    else:
+        lines.append("GATE PASSED")
+
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

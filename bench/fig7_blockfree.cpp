@@ -44,7 +44,10 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
   for (tsv::Method m : methods) std::printf(" %13s", tsv::method_name(m));
   std::printf("\n");
 
-  for (const SizeRung& rung : storage_ladder(cfg.smoke, dt)) {
+  const std::vector<SizeRung> ladder =
+      cfg.nx_override > 0 ? std::vector<SizeRung>{{"custom", cfg.nx_override}}
+                          : storage_ladder(cfg.smoke, dt);
+  for (const SizeRung& rung : ladder) {
     const tsv::index nx = cfg.paper_scale ? 10240000 : rung.nx;
     std::printf("%-5s %10td |", rung.level, nx);
     for (tsv::Method m : methods) {
@@ -52,13 +55,20 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
       o.method = m;
       o.isa = cfg.isa;
       o.steps = steps;
+      o.tune = cfg.tune;
+      o.stream = cfg.stream;
       const auto s = tsv::make_1d3p<T>(1.0 / 3.0);
       try {
         tsv::Grid1D<T> g(nx, 1);
         g.fill([](tsv::index x) {
           return T(0.25 + 1e-4 * static_cast<double>(x % 101));
         });
-        const double gf = time_run(g, s, o, nx);
+        tsv::ResolvedOptions rc;
+        // Smoke runs feed the CI regression gate: a single-shot timing on a
+        // shared runner can stall 100x, so take the best of three there.
+        double gf = time_run(g, s, o, nx, &rc);
+        for (int rep = 1; cfg.smoke && rep < 3; ++rep)
+          gf = std::max(gf, time_run(g, s, o, nx, &rc));
         std::printf(" %13.2f", gf);
         std::fflush(stdout);
         csv.row("7,%td,%s,%td,%s,%s,%.3f", steps, rung.level, nx,
@@ -66,11 +76,12 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
         json.record(
             "{\"bench\":\"fig7\",\"steps\":%td,\"level\":\"%s\",\"nx\":%td,"
             "\"method\":\"%s\",\"isa\":\"%s\",\"dtype\":\"%s\","
-            "\"gflops\":%.3f,\"points_per_s\":%.0f}",
+            "\"gflops\":%.3f,\"points_per_s\":%.0f%s}",
             steps, rung.level, nx, tsv::method_name(m),
             tsv::isa_name(cfg.isa == tsv::Isa::kAuto ? tsv::best_isa()
                                                      : cfg.isa),
-            tsv::dtype_name(dt), gf, points_per_sec(gf, s.flops_per_point));
+            tsv::dtype_name(dt), gf, points_per_sec(gf, s.flops_per_point),
+            json_cfg_fields(rc).c_str());
       } catch (const std::exception& e) {
         ok = false;
         std::printf(" %13s", "ERROR");
@@ -105,7 +116,10 @@ int main(int argc, char** argv) {
   print_header("Figure 7: sequential block-free performance (1D heat)");
   CsvSink csv(cfg.csv_path, "fig,steps,level,nx,method,dtype,gflops");
   JsonSink json(cfg.json_path);
-  const tsv::index base = cfg.smoke ? 4 : cfg.paper_scale ? 1000 : 100;
+  // Smoke steps are sized for the CI gate: 4096 x 64 steps puts one
+  // measurement in the hundreds-of-microseconds range — enough signal over
+  // timer jitter for the 0.6x regression floor, still instant to run.
+  const tsv::index base = cfg.smoke ? 64 : cfg.paper_scale ? 1000 : 100;
   bool ok = true;
   // --smoke runs exactly one sweep regardless of --long (otherwise the two
   // flags together would skip both sweeps and pass vacuously).

@@ -41,17 +41,18 @@ int main(int argc, char** argv) {
       for (tsv::Problem p : tsv::table1_problems(cfg.paper_scale)) {
         if (cfg.smoke) p = smoke_problem(p);
         double gf_max[4], gf_one[4];
+        tsv::ResolvedOptions rcfg[4];
         bool cok[4];  // per-contender: a failure must not zero its siblings
         for (int k = 0; k < 4; ++k) {
           const auto& c = contenders()[k];
           cok[k] = true;
           try {
-            gf_max[k] =
-                run_problem_best(p, c.method, c.tiling, isa, maxc, 3, 0, dt);
+            gf_max[k] = run_problem_best(p, c.method, c.tiling, isa, maxc, 3,
+                                         0, dt, cfg.tune, &rcfg[k]);
             gf_one[k] =
                 maxc == 1 ? gf_max[k]
                           : run_problem_best(p, c.method, c.tiling, isa, 1, 3,
-                                             0, dt);
+                                             0, dt, cfg.tune);
           } catch (const std::exception& e) {
             ok = cok[k] = false;
             gf_max[k] = gf_one[k] = 0;
@@ -85,15 +86,17 @@ int main(int argc, char** argv) {
             json.record(
                 "{\"bench\":\"table4\",\"stencil\":\"%s\",\"method\":\"%s\","
                 "\"isa\":\"%s\",\"dtype\":\"%s\",\"gflops\":%.3f,"
-                "\"speedup\":%.3f}",
+                "\"speedup\":%.3f%s}",
                 p.name.c_str(), contenders()[k].name, tsv::isa_name(isa),
-                tsv::dtype_name(dt), gf_max[k], speedup);
+                tsv::dtype_name(dt), gf_max[k], speedup,
+                json_cfg_fields(rcfg[k]).c_str());
           else if (cok[k])  // measured, but the baseline failed: no speedup
             json.record(
                 "{\"bench\":\"table4\",\"stencil\":\"%s\",\"method\":\"%s\","
-                "\"isa\":\"%s\",\"dtype\":\"%s\",\"gflops\":%.3f}",
+                "\"isa\":\"%s\",\"dtype\":\"%s\",\"gflops\":%.3f%s}",
                 p.name.c_str(), contenders()[k].name, tsv::isa_name(isa),
-                tsv::dtype_name(dt), gf_max[k]);
+                tsv::dtype_name(dt), gf_max[k],
+                json_cfg_fields(rcfg[k]).c_str());
         }
         std::printf("   |         ");
         for (int k = 0; k < 4; ++k) {

@@ -1,7 +1,10 @@
 #pragma once
 // Cache-line-aligned storage primitives used by every grid and scratch buffer.
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -44,6 +47,33 @@ inline constexpr std::size_t kAlignment = 64;
 /// Rounds @p n up to the next multiple of @p m (m > 0).
 constexpr index round_up(index n, index m) { return (n + m - 1) / m * m; }
 
+/// How a freshly allocated buffer's pages get their first write. On NUMA
+/// systems the first-touch policy places each page on the node of the
+/// touching thread, so buffers that will be processed by an OpenMP team
+/// should be zeroed by that team (kParallel) — in the same static thread
+/// order the compute loops use — not by the allocating thread.
+enum class FirstTouch {
+  kSerial,    ///< zero on the calling thread (default; matches old behaviour)
+  kParallel,  ///< zero under `omp parallel for schedule(static)`
+  kNone,      ///< leave pages untouched; the caller performs the first touch
+};
+
+namespace detail {
+/// Monotonic count of AlignedBuffer heap allocations. Test hook: the
+/// workspace suite asserts steady-state Plan::execute stays at zero new
+/// buffer allocations. One relaxed increment per allocation is noise next
+/// to the page-touching cost of the allocation itself.
+inline std::atomic<std::uint64_t>& aligned_alloc_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+}  // namespace detail
+
+/// Number of AlignedBuffer heap allocations performed so far, process-wide.
+inline std::uint64_t aligned_alloc_count() {
+  return detail::aligned_alloc_counter().load(std::memory_order_relaxed);
+}
+
 /// RAII owner of a 64-byte-aligned array of trivially-copyable elements.
 ///
 /// Unlike std::vector this guarantees the *first element* is aligned, which
@@ -56,8 +86,10 @@ class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
-  /// Allocates @p n zero-initialized elements.
-  explicit AlignedBuffer(index n) : size_(n) {
+  /// Allocates @p n zero-initialized elements (see FirstTouch for who
+  /// touches the pages; kNone skips the zeroing entirely).
+  explicit AlignedBuffer(index n, FirstTouch ft = FirstTouch::kSerial)
+      : size_(n) {
     if (n < 0) throw std::invalid_argument("AlignedBuffer: negative size");
     if (n == 0) return;
     const std::size_t bytes =
@@ -65,7 +97,30 @@ class AlignedBuffer {
                                           static_cast<index>(kAlignment)));
     data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc();
-    std::memset(data_, 0, bytes);
+    detail::aligned_alloc_counter().fetch_add(1, std::memory_order_relaxed);
+    if (ft == FirstTouch::kSerial) {
+      std::memset(data_, 0, bytes);
+    } else if (ft == FirstTouch::kParallel) {
+      zero_parallel(bytes);
+    }
+  }
+
+  /// Zeroes the whole buffer under an OpenMP static-schedule team. Safe to
+  /// call after a FirstTouch::kNone allocation to perform the first touch
+  /// from compute threads, and from inside a parallel region (the pragma
+  /// then degenerates to a serial loop on the calling thread).
+  void zero_parallel() {
+    if (data_ != nullptr)
+      zero_parallel(static_cast<std::size_t>(
+          round_up(size_ * static_cast<index>(sizeof(T)),
+                   static_cast<index>(kAlignment))));
+  }
+
+  /// Zeroes the whole buffer on the calling thread.
+  void zero() {
+    if (data_ != nullptr)
+      std::memset(data_, 0,
+                  static_cast<std::size_t>(size_) * sizeof(T));
   }
 
   AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
@@ -110,6 +165,21 @@ class AlignedBuffer {
   const T* end() const noexcept { return data_ + size_; }
 
  private:
+  // 2 MiB chunks: big enough that the per-iteration overhead vanishes,
+  // small enough that a static schedule spreads pages evenly over the team.
+  static constexpr std::size_t kTouchChunk = std::size_t{2} << 20;
+
+  void zero_parallel(std::size_t bytes) {
+    const index nchunks =
+        static_cast<index>((bytes + kTouchChunk - 1) / kTouchChunk);
+    char* base = reinterpret_cast<char*>(data_);
+#pragma omp parallel for schedule(static)
+    for (index c = 0; c < nchunks; ++c) {
+      const std::size_t off = static_cast<std::size_t>(c) * kTouchChunk;
+      std::memset(base + off, 0, std::min(kTouchChunk, bytes - off));
+    }
+  }
+
   T* data_ = nullptr;
   index size_ = 0;
 };

@@ -29,6 +29,15 @@ namespace tsv {
 
 /// Throws std::invalid_argument with @p message when @p cond is false.
 /// Used at API boundaries; hot loops use assertions instead.
+///
+/// The const char* overload matters: string literals must not be promoted
+/// to std::string on the success path, or every swap_storage in a Jacobi
+/// loop costs a heap allocation — the workspace test counts those and
+/// demands zero in steady state.
+inline void require(bool cond, const char* message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
 inline void require(bool cond, const std::string& message) {
   if (!cond) throw std::invalid_argument(message);
 }

@@ -30,10 +30,11 @@ constexpr index align_elems() {
 template <typename T>
 class Grid1D {
  public:
-  Grid1D(index nx, index halo) : nx_(nx), halo_(halo) {
+  Grid1D(index nx, index halo, FirstTouch ft = FirstTouch::kSerial)
+      : nx_(nx), halo_(halo) {
     require(nx > 0 && halo >= 0, "Grid1D: need nx > 0, halo >= 0");
     lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
-    buf_ = AlignedBuffer<T>(lead_ + nx + lead_);
+    buf_ = AlignedBuffer<T>(lead_ + nx + lead_, ft);
   }
 
   index nx() const { return nx_; }
@@ -58,6 +59,11 @@ class Grid1D {
     for (index x = nx_; x < nx_ + halo_; ++x) at(x) = other.at(x);
   }
 
+  /// Zeroes every cell (interior and halo) on the calling thread.
+  void zero() { buf_.zero(); }
+  /// Zeroes every cell under an OpenMP static team (NUMA first touch).
+  void zero_parallel() { buf_.zero_parallel(); }
+
   /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
   void swap_storage(Grid1D& other) {
     require(nx_ == other.nx_ && halo_ == other.halo_,
@@ -74,12 +80,13 @@ class Grid1D {
 template <typename T>
 class Grid2D {
  public:
-  Grid2D(index nx, index ny, index halo) : nx_(nx), ny_(ny), halo_(halo) {
+  Grid2D(index nx, index ny, index halo, FirstTouch ft = FirstTouch::kSerial)
+      : nx_(nx), ny_(ny), halo_(halo) {
     require(nx > 0 && ny > 0 && halo >= 0, "Grid2D: bad extents");
     lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
     stride_ = lead_ + round_up(nx + std::max<index>(halo, 1),
                                detail::align_elems<T>());
-    buf_ = AlignedBuffer<T>(stride_ * (ny + 2 * halo_) + lead_);
+    buf_ = AlignedBuffer<T>(stride_ * (ny + 2 * halo_) + lead_, ft);
   }
 
   index nx() const { return nx_; }
@@ -103,11 +110,28 @@ class Grid2D {
       for (index x = -halo_; x < nx_ + halo_; ++x) at(x, y) = f(x, y);
   }
 
+  /// Copies every halo cell from @p other. Halo-only rows are copied with
+  /// one memcpy per row; interior rows copy just their two x-halo segments —
+  /// this runs once per Plan::execute to refresh reusable workspace buffers,
+  /// so it must cost O(halo), not O(interior).
   void copy_halo_from(const Grid2D& other) {
-    for (index y = -halo_; y < ny_ + halo_; ++y)
-      for (index x = -halo_; x < nx_ + halo_; ++x)
-        if (y < 0 || y >= ny_ || x < 0 || x >= nx_) at(x, y) = other.at(x, y);
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(nx_ + 2 * halo_) * sizeof(T);
+    const std::size_t side_bytes = static_cast<std::size_t>(halo_) * sizeof(T);
+    for (index y = -halo_; y < ny_ + halo_; ++y) {
+      if (y < 0 || y >= ny_) {
+        std::memcpy(row(y) - halo_, other.row(y) - halo_, row_bytes);
+      } else if (halo_ > 0) {
+        std::memcpy(row(y) - halo_, other.row(y) - halo_, side_bytes);
+        std::memcpy(row(y) + nx_, other.row(y) + nx_, side_bytes);
+      }
+    }
   }
+
+  /// Zeroes every cell (interior and halo) on the calling thread.
+  void zero() { buf_.zero(); }
+  /// Zeroes every cell under an OpenMP static team (NUMA first touch).
+  void zero_parallel() { buf_.zero_parallel(); }
 
   /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
   void swap_storage(Grid2D& other) {
@@ -125,14 +149,15 @@ class Grid2D {
 template <typename T>
 class Grid3D {
  public:
-  Grid3D(index nx, index ny, index nz, index halo)
+  Grid3D(index nx, index ny, index nz, index halo,
+         FirstTouch ft = FirstTouch::kSerial)
       : nx_(nx), ny_(ny), nz_(nz), halo_(halo) {
     require(nx > 0 && ny > 0 && nz > 0 && halo >= 0, "Grid3D: bad extents");
     lead_ = round_up(std::max<index>(halo, 1), detail::align_elems<T>());
     stride_ = lead_ + round_up(nx + std::max<index>(halo, 1),
                                detail::align_elems<T>());
     plane_ = stride_ * (ny + 2 * halo_);
-    buf_ = AlignedBuffer<T>(plane_ * (nz + 2 * halo_) + lead_);
+    buf_ = AlignedBuffer<T>(plane_ * (nz + 2 * halo_) + lead_, ft);
   }
 
   index nx() const { return nx_; }
@@ -161,13 +186,27 @@ class Grid3D {
           at(x, y, z) = f(x, y, z);
   }
 
+  /// Copies every halo cell from @p other (see the Grid2D overload: O(halo)
+  /// memcpy segments, not an O(interior) sweep).
   void copy_halo_from(const Grid3D& other) {
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(nx_ + 2 * halo_) * sizeof(T);
+    const std::size_t side_bytes = static_cast<std::size_t>(halo_) * sizeof(T);
     for (index z = -halo_; z < nz_ + halo_; ++z)
-      for (index y = -halo_; y < ny_ + halo_; ++y)
-        for (index x = -halo_; x < nx_ + halo_; ++x)
-          if (z < 0 || z >= nz_ || y < 0 || y >= ny_ || x < 0 || x >= nx_)
-            at(x, y, z) = other.at(x, y, z);
+      for (index y = -halo_; y < ny_ + halo_; ++y) {
+        if (z < 0 || z >= nz_ || y < 0 || y >= ny_) {
+          std::memcpy(row(y, z) - halo_, other.row(y, z) - halo_, row_bytes);
+        } else if (halo_ > 0) {
+          std::memcpy(row(y, z) - halo_, other.row(y, z) - halo_, side_bytes);
+          std::memcpy(row(y, z) + nx_, other.row(y, z) + nx_, side_bytes);
+        }
+      }
   }
+
+  /// Zeroes every cell (interior and halo) on the calling thread.
+  void zero() { buf_.zero(); }
+  /// Zeroes every cell under an OpenMP static team (NUMA first touch).
+  void zero_parallel() { buf_.zero_parallel(); }
 
   /// O(1) exchange of storage with a same-shaped grid (Jacobi buffer swap).
   void swap_storage(Grid3D& other) {

@@ -38,6 +38,10 @@ struct Capability {
   unsigned dtype_mask;  ///< kDtypeF64/kDtypeF32 bits for the element types
   XRule x_rule;         ///< layout divisibility constraint on nx
   bool needs_even_bt;   ///< temporal block must be even (2-step unroll&jam)
+  /// True when this combination's write-back path has a non-temporal
+  /// (streaming-store) variant; ResolvedOptions::streaming can only resolve
+  /// true for rows that set this, so the flag reports what executes.
+  bool streams;
   const char* note;     ///< one-line description for docs/CLI listings
 
   bool supports_rank(int rank) const {

@@ -27,10 +27,39 @@ enum class Tiling {
   kSplit,       ///< split tiling over DLT layout (SDSL baseline)
 };
 
+/// Block-size autotuning policy (core/tuner.hpp). Tuning runs at plan time,
+/// never inside Plan::execute.
+enum class Tune {
+  kOff,     ///< use explicit blocks / fixed heuristics (default)
+  kCached,  ///< reuse a memoized (or JSON-imported) result; trial on miss
+  kFull,    ///< always re-run timed trials, then update the cache
+};
+
+/// Non-temporal (streaming) store policy for the vector write-back paths.
+/// kOn/kOff override the working-set-vs-LLC heuristic only; the structural
+/// temporal-reuse gate always applies (tiled runs stream only at bt == 1),
+/// and ResolvedOptions::streaming reports the decision that executes.
+enum class StreamMode {
+  kAuto,  ///< stream when the working set exceeds the LLC threshold and the
+          ///< schedule has no temporal reuse (default)
+  kOff,   ///< never stream
+  kOn,    ///< stream whenever the schedule permits it (ignore the threshold)
+};
+
 /// Stable human-readable names ("transpose", "tessellate", ...). Defined in
 /// core/registry.cpp; registry.hpp adds the name -> enum inverses.
 const char* method_name(Method m);
 const char* tiling_name(Tiling t);
+
+/// Stable names for the tuning knob ("off", "cached", "full"); inverse in
+/// core/tuner.hpp.
+const char* tune_name(Tune t);
+
+/// Default x-block target (elements) for tiled plans when Options::bx is 0:
+/// a few thousand elements keeps a tile's working set in L1/L2 while
+/// amortizing tile overheads. Shared by the resolver (plan.cpp) and the
+/// autotuner's candidate seeding (tuner.cpp) so the two cannot drift.
+inline constexpr index kDefaultBxTarget = 4096;
 
 struct Options {
   Method method = Method::kTranspose;
@@ -42,6 +71,9 @@ struct Options {
   index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (0 = plan default)
   index bt = 0;             ///< temporal block (0 = plan default)
   int threads = 0;          ///< OpenMP threads; 0 = runtime default
+  Tune tune = Tune::kOff;   ///< block autotuning (fills only fields left 0)
+  StreamMode stream = StreamMode::kAuto;  ///< non-temporal store policy
+  double stream_threshold = 0.0;  ///< LLC multiple for kAuto; 0 = default
 };
 
 }  // namespace tsv

@@ -3,18 +3,17 @@
 #include <algorithm>
 #include <string>
 
+#include "tsv/core/workspace.hpp"
+
 namespace tsv {
 
 namespace {
 
 // Default temporal block for tiled runs when Options::bt is 0. Small enough
 // that the matching default spatial blocks stay legal on modest grids.
+// (The matching x-block default, kDefaultBxTarget, lives in options.hpp —
+// the autotuner's candidate seeding shares it.)
 constexpr index kDefaultBt = 4;
-
-// Default x block target when Options::bx is 0 (tessellate): a few thousand
-// elements keeps a tile's working set in L1/L2 while amortizing tile
-// overheads; clamped up to the tiling legality bound and down to the domain.
-constexpr index kDefaultBxTarget = 4096;
 
 std::string isa_err(const char* what, Isa isa) {
   std::string s = "ISA ";
@@ -44,6 +43,7 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   r.method = o.method;
   r.tiling = o.tiling;
   r.steps = o.steps;
+  r.tune = o.tune;
   // Threads resolve to a concrete team size: untiled sweeps are
   // single-threaded by design; tiled runs default to the OpenMP runtime's
   // initial team size (captured once, so it respects OMP_NUM_THREADS and is
@@ -92,12 +92,38 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
       break;
   }
 
-  if (o.tiling == Tiling::kNone) return r;  // blocks stay zero
+  // Streaming-store policy. kOn/kOff override only the TOPOLOGY heuristic
+  // (working set vs the LLC threshold; Options::stream_threshold scales the
+  // multiple). The temporal-reuse gate is structural and always applies:
+  // tiled runs with bt > 1 re-read each time block's stores while they are
+  // hot, so streaming there would be a pessimization the drivers refuse —
+  // and the resolved flag must report what actually executes. Untiled full
+  // sweeps and bt == 1 tiled runs (a time block degenerates to a full
+  // sweep) are the no-reuse schedules. Combinations without a streaming
+  // write-back variant (Capability::streams unset: scalar, autovec,
+  // multiload, reorg, the uj2 schemes) never resolve streaming=true — the
+  // flag must report what actually executes.
+  const bool ws_big =
+      working_set_bytes(rank, shape.nx, shape.ny, shape.nz,
+                        dtype_size(r.dtype)) >
+      streaming_threshold_bytes(o.stream_threshold);
+  auto resolve_streaming = [&](bool no_temporal_reuse) {
+    const bool want = o.stream == StreamMode::kOn    ? true
+                      : o.stream == StreamMode::kOff ? false
+                                                     : ws_big;
+    r.streaming = want && no_temporal_reuse && cap->streams;
+  };
+
+  if (o.tiling == Tiling::kNone) {
+    resolve_streaming(true);
+    return r;  // blocks stay zero
+  }
 
   // ---- resolved-blocking rule (tiled runs) --------------------------------
   // bt: temporal block, defaulting to kDefaultBt; the 2-step unroll&jam
   // scheme tessellates at pair granularity and needs an even bt.
   r.bt = o.bt > 0 ? o.bt : kDefaultBt;
+  resolve_streaming(r.bt == 1);
   if (cap->needs_even_bt && r.bt % 2 != 0)
     fail("2-step unroll&jam tiling needs an even temporal block bt (got " +
          std::to_string(r.bt) + ")");

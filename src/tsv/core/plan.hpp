@@ -23,11 +23,16 @@
 #include <omp.h>
 
 #include <functional>
+#include <limits>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "tsv/common/timer.hpp"
 #include "tsv/core/problems.hpp"
 #include "tsv/core/registry.hpp"
+#include "tsv/core/tuner.hpp"
+#include "tsv/core/workspace.hpp"
 #include "tsv/kernels/reference.hpp"
 #include "tsv/tiling/tiled.hpp"
 
@@ -84,6 +89,11 @@ struct ResolvedOptions {
   /// "resolved-blocking rule" in plan.cpp.
   index split_block = 0;
   int threads = 1;  ///< resolved OpenMP team (1 for untiled sweeps)
+  /// Non-temporal write-back resolved on: the working set exceeds the LLC
+  /// threshold and the schedule has no temporal cache reuse to protect
+  /// (untiled sweeps, or tiled with bt == 1). See core/workspace.cpp.
+  bool streaming = false;
+  Tune tune = Tune::kOff;  ///< tuning mode the plan was built with
 };
 
 /// Validates (shape, stencil radius, options) against the registry and
@@ -124,78 +134,112 @@ struct grid_for<3, T> {
 template <typename S>
 using grid_for_t = typename grid_for<S::dim, typename S::value_type>::type;
 
+template <typename G>
+struct grid_value;
+template <typename T>
+struct grid_value<Grid1D<T>> {
+  using type = T;
+};
+template <typename T>
+struct grid_value<Grid2D<T>> {
+  using type = T;
+};
+template <typename T>
+struct grid_value<Grid3D<T>> {
+  using type = T;
+};
+template <typename G>
+using grid_value_t = typename grid_value<G>::type;
+
 template <typename G, typename S>
-using ExecFn = void (*)(G&, const S&, const ResolvedOptions&);
+using ExecFn = void (*)(G&, const S&, const ResolvedOptions&, Workspace&);
 
 /// The kernel adapters: each (method, tiling) combination defined ONCE,
 /// generically over grid rank. `if constexpr` forwards the rank-appropriate
 /// block arguments; combinations the registry does not claim for a rank are
-/// never registered, so their discarded branches never run.
+/// never registered, so their discarded branches never run. Every adapter
+/// passes the plan's Workspace down so steady-state executes never allocate;
+/// the vector write-back drivers also receive the resolved streaming flag.
 template <typename V, typename G, typename S>
 struct Exec {
   static constexpr int rank = grid_rank<G>;
 
   // -- untiled --------------------------------------------------------------
-  static void scalar(G& g, const S& s, const ResolvedOptions& r) {
-    reference_run(g, s, r.steps);
+  static void scalar(G& g, const S& s, const ResolvedOptions& r,
+                     Workspace& ws) {
+    jacobi_run(g, r.steps, ws, kWsTmpGrid,
+               [&](const G& in, G& out) { reference_step(in, out, s); });
   }
-  static void autovec(G& g, const S& s, const ResolvedOptions& r) {
-    autovec_run(g, s, r.steps);
+  static void autovec(G& g, const S& s, const ResolvedOptions& r,
+                      Workspace& ws) {
+    autovec_run(g, s, r.steps, ws);
   }
-  static void multiload(G& g, const S& s, const ResolvedOptions& r) {
-    multiload_run<V>(g, s, r.steps);
+  static void multiload(G& g, const S& s, const ResolvedOptions& r,
+                        Workspace& ws) {
+    multiload_run<V>(g, s, r.steps, ws);
   }
-  static void reorg(G& g, const S& s, const ResolvedOptions& r) {
-    reorg_run<V>(g, s, r.steps);
+  static void reorg(G& g, const S& s, const ResolvedOptions& r,
+                    Workspace& ws) {
+    reorg_run<V>(g, s, r.steps, ws);
   }
-  static void dlt(G& g, const S& s, const ResolvedOptions& r) {
-    dlt_run<V>(g, s, r.steps);
+  static void dlt(G& g, const S& s, const ResolvedOptions& r, Workspace& ws) {
+    dlt_run<V>(g, s, r.steps, ws, r.streaming);
   }
-  static void transpose(G& g, const S& s, const ResolvedOptions& r) {
-    transpose_vs_run<V>(g, s, r.steps);
+  static void transpose(G& g, const S& s, const ResolvedOptions& r,
+                        Workspace& ws) {
+    transpose_vs_run<V>(g, s, r.steps, ws, r.streaming);
   }
-  static void transpose_uj(G& g, const S& s, const ResolvedOptions& r) {
+  static void transpose_uj(G& g, const S& s, const ResolvedOptions& r,
+                           Workspace& ws) {
     if constexpr (rank == 1)
-      unroll_jam_run<V, S::radius, 2>(g, s, r.steps);
+      unroll_jam_run<V, S::radius, 2>(g, s, r.steps, ws);
     else
-      unroll_jam2_run<V>(g, s, r.steps);
+      unroll_jam2_run<V>(g, s, r.steps, ws);
   }
 
   // -- tessellate tiling ----------------------------------------------------
-  static void tess_autovec(G& g, const S& s, const ResolvedOptions& r) {
+  static void tess_autovec(G& g, const S& s, const ResolvedOptions& r,
+                           Workspace& ws) {
     if constexpr (rank == 1)
-      tess_autovec_run(g, s, r.steps, r.bx, r.bt);
+      tess_autovec_run(g, s, r.steps, r.bx, r.bt, ws);
     else if constexpr (rank == 2)
-      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bt);
+      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bt, ws);
     else
-      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+      tess_autovec_run(g, s, r.steps, r.bx, r.by, r.bz, r.bt, ws);
   }
-  static void tess_multiload(G& g, const S& s, const ResolvedOptions& r) {
-    if constexpr (rank == 1) tess_multiload_run<V>(g, s, r.steps, r.bx, r.bt);
-  }
-  static void tess_reorg(G& g, const S& s, const ResolvedOptions& r) {
-    if constexpr (rank == 1) tess_reorg_run<V>(g, s, r.steps, r.bx, r.bt);
-  }
-  static void tess_transpose(G& g, const S& s, const ResolvedOptions& r) {
+  static void tess_multiload(G& g, const S& s, const ResolvedOptions& r,
+                             Workspace& ws) {
     if constexpr (rank == 1)
-      tess_transpose_run<V>(g, s, r.steps, r.bx, r.bt);
-    else if constexpr (rank == 2)
-      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bt);
-    else
-      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+      tess_multiload_run<V>(g, s, r.steps, r.bx, r.bt, ws);
   }
-  static void tess_transpose_uj(G& g, const S& s, const ResolvedOptions& r) {
+  static void tess_reorg(G& g, const S& s, const ResolvedOptions& r,
+                         Workspace& ws) {
+    if constexpr (rank == 1) tess_reorg_run<V>(g, s, r.steps, r.bx, r.bt, ws);
+  }
+  static void tess_transpose(G& g, const S& s, const ResolvedOptions& r,
+                             Workspace& ws) {
     if constexpr (rank == 1)
-      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.bt);
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.bt, ws, r.streaming);
     else if constexpr (rank == 2)
-      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bt);
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bt, ws, r.streaming);
     else
-      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt);
+      tess_transpose_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt, ws,
+                            r.streaming);
+  }
+  static void tess_transpose_uj(G& g, const S& s, const ResolvedOptions& r,
+                                Workspace& ws) {
+    if constexpr (rank == 1)
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.bt, ws);
+    else if constexpr (rank == 2)
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bt, ws);
+    else
+      tess_transpose_uj2_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt, ws);
   }
 
   // -- split tiling (uniform signature: the split axis is resolved) ---------
-  static void split_dlt(G& g, const S& s, const ResolvedOptions& r) {
-    sdsl_run<V>(g, s, r.steps, r.split_block, r.bt);
+  static void split_dlt(G& g, const S& s, const ResolvedOptions& r,
+                        Workspace& ws) {
+    sdsl_run<V>(g, s, r.steps, r.split_block, r.bt, ws, r.streaming);
   }
 };
 
@@ -288,6 +332,12 @@ ExecFn<G, S> lookup_exec(const ResolvedOptions& r) {
 
 /// A validated, fully resolved execution plan for one (grid shape, stencil)
 /// pair. Cheap to copy; execute() is const and reusable.
+///
+/// The plan owns a Workspace holding every scratch buffer its kernels need;
+/// the first execute populates it (NUMA first touch by the compute threads)
+/// and all subsequent executes are allocation-free. Copies of a plan SHARE
+/// the workspace, so one plan object must not be executed from two threads
+/// concurrently — build one plan per concurrent execution stream.
 template <typename G, typename S>
 class TypedPlan {
  public:
@@ -295,7 +345,8 @@ class TypedPlan {
       : shape_(shape),
         stencil_(stencil),
         cfg_(cfg),
-        fn_(detail::lookup_exec<G, S>(cfg)) {}
+        fn_(detail::lookup_exec<G, S>(cfg)),
+        ws_(std::make_shared<Workspace>()) {}
 
   /// Advances @p g by config().steps time steps. The grid must match the
   /// planned shape (checked; everything else was validated at plan time).
@@ -305,18 +356,21 @@ class TypedPlan {
                         "grid does not match the planned shape");
     if (cfg_.tiling != Tiling::kNone)
       omp_set_num_threads(cfg_.threads);  // always concrete after resolve
-    fn_(g, stencil_, cfg_);
+    fn_(g, stencil_, cfg_, *ws_);
   }
 
   const Shape& shape() const { return shape_; }
   const S& stencil() const { return stencil_; }
   const ResolvedOptions& config() const { return cfg_; }
+  /// The plan-owned scratch storage (introspection / tests).
+  Workspace& workspace() const { return *ws_; }
 
  private:
   Shape shape_;
   S stencil_;
   ResolvedOptions cfg_;
   detail::ExecFn<G, S> fn_;
+  std::shared_ptr<Workspace> ws_;
 };
 
 template <int R, typename T = double>
@@ -326,10 +380,149 @@ using Plan2D = TypedPlan<Grid2D<T>, Stencil2D<R, NR, T>>;
 template <int R, int NR, typename T = double>
 using Plan3D = TypedPlan<Grid3D<T>, Stencil3D<R, NR, T>>;
 
+// ---------------------------------------------------------------------------
+// Plan-time autotuning (Options::tune; see core/tuner.hpp).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Synthetic same-shape grid the tuner times candidate plans on (make_plan
+/// only sees the shape, never the user's data — and trials must not advance
+/// the user's grid anyway).
+template <typename G>
+G make_trial_grid(const Shape& shape) {
+  using T = grid_value_t<G>;
+  if constexpr (grid_rank<G> == 1) {
+    G g(shape.nx, shape.halo);
+    g.fill([](index x) {
+      return static_cast<T>(0.25 + 1e-4 * static_cast<double>(x % 97));
+    });
+    return g;
+  } else if constexpr (grid_rank<G> == 2) {
+    G g(shape.nx, shape.ny, shape.halo);
+    g.fill([](index x, index y) {
+      return static_cast<T>(0.25 +
+                            1e-4 * static_cast<double>((x + 3 * y) % 97));
+    });
+    return g;
+  } else {
+    G g(shape.nx, shape.ny, shape.nz, shape.halo);
+    g.fill([](index x, index y, index z) {
+      return static_cast<T>(
+          0.25 + 1e-4 * static_cast<double>((x + 3 * y + 7 * z) % 97));
+    });
+    return g;
+  }
+}
+
+/// Resolves bx/by/bz/bt empirically: candidate blockings (cache-topology
+/// seeded, legality-clamped) race over short timed trials on a synthetic
+/// grid of the planned shape; the winner is memoized under the full resolved
+/// tuple. Fields the user pinned are never changed. Trials run with tune =
+/// kOff, so there is no recursion, and each candidate's step count is
+/// budget-capped (tune_trial_steps).
+template <typename G, typename S>
+Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
+  const ResolvedOptions r0 = resolve_options(shape, S::radius, o);
+  const TuneKey key{r0.method, r0.tiling,  shape.rank, r0.isa,  r0.dtype,
+                    shape.nx,  shape.ny,   shape.nz,   S::radius,
+                    r0.threads, r0.steps,  o.bx,       o.by,    o.bz,
+                    o.bt};
+  // Tuning fills ONLY the fields the user left at 0 — a pinned field is
+  // never overwritten, not even by a cache hit (the pins are part of the
+  // key, so an entry found here was searched under the same constraints).
+  auto apply = [&](const TunedBlocks& b) {
+    Options out = o;
+    if (o.bx == 0) out.bx = b.bx;
+    if (o.by == 0) out.by = b.by;
+    if (o.bz == 0) out.bz = b.bz;
+    if (o.bt == 0) out.bt = b.bt;
+    return out;
+  };
+  if (o.tune == Tune::kCached)
+    if (auto hit = tune_cache_lookup(key)) return apply(*hit);
+
+  const Capability* cap = find_capability(o.method, o.tiling);
+  const bool even_bt = cap != nullptr && cap->needs_even_bt;
+  const auto candidates =
+      tune_candidates(shape.rank, shape.nx, shape.ny, shape.nz, S::radius,
+                      o.tiling, even_bt, o.steps, o);
+  const index points = shape.nx * (shape.rank >= 2 ? shape.ny : 1) *
+                       (shape.rank >= 3 ? shape.nz : 1);
+
+  // Pre-resolve every candidate under the REAL run length (legality, and
+  // the concrete bt the 0-default resolves to), then time all survivors
+  // over ONE shared step count sized for the largest bt. Unequal trial
+  // lengths would bias the scores: per-execute fixed costs (the two layout
+  // transforms, workspace halo refresh) amortize differently over 2 steps
+  // than over 256, and the default candidate must lose only if it is
+  // genuinely slower per step.
+  struct Candidate {
+    TunedBlocks blocks;
+    Options opts;
+  };
+  std::vector<Candidate> runnable;
+  index max_bt = 1;
+  for (const TunedBlocks& cand : candidates) {
+    Options oc = apply(cand);
+    oc.tune = Tune::kOff;
+    try {
+      const ResolvedOptions rc = resolve_options(shape, S::radius, oc);
+      max_bt = std::max(max_bt, rc.bt);
+      runnable.push_back({cand, oc});
+    } catch (const std::invalid_argument&) {
+      continue;  // candidate illegal on this shape: skip it
+    }
+  }
+  // Fully pinned configurations (or a search space the legality rules
+  // collapsed to one option) have nothing to race: skip the trial grid —
+  // a full second copy of the problem — and both throwaway executions.
+  if (runnable.size() <= 1) {
+    const TunedBlocks only =
+        runnable.empty() ? TunedBlocks{o.bx, o.by, o.bz, o.bt}
+                         : runnable.front().blocks;
+    tune_cache_store(key, only);
+    return apply(only);
+  }
+  const index trial_steps = tune_trial_steps(points, max_bt, o.steps);
+
+  G trial = make_trial_grid<G>(shape);
+  double best_score = -1.0;
+  TunedBlocks best{o.bx, o.by, o.bz, o.bt};
+  for (Candidate& c : runnable) {
+    c.opts.steps = trial_steps;
+    double score = -1.0;
+    try {
+      const TypedPlan<G, S> p(shape, stencil,
+                              resolve_options(shape, S::radius, c.opts));
+      double secs = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 2; ++rep) {  // best-of-2 absorbs warmup noise
+        Timer t;
+        p.execute(trial);
+        secs = std::min(secs, t.seconds());
+      }
+      score = static_cast<double>(points) *
+              static_cast<double>(trial_steps) / std::max(secs, 1e-9);
+    } catch (const std::invalid_argument&) {
+      continue;  // engine-level rejection under the trial step count
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c.blocks;
+    }
+  }
+  tune_cache_store(key, best);
+  return apply(best);
+}
+
+}  // namespace detail
+
 /// Builds a plan for an explicit stencil descriptor. Validates once against
 /// the registry; throws ConfigError on invalid configurations. The element
 /// type is the stencil's: Options::dtype is overridden here and only drives
-/// the StencilKind overload below.
+/// the StencilKind overload below. With Options::tune enabled (and a tiled
+/// configuration), block sizes the user left at 0 are autotuned here — at
+/// plan time, never inside execute.
 template <typename S>
 TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
                                               const S& stencil,
@@ -339,6 +532,8 @@ TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
                       "shape rank does not match the stencil's rank");
   Options oo = o;
   oo.dtype = dtype_of<typename S::value_type>();
+  if (oo.tune != Tune::kOff && oo.tiling != Tiling::kNone)
+    oo = detail::tuned_options<detail::grid_for_t<S>, S>(shape, stencil, oo);
   return TypedPlan<detail::grid_for_t<S>, S>(
       shape, stencil, resolve_options(shape, S::radius, oo));
 }

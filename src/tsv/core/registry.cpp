@@ -16,39 +16,46 @@ const std::vector<Capability>& table() {
   static const std::vector<Capability> rows = {
       // -- untiled sweeps (paper §4.2; single-threaded by design) ----------
       {Method::kScalar, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
-       false, "plain scalar reference"},
+       false, false,
+       "plain scalar reference"},
       {Method::kAutoVec, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
-       false, "compiler auto-vectorization"},
+       false, false,
+       "compiler auto-vectorization"},
       {Method::kMultiLoad, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
-       false, "unaligned load per shifted vector (paper §2.1)"},
+       false, false,
+       "unaligned load per shifted vector (paper §2.1)"},
       {Method::kReorg, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
-       false, "aligned loads + register shuffles (paper §2.1)"},
+       false, false,
+       "aligned loads + register shuffles (paper §2.1)"},
       {Method::kDlt, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kWidth,
-       false, "dimension-lifting transpose (Henretty; paper §2.2)"},
+       false, true,
+       "dimension-lifting transpose (Henretty; paper §2.2)"},
       {Method::kTranspose, Tiling::kNone, kAllRanks, kAllDtypes,
-       XRule::kWidth2, false,
+       XRule::kWidth2, false, true,
        "register-block transpose layout (paper §3.2, \"Our\")"},
       {Method::kTransposeUJ, Tiling::kNone, kAllRanks, kAllDtypes,
-       XRule::kWidth2, false,
+       XRule::kWidth2, false, false,
        "transpose layout + 2-step unroll&jam (paper §3.3, \"Our (2 steps)\")"},
       // -- tessellate tiling (paper §3.4; Yuan SC'17), multicore -----------
       {Method::kAutoVec, Tiling::kTessellate, kAllRanks, kAllDtypes,
-       XRule::kNone, false,
+       XRule::kNone, false, false,
        "tessellation baseline: tiled compiler-vectorized sweeps"},
       {Method::kMultiLoad, Tiling::kTessellate, kRank1, kAllDtypes,
-       XRule::kNone, false,
+       XRule::kNone, false, false,
        "ablation: tessellate tiling over multiload sweeps (1D)"},
       {Method::kReorg, Tiling::kTessellate, kRank1, kAllDtypes, XRule::kNone,
-       false, "ablation: tessellate tiling over reorg sweeps (1D)"},
+       false, false,
+       "ablation: tessellate tiling over reorg sweeps (1D)"},
       {Method::kTranspose, Tiling::kTessellate, kAllRanks, kAllDtypes,
-       XRule::kWidth2, false,
+       XRule::kWidth2, false, true,
        "the paper's scheme: tessellate tiling + transpose layout"},
       {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, kAllDtypes,
-       XRule::kWidth2, true,
+       XRule::kWidth2, true, false,
        "pair-granular tessellation of the 2-step unroll&jam scheme"},
       // -- split tiling over the DLT layout (SDSL baseline) ----------------
       {Method::kDlt, Tiling::kSplit, kAllRanks, kAllDtypes, XRule::kWidth,
-       false, "SDSL baseline: DLT layout + split/hybrid tiling"},
+       false, true,
+       "SDSL baseline: DLT layout + split/hybrid tiling"},
   };
   return rows;
 }

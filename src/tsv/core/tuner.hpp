@@ -1,0 +1,115 @@
+#pragma once
+// Empirical block-size autotuner (plan-time; Options::tune knob).
+//
+// make_plan with tune != kOff resolves bx/by/bz/bt by timing short trials of
+// a cache-topology-seeded candidate set on a synthetic grid of the planned
+// shape, instead of trusting the fixed heuristics in plan.cpp. Results are
+// memoized in a process-wide cache keyed by the full resolved tuple
+// (method, tiling, rank, isa, dtype, shape, radius, threads, steps, and the
+// user's pinned block fields — see TuneKey), and the cache round-trips
+// through JSON so benches and CI can pin tuned configurations:
+//
+//   tsv::Options o{.tiling = tsv::Tiling::kTessellate, .steps = 1000,
+//                  .tune = tsv::Tune::kCached};
+//   auto plan = tsv::make_plan(shape, stencil, o);   // trials on first miss
+//   tsv::tune_cache_export_json("tuned.json");       // pin for later runs
+//
+// Only fields the user left at 0 are searched; explicitly set blocks are
+// respected (pinned) by the candidate generator. Candidates are legal by
+// construction for the tessellate rules and re-validated by resolve_options,
+// so a tuned plan can never be less valid than a default one. Trials run
+// with tune = kOff (no recursion) and are budgeted: the trial step count is
+// capped so one make_plan spends milliseconds-to-seconds, not minutes, even
+// on LLC-exceeding grids.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsv/core/options.hpp"
+
+namespace tsv {
+
+/// One blocking choice, in Options units (bx/by/bz in elements / rows /
+/// planes exactly as Options interprets them for the tiling; bt in steps).
+struct TunedBlocks {
+  index bx = 0, by = 0, bz = 0, bt = 0;
+
+  friend bool operator==(const TunedBlocks& a, const TunedBlocks& b) {
+    return a.bx == b.bx && a.by == b.by && a.bz == b.bz && a.bt == b.bt;
+  }
+};
+
+/// Identity of one tuning decision: everything the optimum can depend on.
+struct TuneKey {
+  Method method{};
+  Tiling tiling{};
+  int rank = 0;
+  Isa isa{};       ///< concrete (resolved) ISA, never kAuto
+  Dtype dtype{};
+  index nx = 0, ny = 1, nz = 1;
+  int radius = 0;
+  int threads = 0;  ///< concrete (resolved) team size
+  /// Run length the plan was tuned for. Part of the key because the
+  /// candidate set depends on it (bt > 2*steps is pruned) — a short-run
+  /// winner must not be served to a long-run plan.
+  index steps = 0;
+  /// The user's explicitly pinned block fields (0 = unpinned). Part of the
+  /// key because pins constrain the search space: a winner found under one
+  /// pin set must not be served to a plan with different pins.
+  index pin_bx = 0, pin_by = 0, pin_bz = 0, pin_bt = 0;
+
+  friend bool operator==(const TuneKey&, const TuneKey&) = default;
+  friend bool operator<(const TuneKey& a, const TuneKey& b);
+};
+
+/// The inverse of tune_name(); nullopt for unknown spellings.
+std::optional<Tune> tune_from_name(std::string_view name);
+
+// ---- process-wide memo cache (thread-safe) ---------------------------------
+
+std::optional<TunedBlocks> tune_cache_lookup(const TuneKey& key);
+void tune_cache_store(const TuneKey& key, const TunedBlocks& blocks);
+void tune_cache_clear();
+std::size_t tune_cache_size();
+
+// ---- JSON pinning ----------------------------------------------------------
+
+/// Serializes the whole cache as a JSON array of flat objects (stable key
+/// order, one entry per line).
+std::string tune_cache_to_json();
+
+/// Merges entries parsed from @p json into the cache (imported entries win).
+/// Returns the number of entries merged; throws std::invalid_argument on
+/// malformed input or unknown enum names.
+std::size_t tune_cache_from_json(const std::string& json);
+
+/// File variants of the above. Export returns false when the file cannot be
+/// written; import returns the number of entries merged and throws on
+/// malformed content (a missing file throws too — pinning must be loud).
+bool tune_cache_export_json(const std::string& path);
+std::size_t tune_cache_import_json(const std::string& path);
+
+// ---- candidate generation (pure; used by the plan layer) -------------------
+
+/// Topology-seeded candidate blockings for a tiled plan (block sizes are
+/// seeded from the detected L1/L2 capacities and the shape). @p
+/// needs_even_bt mirrors the registry's constraint for the 2-step
+/// unroll&jam scheme. Fields the user pinned (non-zero in @p user) are kept
+/// at the pinned value in every candidate. Every candidate satisfies the
+/// tessellate legality bound (multi-tile axes >= 2 * slope * tau) for the
+/// shape it was generated for. The first candidate is always the
+/// fixed-heuristic default (the user's own fields), so tuning can never
+/// pick something worse than "don't tune" by more than trial noise.
+std::vector<TunedBlocks> tune_candidates(int rank, index nx, index ny,
+                                         index nz, int radius, Tiling tiling,
+                                         bool needs_even_bt, index steps,
+                                         const Options& user);
+
+/// Trial step count for one candidate: enough steps to exercise the
+/// temporal blocking (>= one full time block) but budget-capped so trials
+/// on LLC-exceeding grids stay short. Never exceeds @p steps (the real run
+/// length) when that is smaller.
+index tune_trial_steps(index points, index bt, index steps);
+
+}  // namespace tsv

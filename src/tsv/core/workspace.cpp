@@ -1,0 +1,28 @@
+#include "tsv/core/workspace.hpp"
+
+#include "tsv/common/cpu.hpp"
+
+namespace tsv {
+
+namespace {
+// Streaming stores only pay off once the two parity buffers decisively
+// spill the LLC: below ~1.5x the cache can still keep much of the output
+// stream resident, and evicting it with NT stores costs more than the RFO
+// traffic saved.
+constexpr double kDefaultLlcFactor = 1.5;
+}  // namespace
+
+index working_set_bytes(int rank, index nx, index ny, index nz,
+                        index elem_size) {
+  index cells = nx;
+  if (rank >= 2) cells *= ny;
+  if (rank >= 3) cells *= nz;
+  return 2 * cells * elem_size;
+}
+
+index streaming_threshold_bytes(double factor) {
+  const double f = factor > 0 ? factor : kDefaultLlcFactor;
+  return static_cast<index>(f * static_cast<double>(cpu_info().l3_bytes));
+}
+
+}  // namespace tsv

@@ -1,0 +1,137 @@
+#pragma once
+// Plan-owned execution workspace: reusable, 64-byte-aligned scratch storage
+// for everything a kernel driver would otherwise allocate per execute —
+// Jacobi/tessellation parity buffers, DLT staging grids, per-thread
+// unroll&jam scratch pools.
+//
+// Why it exists: the hot path of a service that executes the same plan many
+// times must not touch the allocator (or fault in fresh pages) after the
+// first call. Every driver fetches its buffers from the plan's Workspace
+// through typed slots; a slot creates its object on first use — with
+// NUMA-aware first touch (see FirstTouch in common/aligned.hpp) — and hands
+// the same object back on every subsequent execute with a matching key.
+// The workspace test suite asserts the second execute of every tiled driver
+// performs zero heap allocations.
+//
+// Concurrency contract: a Workspace (and therefore Plan::execute on one plan
+// object) is NOT safe to enter from two threads at once. Copies of a
+// TypedPlan share one workspace; create separate plans for concurrent
+// execution streams.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <typeindex>
+#include <typeinfo>
+#include <utility>
+
+#include "tsv/common/grid.hpp"
+
+namespace tsv {
+
+/// Well-known workspace slot ids. A slot holds one logical buffer (or pool);
+/// ids only need to be unique within one driver invocation, but keeping them
+/// globally distinct makes workspace dumps readable.
+enum WsSlot : int {
+  kWsTmpGrid = 0,      ///< Jacobi / tessellation parity buffer
+  kWsScratchPool = 1,  ///< per-thread transient-level scratch (uj2 tiling)
+  kWsDltA = 2,         ///< DLT staging grid A
+  kWsDltB = 3,         ///< DLT staging grid B
+  kWsRing = 4,         ///< untiled uj2 intermediate-level ring
+};
+
+/// Order-sensitive FNV-1a mix of shape parameters into a slot key. A slot
+/// whose key changes (grid reshaped, thread count changed) is recreated.
+inline std::uint64_t ws_key() { return 1469598103934665603ull; }
+template <typename... Rest>
+std::uint64_t ws_key(index head, Rest... rest) {
+  std::uint64_t h = ws_key(rest...);
+  h ^= static_cast<std::uint64_t>(head);
+  h *= 1099511628211ull;
+  return h;
+}
+
+class Workspace {
+ public:
+  /// Returns the slot's cached object, constructing it with @p make() on
+  /// first use or whenever @p key / the stored type changes. The reference
+  /// stays valid until the slot is recreated or the workspace cleared.
+  template <typename T, typename Make>
+  T& slot(int id, std::uint64_t key, Make&& make) {
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.key != key ||
+        it->second.type != std::type_index(typeid(T))) {
+      Entry e;
+      e.key = key;
+      e.type = std::type_index(typeid(T));
+      e.obj = std::shared_ptr<void>(new T(make()),
+                                    [](void* p) { delete static_cast<T*>(p); });
+      it = entries_.insert_or_assign(id, std::move(e)).first;
+    }
+    return *static_cast<T*>(it->second.obj.get());
+  }
+
+  /// Drops every cached buffer (storage is released immediately).
+  void clear() { entries_.clear(); }
+
+  /// Number of live slots.
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<void> obj;
+  };
+  std::map<int, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Grid-shaped slots: the common case. The scratch grid matches @p g's shape
+// and is zeroed by an OpenMP static team on creation (first touch in the
+// same thread order the tiled compute loops use), so on NUMA machines its
+// pages land next to the threads that will process them. Interior contents
+// are NOT preserved or refreshed — callers re-establish whatever invariant
+// they need (typically copy_halo_from) each execute.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+Grid1D<T>& ws_grid_like(Workspace& ws, int slot, const Grid1D<T>& g) {
+  return ws.slot<Grid1D<T>>(slot, ws_key(g.nx(), g.halo()), [&] {
+    return Grid1D<T>(g.nx(), g.halo(), FirstTouch::kParallel);
+  });
+}
+
+template <typename T>
+Grid2D<T>& ws_grid_like(Workspace& ws, int slot, const Grid2D<T>& g) {
+  return ws.slot<Grid2D<T>>(slot, ws_key(g.nx(), g.ny(), g.halo()), [&] {
+    return Grid2D<T>(g.nx(), g.ny(), g.halo(), FirstTouch::kParallel);
+  });
+}
+
+template <typename T>
+Grid3D<T>& ws_grid_like(Workspace& ws, int slot, const Grid3D<T>& g) {
+  return ws.slot<Grid3D<T>>(slot, ws_key(g.nx(), g.ny(), g.nz(), g.halo()),
+                            [&] {
+                              return Grid3D<T>(g.nx(), g.ny(), g.nz(),
+                                               g.halo(), FirstTouch::kParallel);
+                            });
+}
+
+// ---------------------------------------------------------------------------
+// Memory-bandwidth policy (defined in workspace.cpp).
+// ---------------------------------------------------------------------------
+
+/// Bytes a Jacobi-style run of this interior moves through the cache
+/// hierarchy per sweep: two parity buffers of rank-appropriate extent.
+index working_set_bytes(int rank, index nx, index ny, index nz,
+                        index elem_size);
+
+/// Topology-derived streaming-store threshold in bytes. Working sets larger
+/// than this exceed the last-level cache by enough that regular (write-
+/// allocate) stores only add read-for-ownership traffic; non-temporal
+/// stores cut the store stream's bandwidth cost by ~1/3. @p factor scales
+/// the detected LLC capacity; <= 0 selects the default multiple.
+index streaming_threshold_bytes(double factor = 0.0);
+
+}  // namespace tsv

@@ -16,14 +16,24 @@
 
 namespace tsv {
 
+// Both the cached and the streaming (non-temporal write-back) variants are
+// pinned here; the plan layer picks one per execute via a function pointer.
 #define TSV_INSTANTIATE_TRANSPOSE_SWEEP(V, R, NR)                            \
-  template void transpose_sweep_row_region<V, R, NR>(                       \
+  template void transpose_sweep_row_region<V, R, NR, false>(                \
+      const std::array<const V::value_type*, NR>&, V::value_type*,          \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
+      index, index);                                                        \
+  template void transpose_sweep_row_region<V, R, NR, true>(                 \
       const std::array<const V::value_type*, NR>&, V::value_type*,          \
       const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
       index, index);
 
 #define TSV_INSTANTIATE_DLT_SWEEP(V, R, NR)                                  \
-  template void dlt_sweep_row_region<V, R, NR>(                             \
+  template void dlt_sweep_row_region<V, R, NR, false>(                      \
+      const std::array<const V::value_type*, NR>&, V::value_type*,          \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
+      index, index);                                                        \
+  template void dlt_sweep_row_region<V, R, NR, true>(                       \
       const std::array<const V::value_type*, NR>&, V::value_type*,          \
       const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,   \
       index, index);

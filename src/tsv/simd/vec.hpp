@@ -10,9 +10,22 @@
 
 #include <cstring>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "tsv/common/aligned.hpp"
 
 namespace tsv {
+
+/// Orders all pending non-temporal (streaming) stores before subsequent
+/// stores become globally visible. Call once at the end of a streamed
+/// region, before any other thread may read it. No-op without SSE2.
+inline void stream_fence() {
+#if defined(__SSE2__)
+  _mm_sfence();
+#endif
+}
 
 template <typename T, int W>
 struct Vec {
@@ -39,6 +52,11 @@ struct Vec {
     for (int i = 0; i < W; ++i) p[i] = lane[i];
   }
   void storeu(T* p) const { store(p); }
+
+  /// Non-temporal (cache-bypassing) aligned store where the ISA provides
+  /// one; the portable fallback is a plain store. Callers must end a
+  /// streamed region with stream_fence().
+  void stream(T* p) const { store(p); }
 
   /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
   void store_mask(T* p, unsigned mask) const {

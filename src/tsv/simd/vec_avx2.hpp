@@ -27,6 +27,9 @@ struct Vec<double, 4> {
   void store(double* p) const { _mm256_store_pd(p, v); }
   void storeu(double* p) const { _mm256_storeu_pd(p, v); }
 
+  /// Non-temporal aligned store (see the primary template's contract).
+  void stream(double* p) const { _mm256_stream_pd(p, v); }
+
   /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
   void store_mask(double* p, unsigned mask) const {
     const __m256i m = _mm256_set_epi64x(
@@ -68,6 +71,9 @@ struct Vec<float, 8> {
 
   void store(float* p) const { _mm256_store_ps(p, v); }
   void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+
+  /// Non-temporal aligned store (see the primary template's contract).
+  void stream(float* p) const { _mm256_stream_ps(p, v); }
 
   /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
   void store_mask(float* p, unsigned mask) const {

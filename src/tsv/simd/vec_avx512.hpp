@@ -27,6 +27,9 @@ struct Vec<double, 8> {
   void store(double* p) const { _mm512_store_pd(p, v); }
   void storeu(double* p) const { _mm512_storeu_pd(p, v); }
 
+  /// Non-temporal aligned store (see the primary template's contract).
+  void stream(double* p) const { _mm512_stream_pd(p, v); }
+
   /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
   void store_mask(double* p, unsigned mask) const {
     _mm512_mask_store_pd(p, static_cast<__mmask8>(mask), v);
@@ -65,6 +68,9 @@ struct Vec<float, 16> {
 
   void store(float* p) const { _mm512_store_ps(p, v); }
   void storeu(float* p) const { _mm512_storeu_ps(p, v); }
+
+  /// Non-temporal aligned store (see the primary template's contract).
+  void stream(float* p) const { _mm512_stream_ps(p, v); }
 
   /// Stores only the lanes whose bit is set in @p mask (bit i = lane i).
   void store_mask(float* p, unsigned mask) const {

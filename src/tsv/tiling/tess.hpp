@@ -77,13 +77,22 @@ void tess1d_engine(GridT& A, GridT& B, index domain, index units, index tau,
   index done = 0;
   while (done < units) {
     const index t = std::min(tau, units - done);
-#pragma omp parallel for schedule(dynamic)
+    // Static schedule on purpose: the legality bound (blk >= 2*slope*tau)
+    // makes every interior tile's work identical at each unit, and the
+    // boundary trapezoids differ by at most slope*tau cells — so there is
+    // nothing for a dynamic scheduler to balance. Static dispatch drops the
+    // per-tile queue traffic and keeps the tile->thread mapping stable
+    // across time blocks, which is what the workspace first-touch relies
+    // on for NUMA locality. (fig8/fig9 smoke showed parity-or-better on
+    // this box; the ragged-tile split engine in tiling/tiled.hpp is the
+    // one place dynamic stays.)
+#pragma omp parallel for schedule(static)
     for (index c = 0; c < ntiles; ++c)
       for (index u = 0; u < t; ++u) {
         const auto [a, b] = tri_range(c, ntiles, domain, blk, slope, u);
         if (a < b) adv(in_buf(u), out_buf(u), a, b);
       }
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(static)
     for (index c = 1; c < ntiles; ++c)
       for (index u = 1; u < t; ++u) {
         const auto [a, b] = inv_range(c * blk, domain, slope, u);
@@ -124,7 +133,8 @@ void tess2d_engine(GridT& A, GridT& B, index units,
       const index n_y = iy ? cy - 1 : cy;
       if (n_x <= 0 || n_y <= 0) continue;
       const index u0 = (mask == 0) ? 0 : 1;
-#pragma omp parallel for collapse(2) schedule(dynamic)
+      // Static for the same homogeneity reason as tess1d_engine above.
+#pragma omp parallel for collapse(2) schedule(static)
       for (index tx = 0; tx < n_x; ++tx)
         for (index ty = 0; ty < n_y; ++ty)
           for (index u = u0; u < t; ++u) {
@@ -175,7 +185,8 @@ void tess3d_engine(GridT& A, GridT& B, index units,
       const index n_z = iz ? cz - 1 : cz;
       if (n_x <= 0 || n_y <= 0 || n_z <= 0) continue;
       const index u0 = (mask == 0) ? 0 : 1;
-#pragma omp parallel for collapse(3) schedule(dynamic)
+      // Static for the same homogeneity reason as tess1d_engine above.
+#pragma omp parallel for collapse(3) schedule(static)
       for (index tx = 0; tx < n_x; ++tx)
         for (index ty = 0; ty < n_y; ++ty)
           for (index tz = 0; tz < n_z; ++tz)

@@ -20,11 +20,25 @@
 //
 // Every driver is generic over the element type: the V-parameterized ones
 // compute in vec_value_t<V>, the autovec ones in the grid's own T.
+//
+// Memory behaviour: every buffer a driver needs beyond the user's grid —
+// the tessellation parity buffer, DLT staging grids, per-thread uj2 scratch
+// pools — comes from the plan-owned Workspace (core/workspace.hpp), so the
+// second and subsequent executes of a plan are allocation-free. Parity /
+// staging buffers only need their *halo* refreshed per execute (every time
+// unit rewrites the whole interior before reading it); per-thread pools are
+// first-touched by their owning threads. Each driver also has a
+// self-contained overload (local Workspace) for direct/test use.
+// The @p stream flag (plan-resolved; see ResolvedOptions::streaming) selects
+// non-temporal write-back in the vector sweeps — only ever enabled when the
+// working set exceeds the LLC threshold and the temporal block is 1, i.e.
+// when there is no cache reuse for regular stores to protect.
 
 #include <omp.h>
 
 #include <vector>
 
+#include "tsv/core/workspace.hpp"
 #include "tsv/tiling/tess.hpp"
 #include "tsv/vectorize/autovec.hpp"
 #include "tsv/vectorize/dlt_method.hpp"
@@ -40,54 +54,92 @@ namespace tsv {
 
 template <int R, typename T>
 TSV_NOINLINE void tess_autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps,
-                      index bx, index bt) {
-  Grid1D<T> tmp = g;
+                      index bx, index bt, Workspace& ws) {
+  Grid1D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+  tmp.copy_halo_from(g);
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
                 [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { autovec_step_region(in, out, s, lo, hi); });
 }
 
+template <int R, typename T>
+void tess_autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps,
+                      index bx, index bt) {
+  Workspace ws;
+  tess_autovec_run(g, s, steps, bx, bt, ws);
+}
+
 template <typename V, int R>
 TSV_NOINLINE void tess_multiload_run(Grid1D<vec_value_t<V>>& g,
                         const Stencil1D<R, vec_value_t<V>>& s, index steps,
-                        index bx, index bt) {
+                        index bx, index bt, Workspace& ws) {
   using T = vec_value_t<V>;
-  Grid1D<T> tmp = g;
+  Grid1D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+  tmp.copy_halo_from(g);
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
                 [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { multiload_step_region<V>(in, out, s, lo, hi); });
 }
 
 template <typename V, int R>
+void tess_multiload_run(Grid1D<vec_value_t<V>>& g,
+                        const Stencil1D<R, vec_value_t<V>>& s, index steps,
+                        index bx, index bt) {
+  Workspace ws;
+  tess_multiload_run<V>(g, s, steps, bx, bt, ws);
+}
+
+template <typename V, int R>
 TSV_NOINLINE void tess_reorg_run(Grid1D<vec_value_t<V>>& g,
                     const Stencil1D<R, vec_value_t<V>>& s, index steps,
-                    index bx, index bt) {
+                    index bx, index bt, Workspace& ws) {
   using T = vec_value_t<V>;
-  Grid1D<T> tmp = g;
+  Grid1D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+  tmp.copy_halo_from(g);
   tess1d_engine(g, tmp, g.nx(), steps, bt, R, bx,
                 [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                     index hi) { reorg_step_region<V>(in, out, s, lo, hi); });
 }
 
 template <typename V, int R>
+void tess_reorg_run(Grid1D<vec_value_t<V>>& g,
+                    const Stencil1D<R, vec_value_t<V>>& s, index steps,
+                    index bx, index bt) {
+  Workspace ws;
+  tess_reorg_run<V>(g, s, steps, bx, bt, ws);
+}
+
+template <typename V, int R>
 TSV_NOINLINE void tess_transpose_run(Grid1D<vec_value_t<V>>& g,
                         const Stencil1D<R, vec_value_t<V>>& s, index steps,
-                        index bx, index bt) {
+                        index bx, index bt, Workspace& ws,
+                        bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   block_transpose_grid<T, W>(g);
   {
-    Grid1D<T> tmp = g;
+    Grid1D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
     const index nx = g.nx();
+    const auto sweep = stream ? &transpose_sweep_row_region<V, R, 1, true>
+                              : &transpose_sweep_row_region<V, R, 1, false>;
     tess1d_engine(g, tmp, nx, steps, bt, R, bx,
                   [&](const Grid1D<T>& in, Grid1D<T>& out, index lo,
                       index hi) {
-                    transpose_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
-                                                        {s.w}, nx, lo, hi);
+                    sweep({in.x0()}, out.x0(), {s.w}, nx, lo, hi);
+                    if (stream) stream_fence();  // once per region
                   });
   }
   block_transpose_grid<T, W>(g);
+}
+
+template <typename V, int R>
+void tess_transpose_run(Grid1D<vec_value_t<V>>& g,
+                        const Stencil1D<R, vec_value_t<V>>& s, index steps,
+                        index bx, index bt) {
+  Workspace ws;
+  tess_transpose_run<V>(g, s, steps, bx, bt, ws);
 }
 
 /// "Our (2 steps)" with tiling: pair-granular tessellation. @p bt is the time
@@ -95,7 +147,7 @@ TSV_NOINLINE void tess_transpose_run(Grid1D<vec_value_t<V>>& g,
 template <typename V, int R>
 TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<vec_value_t<V>>& g,
                             const Stencil1D<R, vec_value_t<V>>& s,
-                            index steps, index bx, index bt) {
+                            index steps, index bx, index bt, Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   constexpr index B = block_elems<W>;
@@ -105,13 +157,27 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<vec_value_t<V>>& g,
 
   block_transpose_grid<T, W>(g);
   {
-    Grid1D<T> tmp = g;
-    // Per-thread scratch for the transient odd level of one tile region.
+    Grid1D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
+    // Per-thread scratch for the transient odd level of one tile region,
+    // first-touched by its owning thread (static schedule = thread i zeroes
+    // pool[i] when the team matches, which is how the tile loops index it).
+    // The lead halo must cover the deepest left-tail vector load of the
+    // second sweep — R*W elements before the first touched block when the
+    // virtual row origin sits below x = 0 of the scratch.
     const index scr_len = bx + 2 * B + 2 * R + 16;
-    std::vector<detail::ScratchRow<T>> pool(
-        static_cast<std::size_t>(omp_get_max_threads()));
-    for (auto& p : pool)
-      p = detail::ScratchRow<T>(scr_len, std::max<index>(R, 8));
+    const index scr_halo = std::max<index>(static_cast<index>(R) * W, 8);
+    const int nthreads = omp_get_max_threads();
+    using Pool = std::vector<detail::ScratchRow<T>>;
+    Pool& pool = ws.slot<Pool>(
+        kWsScratchPool, ws_key(scr_len, scr_halo, nthreads), [&] {
+          Pool p(static_cast<std::size_t>(nthreads));
+          for (auto& q : p)
+            q = detail::ScratchRow<T>(scr_len, scr_halo, FirstTouch::kNone);
+#pragma omp parallel for schedule(static)
+          for (int i = 0; i < nthreads; ++i) p[i].zero();
+          return p;
+        });
 
     auto pair_adv = [&](const Grid1D<T>& in, Grid1D<T>& out,
                         index lo, index hi) {
@@ -146,10 +212,25 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid1D<vec_value_t<V>>& g,
   block_transpose_grid<T, W>(g);
 }
 
+template <typename V, int R>
+void tess_transpose_uj2_run(Grid1D<vec_value_t<V>>& g,
+                            const Stencil1D<R, vec_value_t<V>>& s,
+                            index steps, index bx, index bt) {
+  Workspace ws;
+  tess_transpose_uj2_run<V>(g, s, steps, bx, bt, ws);
+}
+
 /// Split-tiling engine over DLT columns: like tess1d_engine, but *all* tiles
 /// shrink (the domain ends are not physical boundaries — columns 0 and L-1
 /// are coupled through the lane seam) and the seam set includes the wrapped
 /// seam at column 0/L, processed as two ranges.
+///
+/// Both stage loops stay schedule(dynamic): the last tile may be ragged
+/// (tile_count rounds up) and tile 0 of the seam stage does the wrapped
+/// seam's two disjoint ranges, so per-tile work is NOT homogeneous here —
+/// unlike the tessellate engines (see tess.hpp), where the legality bound
+/// makes all interior tiles identical and static scheduling measured no
+/// worse while saving the dynamic dispatch.
 template <typename GridT, typename AdvanceFn>
 void split1d_wrap_engine(GridT& A, GridT& B, index domain, index units,
                          index tau, index slope, index blk, AdvanceFn&& adv) {
@@ -203,7 +284,7 @@ void split1d_wrap_engine(GridT& A, GridT& B, index domain, index units,
 template <typename V, int R>
 TSV_NOINLINE void sdsl_run(Grid1D<vec_value_t<V>>& g,
               const Stencil1D<R, vec_value_t<V>>& s, index steps, index bi,
-              index bt) {
+              index bt, Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
@@ -215,16 +296,30 @@ TSV_NOINLINE void sdsl_run(Grid1D<vec_value_t<V>>& g,
   const index last_tile = L - (ntiles - 1) * bi;
   const index tau =
       std::max<index>(1, std::min(bt, std::min(bi, last_tile) / (2 * R)));
-  Grid1D<T> dltA = g;
+  Grid1D<T>& dltA = ws_grid_like(ws, kWsDltA, g);
+  dltA.copy_halo_from(g);
   dlt_forward_grid<T, W>(g, dltA);
-  Grid1D<T> dltB = dltA;
+  Grid1D<T>& dltB = ws_grid_like(ws, kWsDltB, g);
+  dltB.copy_halo_from(dltA);
+  // The plan only resolves stream=true at bt == 1, where tau clamps to 1 —
+  // every sweep is then a full pass with no cross-unit cache reuse.
+  const auto sweep = stream ? &dlt_sweep_row_region<V, R, 1, true>
+                            : &dlt_sweep_row_region<V, R, 1, false>;
   split1d_wrap_engine(dltA, dltB, L, steps, tau, R, bi,
                       [&](const Grid1D<T>& in, Grid1D<T>& out,
                           index ilo, index ihi) {
-                        dlt_sweep_row_region<V, R, 1>({in.x0()}, out.x0(),
-                                                      {s.w}, nx, ilo, ihi);
+                        sweep({in.x0()}, out.x0(), {s.w}, nx, ilo, ihi);
+                        if (stream) stream_fence();  // once per region
                       });
   dlt_backward_grid<T, W>(dltA, g);
+}
+
+template <typename V, int R>
+void sdsl_run(Grid1D<vec_value_t<V>>& g,
+              const Stencil1D<R, vec_value_t<V>>& s, index steps, index bi,
+              index bt) {
+  Workspace ws;
+  sdsl_run<V>(g, s, steps, bi, bt, ws);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,8 +328,10 @@ TSV_NOINLINE void sdsl_run(Grid1D<vec_value_t<V>>& g,
 
 template <int R, int NR, typename T>
 TSV_NOINLINE void tess_autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s,
-                      index steps, index bx, index by, index bt) {
-  Grid2D<T> tmp = g;
+                      index steps, index bx, index by, index bt,
+                      Workspace& ws) {
+  Grid2D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+  tmp.copy_halo_from(g);
   tess2d_engine(g, tmp, steps, bt, R, bx, by,
                 [&](const Grid2D<T>& in, Grid2D<T>& out, index xlo,
                     index xhi, index ylo, index yhi) {
@@ -242,19 +339,30 @@ TSV_NOINLINE void tess_autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s,
                 });
 }
 
+template <int R, int NR, typename T>
+void tess_autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s,
+                      index steps, index bx, index by, index bt) {
+  Workspace ws;
+  tess_autovec_run(g, s, steps, bx, by, bt, ws);
+}
+
 template <typename V, int R, int NR>
 TSV_NOINLINE void tess_transpose_run(Grid2D<vec_value_t<V>>& g,
                         const Stencil2D<R, NR, vec_value_t<V>>& s,
-                        index steps, index bx, index by, index bt) {
+                        index steps, index bx, index by, index bt,
+                        Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   block_transpose_grid<T, W>(g);
   {
-    Grid2D<T> tmp = g;
+    Grid2D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
     const index nx = g.nx();
     std::array<std::array<T, 2 * R + 1>, NR> w;
     for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+    const auto sweep = stream ? &transpose_sweep_row_region<V, R, NR, true>
+                              : &transpose_sweep_row_region<V, R, NR, false>;
     tess2d_engine(g, tmp, steps, bt, R, bx, by,
                   [&](const Grid2D<T>& in, Grid2D<T>& out, index xlo,
                       index xhi, index ylo, index yhi) {
@@ -262,18 +370,27 @@ TSV_NOINLINE void tess_transpose_run(Grid2D<vec_value_t<V>>& g,
                       std::array<const T*, NR> rp;
                       for (int r = 0; r < NR; ++r)
                         rp[r] = in.row(y + s.rows[r].dy);
-                      transpose_sweep_row_region<V, R, NR>(rp, out.row(y), w,
-                                                           nx, xlo, xhi);
+                      sweep(rp, out.row(y), w, nx, xlo, xhi);
                     }
+                    if (stream) stream_fence();  // once per region
                   });
   }
   block_transpose_grid<T, W>(g);
 }
 
 template <typename V, int R, int NR>
+void tess_transpose_run(Grid2D<vec_value_t<V>>& g,
+                        const Stencil2D<R, NR, vec_value_t<V>>& s,
+                        index steps, index bx, index by, index bt) {
+  Workspace ws;
+  tess_transpose_run<V>(g, s, steps, bx, by, bt, ws);
+}
+
+template <typename V, int R, int NR>
 TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<vec_value_t<V>>& g,
                             const Stencil2D<R, NR, vec_value_t<V>>& s,
-                            index steps, index bx, index by, index bt) {
+                            index steps, index bx, index by, index bt,
+                            Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
@@ -284,12 +401,22 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<vec_value_t<V>>& g,
 
   block_transpose_grid<T, W>(g);
   {
-    Grid2D<T> tmp = g;
+    Grid2D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
     const index scr_ny = std::min(ny, by) + 2 * R + 4;
-    std::vector<Grid2D<T>> pool;
-    pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
-    for (int i = 0; i < omp_get_max_threads(); ++i)
-      pool.emplace_back(nx, scr_ny, std::max<index>(R, 1));
+    const int nthreads = omp_get_max_threads();
+    using Pool = std::vector<Grid2D<T>>;
+    Pool& pool = ws.slot<Pool>(
+        kWsScratchPool, ws_key(nx, scr_ny, R, nthreads), [&] {
+          Pool p;
+          p.reserve(static_cast<std::size_t>(nthreads));
+          for (int i = 0; i < nthreads; ++i)
+            p.emplace_back(nx, scr_ny, std::max<index>(R, 1),
+                           FirstTouch::kNone);
+#pragma omp parallel for schedule(static)
+          for (int i = 0; i < nthreads; ++i) p[i].zero();
+          return p;
+        });
 
     auto pair_adv = [&](const Grid2D<T>& in, Grid2D<T>& out,
                         index xlo, index xhi, index ylo, index yhi) {
@@ -340,21 +467,33 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid2D<vec_value_t<V>>& g,
   block_transpose_grid<T, W>(g);
 }
 
+template <typename V, int R, int NR>
+void tess_transpose_uj2_run(Grid2D<vec_value_t<V>>& g,
+                            const Stencil2D<R, NR, vec_value_t<V>>& s,
+                            index steps, index bx, index by, index bt) {
+  Workspace ws;
+  tess_transpose_uj2_run<V>(g, s, steps, bx, by, bt, ws);
+}
+
 /// SDSL baseline, 2D (hybrid tiling): DLT layout on x, tessellation over y
 /// with full rows per region.
 template <typename V, int R, int NR>
 TSV_NOINLINE void sdsl_run(Grid2D<vec_value_t<V>>& g,
               const Stencil2D<R, NR, vec_value_t<V>>& s, index steps,
-              index by, index bt) {
+              index by, index bt, Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
   const index nx = g.nx();
   std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
-  Grid2D<T> dltA = g;
+  Grid2D<T>& dltA = ws_grid_like(ws, kWsDltA, g);
+  dltA.copy_halo_from(g);
   dlt_forward_grid<T, W>(g, dltA);
-  Grid2D<T> dltB = dltA;
+  Grid2D<T>& dltB = ws_grid_like(ws, kWsDltB, g);
+  dltB.copy_halo_from(dltA);
+  const auto sweep = stream ? &dlt_sweep_row<V, R, NR, true>
+                            : &dlt_sweep_row<V, R, NR, false>;
   tess1d_engine(dltA, dltB, g.ny(), steps, bt, R, by,
                 [&](const Grid2D<T>& in, Grid2D<T>& out, index ylo,
                     index yhi) {
@@ -362,10 +501,19 @@ TSV_NOINLINE void sdsl_run(Grid2D<vec_value_t<V>>& g,
                     std::array<const T*, NR> rp;
                     for (int r = 0; r < NR; ++r)
                       rp[r] = in.row(y + s.rows[r].dy);
-                    dlt_sweep_row<V, R, NR>(rp, out.row(y), w, nx);
+                    sweep(rp, out.row(y), w, nx);
                   }
+                  if (stream) stream_fence();  // once per region
                 });
   dlt_backward_grid<T, W>(dltA, g);
+}
+
+template <typename V, int R, int NR>
+void sdsl_run(Grid2D<vec_value_t<V>>& g,
+              const Stencil2D<R, NR, vec_value_t<V>>& s, index steps,
+              index by, index bt) {
+  Workspace ws;
+  sdsl_run<V>(g, s, steps, by, bt, ws);
 }
 
 // ---------------------------------------------------------------------------
@@ -374,8 +522,10 @@ TSV_NOINLINE void sdsl_run(Grid2D<vec_value_t<V>>& g,
 
 template <int R, int NR, typename T>
 TSV_NOINLINE void tess_autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s,
-                      index steps, index bx, index by, index bz, index bt) {
-  Grid3D<T> tmp = g;
+                      index steps, index bx, index by, index bz, index bt,
+                      Workspace& ws) {
+  Grid3D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+  tmp.copy_halo_from(g);
   tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
                 [&](const Grid3D<T>& in, Grid3D<T>& out, index xlo,
                     index xhi, index ylo, index yhi, index zlo, index zhi) {
@@ -384,19 +534,30 @@ TSV_NOINLINE void tess_autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s,
                 });
 }
 
+template <int R, int NR, typename T>
+void tess_autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s,
+                      index steps, index bx, index by, index bz, index bt) {
+  Workspace ws;
+  tess_autovec_run(g, s, steps, bx, by, bz, bt, ws);
+}
+
 template <typename V, int R, int NR>
 TSV_NOINLINE void tess_transpose_run(Grid3D<vec_value_t<V>>& g,
                         const Stencil3D<R, NR, vec_value_t<V>>& s,
-                        index steps, index bx, index by, index bz, index bt) {
+                        index steps, index bx, index by, index bz, index bt,
+                        Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   block_transpose_grid<T, W>(g);
   {
-    Grid3D<T> tmp = g;
+    Grid3D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
     const index nx = g.nx();
     std::array<std::array<T, 2 * R + 1>, NR> w;
     for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
+    const auto sweep = stream ? &transpose_sweep_row_region<V, R, NR, true>
+                              : &transpose_sweep_row_region<V, R, NR, false>;
     tess3d_engine(g, tmp, steps, bt, R, bx, by, bz,
                   [&](const Grid3D<T>& in, Grid3D<T>& out, index xlo,
                       index xhi, index ylo, index yhi, index zlo, index zhi) {
@@ -406,19 +567,27 @@ TSV_NOINLINE void tess_transpose_run(Grid3D<vec_value_t<V>>& g,
                         for (int r = 0; r < NR; ++r)
                           rp[r] =
                               in.row(y + s.rows[r].dy, z + s.rows[r].dz);
-                        transpose_sweep_row_region<V, R, NR>(
-                            rp, out.row(y, z), w, nx, xlo, xhi);
+                        sweep(rp, out.row(y, z), w, nx, xlo, xhi);
                       }
+                    if (stream) stream_fence();  // once per region
                   });
   }
   block_transpose_grid<T, W>(g);
 }
 
 template <typename V, int R, int NR>
+void tess_transpose_run(Grid3D<vec_value_t<V>>& g,
+                        const Stencil3D<R, NR, vec_value_t<V>>& s,
+                        index steps, index bx, index by, index bz, index bt) {
+  Workspace ws;
+  tess_transpose_run<V>(g, s, steps, bx, by, bz, bt, ws);
+}
+
+template <typename V, int R, int NR>
 TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<vec_value_t<V>>& g,
                             const Stencil3D<R, NR, vec_value_t<V>>& s,
                             index steps, index bx, index by, index bz,
-                            index bt) {
+                            index bt, Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
@@ -429,12 +598,22 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<vec_value_t<V>>& g,
 
   block_transpose_grid<T, W>(g);
   {
-    Grid3D<T> tmp = g;
+    Grid3D<T>& tmp = ws_grid_like(ws, kWsTmpGrid, g);
+    tmp.copy_halo_from(g);
     const index scr_nz = std::min(nz, bz) + 2 * R + 4;
-    std::vector<Grid3D<T>> pool;
-    pool.reserve(static_cast<std::size_t>(omp_get_max_threads()));
-    for (int i = 0; i < omp_get_max_threads(); ++i)
-      pool.emplace_back(nx, ny, scr_nz, std::max<index>(R, 1));
+    const int nthreads = omp_get_max_threads();
+    using Pool = std::vector<Grid3D<T>>;
+    Pool& pool = ws.slot<Pool>(
+        kWsScratchPool, ws_key(nx, ny, scr_nz, R, nthreads), [&] {
+          Pool p;
+          p.reserve(static_cast<std::size_t>(nthreads));
+          for (int i = 0; i < nthreads; ++i)
+            p.emplace_back(nx, ny, scr_nz, std::max<index>(R, 1),
+                           FirstTouch::kNone);
+#pragma omp parallel for schedule(static)
+          for (int i = 0; i < nthreads; ++i) p[i].zero();
+          return p;
+        });
 
     auto pair_adv = [&](const Grid3D<T>& in, Grid3D<T>& out,
                         index xlo, index xhi, index ylo, index yhi, index zlo,
@@ -495,21 +674,34 @@ TSV_NOINLINE void tess_transpose_uj2_run(Grid3D<vec_value_t<V>>& g,
   block_transpose_grid<T, W>(g);
 }
 
+template <typename V, int R, int NR>
+void tess_transpose_uj2_run(Grid3D<vec_value_t<V>>& g,
+                            const Stencil3D<R, NR, vec_value_t<V>>& s,
+                            index steps, index bx, index by, index bz,
+                            index bt) {
+  Workspace ws;
+  tess_transpose_uj2_run<V>(g, s, steps, bx, by, bz, bt, ws);
+}
+
 /// SDSL baseline, 3D (hybrid tiling): DLT layout on x, tessellation over z
 /// with full (x, y) planes per region.
 template <typename V, int R, int NR>
 TSV_NOINLINE void sdsl_run(Grid3D<vec_value_t<V>>& g,
               const Stencil3D<R, NR, vec_value_t<V>>& s, index steps,
-              index bz, index bt) {
+              index bz, index bt, Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "SDSL/DLT requires nx % W == 0");
   const index nx = g.nx();
   std::array<std::array<T, 2 * R + 1>, NR> w;
   for (int r = 0; r < NR; ++r) w[r] = padded_taps<R>(s.rows[r]);
-  Grid3D<T> dltA = g;
+  Grid3D<T>& dltA = ws_grid_like(ws, kWsDltA, g);
+  dltA.copy_halo_from(g);
   dlt_forward_grid<T, W>(g, dltA);
-  Grid3D<T> dltB = dltA;
+  Grid3D<T>& dltB = ws_grid_like(ws, kWsDltB, g);
+  dltB.copy_halo_from(dltA);
+  const auto sweep = stream ? &dlt_sweep_row<V, R, NR, true>
+                            : &dlt_sweep_row<V, R, NR, false>;
   tess1d_engine(dltA, dltB, g.nz(), steps, bt, R, bz,
                 [&](const Grid3D<T>& in, Grid3D<T>& out, index zlo,
                     index zhi) {
@@ -518,10 +710,19 @@ TSV_NOINLINE void sdsl_run(Grid3D<vec_value_t<V>>& g,
                       std::array<const T*, NR> rp;
                       for (int r = 0; r < NR; ++r)
                         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
-                      dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, nx);
+                      sweep(rp, out.row(y, z), w, nx);
                     }
+                  if (stream) stream_fence();  // once per region
                 });
   dlt_backward_grid<T, W>(dltA, g);
+}
+
+template <typename V, int R, int NR>
+void sdsl_run(Grid3D<vec_value_t<V>>& g,
+              const Stencil3D<R, NR, vec_value_t<V>>& s, index steps,
+              index bz, index bt) {
+  Workspace ws;
+  sdsl_run<V>(g, s, steps, bz, bt, ws);
 }
 
 }  // namespace tsv

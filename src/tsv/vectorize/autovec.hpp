@@ -31,10 +31,18 @@ TSV_NOINLINE void autovec_step_region(const Grid1D<T>& in, Grid1D<T>& out,
 }
 
 template <int R, typename T>
-TSV_NOINLINE void autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
+TSV_NOINLINE void autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps,
+                              Workspace& ws) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid1D<T>& in,
+                                           Grid1D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx());
   });
+}
+
+template <int R, typename T>
+void autovec_run(Grid1D<T>& g, const Stencil1D<R, T>& s, index steps) {
+  Workspace ws;
+  autovec_run(g, s, steps, ws);
 }
 
 // ---- 2D --------------------------------------------------------------------
@@ -60,10 +68,18 @@ TSV_NOINLINE void autovec_step_region(const Grid2D<T>& in, Grid2D<T>& out,
 }
 
 template <int R, int NR, typename T>
-TSV_NOINLINE void autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid2D<T>& in, Grid2D<T>& out) {
+TSV_NOINLINE void autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s, index steps,
+                              Workspace& ws) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid2D<T>& in,
+                                           Grid2D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny());
   });
+}
+
+template <int R, int NR, typename T>
+void autovec_run(Grid2D<T>& g, const Stencil2D<R, NR, T>& s, index steps) {
+  Workspace ws;
+  autovec_run(g, s, steps, ws);
 }
 
 // ---- 3D --------------------------------------------------------------------
@@ -91,10 +107,18 @@ TSV_NOINLINE void autovec_step_region(const Grid3D<T>& in, Grid3D<T>& out,
 }
 
 template <int R, int NR, typename T>
-TSV_NOINLINE void autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s, index steps) {
-  jacobi_run(g, steps, [&](const Grid3D<T>& in, Grid3D<T>& out) {
+TSV_NOINLINE void autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s, index steps,
+                              Workspace& ws) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid3D<T>& in,
+                                           Grid3D<T>& out) {
     autovec_step_region(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
   });
+}
+
+template <int R, int NR, typename T>
+void autovec_run(Grid3D<T>& g, const Stencil3D<R, NR, T>& s, index steps) {
+  Workspace ws;
+  autovec_run(g, s, steps, ws);
 }
 
 }  // namespace tsv

@@ -61,7 +61,12 @@ TSV_ALWAYS_INLINE V dlt_row_acc_core(const vec_value_t<V>* rp, index i,
 /// NR tap rows. nx must be a multiple of W and nx/W > R. Columns within R of
 /// the global column ends take the seam-safe path; everything else is
 /// aligned loads. Split tiling (the SDSL baseline) drives this per tile.
-template <typename V, int R, int NR>
+///
+/// Stream = true writes the column vectors with non-temporal stores; the
+/// CALLER fences once per streamed step/region (same contract as
+/// transpose_sweep_row_region — a per-row fence would serialize the store
+/// buffer once per row in the 2D/3D loops).
+template <typename V, int R, int NR, bool Stream = false>
 void dlt_sweep_row_region(
     const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
     const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx,
@@ -71,37 +76,47 @@ void dlt_sweep_row_region(
   const index head = std::min<index>(std::max<index>(R, ilo), ihi);
   const index tail = std::max<index>(head, std::min<index>(L - R, ihi));
 
+  auto emit = [&](V acc, index i) TSV_ALWAYS_INLINE_LAMBDA {
+    if constexpr (Stream)
+      acc.stream(op + i * W);
+    else
+      acc.store(op + i * W);
+  };
   for (index i = ilo; i < head; ++i) {
     V acc = V::zero();
     for (int r = 0; r < NR; ++r)
       acc = detail::dlt_row_acc_seam<V, R>(rp[r], i, L, nx, w[r], acc);
-    acc.store(op + i * W);
+    emit(acc, i);
   }
   for (index i = head; i < tail; ++i) {
     V acc = V::zero();
     for (int r = 0; r < NR; ++r)
       acc = detail::dlt_row_acc_core<V, R>(rp[r], i, w[r], acc);
-    acc.store(op + i * W);
+    emit(acc, i);
   }
   for (index i = tail; i < ihi; ++i) {
     V acc = V::zero();
     for (int r = 0; r < NR; ++r)
       acc = detail::dlt_row_acc_seam<V, R>(rp[r], i, L, nx, w[r], acc);
-    acc.store(op + i * W);
+    emit(acc, i);
   }
 }
 
 /// Full-row sweep (all columns).
-template <typename V, int R, int NR>
+template <typename V, int R, int NR, bool Stream = false>
 inline void dlt_sweep_row(
     const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
     const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx) {
-  dlt_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx / V::width);
+  dlt_sweep_row_region<V, R, NR, Stream>(rp, op, w, nx, 0, nx / V::width);
 }
 
 // Compiled once in src/tsv/kernels_tu.cpp; see transpose_vs.hpp for why.
 #define TSV_DECLARE_DLT_SWEEP(V, R, NR)                                      \
-  extern template void dlt_sweep_row_region<V, R, NR>(                       \
+  extern template void dlt_sweep_row_region<V, R, NR, false>(                \
+      const std::array<const V::value_type*, NR>&, V::value_type*,           \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
+      index, index);                                                         \
+  extern template void dlt_sweep_row_region<V, R, NR, true>(                 \
       const std::array<const V::value_type*, NR>&, V::value_type*,           \
       const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
       index, index);
@@ -128,13 +143,14 @@ TSV_DECLARE_DLT_SWEEPS_FOR(VecF16)
 
 // ---- full-grid steps (grids already in DLT layout) ---------------------------
 
-template <typename V, int R>
+template <typename V, bool Stream = false, int R>
 void dlt_step(const Grid1D<vec_value_t<V>>& in, Grid1D<vec_value_t<V>>& out,
               const Stencil1D<R, vec_value_t<V>>& s) {
-  dlt_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
+  dlt_sweep_row<V, R, 1, Stream>({in.x0()}, out.x0(), {s.w}, in.nx());
+  if constexpr (Stream) stream_fence();
 }
 
-template <typename V, int R, int NR>
+template <typename V, bool Stream = false, int R, int NR>
 void dlt_step(const Grid2D<vec_value_t<V>>& in, Grid2D<vec_value_t<V>>& out,
               const Stencil2D<R, NR, vec_value_t<V>>& s) {
   using T = vec_value_t<V>;
@@ -143,11 +159,12 @@ void dlt_step(const Grid2D<vec_value_t<V>>& in, Grid2D<vec_value_t<V>>& out,
   for (index y = 0; y < in.ny(); ++y) {
     std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
-    dlt_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
+    dlt_sweep_row<V, R, NR, Stream>(rp, out.row(y), w, in.nx());
   }
+  if constexpr (Stream) stream_fence();  // once per step, not per row
 }
 
-template <typename V, int R, int NR>
+template <typename V, bool Stream = false, int R, int NR>
 void dlt_step(const Grid3D<vec_value_t<V>>& in, Grid3D<vec_value_t<V>>& out,
               const Stencil3D<R, NR, vec_value_t<V>>& s) {
   using T = vec_value_t<V>;
@@ -158,25 +175,41 @@ void dlt_step(const Grid3D<vec_value_t<V>>& in, Grid3D<vec_value_t<V>>& out,
       std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
-      dlt_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
+      dlt_sweep_row<V, R, NR, Stream>(rp, out.row(y, z), w, in.nx());
     }
+  if constexpr (Stream) stream_fence();  // once per step, not per row
 }
 
 /// Full run: forward DLT (out-of-place, into a second grid — the extra array
 /// the paper counts against DLT), T steps inside the layout, backward DLT.
+/// The staging grid and the Jacobi parity buffer live in @p ws; @p stream
+/// selects non-temporal write-back (plan-resolved).
 template <typename V, typename Grid, typename S>
-TSV_NOINLINE void dlt_run(Grid& g, const S& s, index steps) {
+TSV_NOINLINE void dlt_run(Grid& g, const S& s, index steps, Workspace& ws,
+                          bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   require_fmt(g.nx() % W == 0, "DLT requires nx (", g.nx(),
               ") to be a multiple of W = ", static_cast<index>(W));
   require_fmt(g.nx() / W > S::radius, "DLT requires nx/W > stencil radius");
-  Grid t = g;  // same shape and halo values
+  Grid& t = ws_grid_like(ws, kWsDltA, g);
+  t.copy_halo_from(g);  // seam handling reads original-layout halo scalars
   dlt_forward_grid<T, W>(g, t);
-  jacobi_run(t, steps, [&](const Grid& in, Grid& out) {
-    dlt_step<V>(in, out, s);
-  });
+  if (stream)
+    jacobi_run(t, steps, ws, kWsTmpGrid, [&](const Grid& in, Grid& out) {
+      dlt_step<V, true>(in, out, s);
+    });
+  else
+    jacobi_run(t, steps, ws, kWsTmpGrid, [&](const Grid& in, Grid& out) {
+      dlt_step<V>(in, out, s);
+    });
   dlt_backward_grid<T, W>(t, g);
+}
+
+template <typename V, typename Grid, typename S>
+void dlt_run(Grid& g, const S& s, index steps) {
+  Workspace ws;
+  dlt_run<V>(g, s, steps, ws);
 }
 
 }  // namespace tsv

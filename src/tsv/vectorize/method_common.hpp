@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tsv/common/grid.hpp"
+#include "tsv/core/workspace.hpp"
 #include "tsv/kernels/stencil.hpp"
 #include "tsv/simd/shift.hpp"
 #include "tsv/simd/vec.hpp"
@@ -46,6 +47,21 @@ std::array<typename Row::value_type, 2 * R + 1> padded_taps(const Row& r) {
 template <typename Grid, typename StepFn>
 void jacobi_run(Grid& g, index steps, StepFn&& step) {
   Grid tmp = g;  // copies interior + halo, so halo is valid in both buffers
+  for (index t = 0; t < steps; ++t) {
+    step(std::as_const(g), tmp);
+    g.swap_storage(tmp);
+  }
+}
+
+/// Workspace-backed variant: the parity buffer lives in @p ws under
+/// @p slot, so steady-state runs are allocation-free. Only the halo is
+/// refreshed from @p g — every step writes the whole interior before
+/// reading it, so stale interior contents are never observed.
+template <typename Grid, typename StepFn>
+void jacobi_run(Grid& g, index steps, Workspace& ws, int slot, StepFn&& step) {
+  if (steps <= 0) return;
+  Grid& tmp = ws_grid_like(ws, slot, g);
+  tmp.copy_halo_from(g);
   for (index t = 0; t < steps; ++t) {
     step(std::as_const(g), tmp);
     g.swap_storage(tmp);

@@ -72,11 +72,20 @@ TSV_NOINLINE void reorg_step_region(const Grid1D<vec_value_t<V>>& in,
 
 template <typename V, int R>
 TSV_NOINLINE void reorg_run(Grid1D<vec_value_t<V>>& g,
-               const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+               const Stencil1D<R, vec_value_t<V>>& s, index steps,
+               Workspace& ws) {
   using T = vec_value_t<V>;
-  jacobi_run(g, steps, [&](const Grid1D<T>& in, Grid1D<T>& out) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid1D<T>& in,
+                                           Grid1D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx());
   });
+}
+
+template <typename V, int R>
+void reorg_run(Grid1D<vec_value_t<V>>& g,
+               const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  reorg_run<V>(g, s, steps, ws);
 }
 
 // ---- 2D --------------------------------------------------------------------
@@ -115,11 +124,20 @@ TSV_NOINLINE void reorg_step_region(const Grid2D<vec_value_t<V>>& in,
 
 template <typename V, int R, int NR>
 TSV_NOINLINE void reorg_run(Grid2D<vec_value_t<V>>& g,
-               const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+               const Stencil2D<R, NR, vec_value_t<V>>& s, index steps,
+               Workspace& ws) {
   using T = vec_value_t<V>;
-  jacobi_run(g, steps, [&](const Grid2D<T>& in, Grid2D<T>& out) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid2D<T>& in,
+                                           Grid2D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny());
   });
+}
+
+template <typename V, int R, int NR>
+void reorg_run(Grid2D<vec_value_t<V>>& g,
+               const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  reorg_run<V>(g, s, steps, ws);
 }
 
 // ---- 3D --------------------------------------------------------------------
@@ -160,11 +178,20 @@ TSV_NOINLINE void reorg_step_region(const Grid3D<vec_value_t<V>>& in,
 
 template <typename V, int R, int NR>
 TSV_NOINLINE void reorg_run(Grid3D<vec_value_t<V>>& g,
-               const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+               const Stencil3D<R, NR, vec_value_t<V>>& s, index steps,
+               Workspace& ws) {
   using T = vec_value_t<V>;
-  jacobi_run(g, steps, [&](const Grid3D<T>& in, Grid3D<T>& out) {
+  jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid3D<T>& in,
+                                           Grid3D<T>& out) {
     reorg_step_region<V>(in, out, s, 0, g.nx(), 0, g.ny(), 0, g.nz());
   });
+}
+
+template <typename V, int R, int NR>
+void reorg_run(Grid3D<vec_value_t<V>>& g,
+               const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  reorg_run<V>(g, s, steps, ws);
 }
 
 }  // namespace tsv

@@ -116,7 +116,15 @@ TSV_ALWAYS_INLINE T load_tl(const T* row, index x, index nx) {
 /// output lanes that a masked store then discards. This keeps the rims as
 /// cheap as the interior, which is the goal of the paper's Fig. 5(d)
 /// boundary treatment.
-template <typename V, int R, int NR>
+///
+/// Stream = true writes full interior blocks with non-temporal stores (rim
+/// blocks keep masked cached stores) — for working sets that exceed the
+/// LLC, where write-allocate traffic is pure waste. The CALLER must execute
+/// stream_fence() once per streamed step/region before another thread (or
+/// the next time level) reads the output; fencing here would serialize the
+/// store buffer once per row in the 2D/3D row loops. The plan layer selects
+/// the instantiation via ResolvedOptions::streaming.
+template <typename V, int R, int NR, bool Stream = false>
 void transpose_sweep_row_region(
     const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
     const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx,
@@ -160,7 +168,12 @@ void transpose_sweep_row_region(
       }
     }
     if (base >= xlo && base + B <= xhi) {
-      static_for<0, W>([&]<int J>() { acc[J].store(op + base + J * W); });
+      static_for<0, W>([&]<int J>() {
+        if constexpr (Stream)
+          acc[J].stream(op + base + J * W);
+        else
+          acc[J].store(op + base + J * W);
+      });
     } else {
       // Rim block: store only the cells inside [xlo, xhi).
       static_for<0, W>([&]<int J>() {
@@ -176,11 +189,11 @@ void transpose_sweep_row_region(
 }
 
 /// Full-row sweep (whole interior).
-template <typename V, int R, int NR>
+template <typename V, int R, int NR, bool Stream = false>
 inline void transpose_sweep_row(
     const std::array<const vec_value_t<V>*, NR>& rp, vec_value_t<V>* op,
     const std::array<std::array<vec_value_t<V>, 2 * R + 1>, NR>& w, index nx) {
-  transpose_sweep_row_region<V, R, NR>(rp, op, w, nx, 0, nx);
+  transpose_sweep_row_region<V, R, NR, Stream>(rp, op, w, nx, 0, nx);
 }
 
 // The hot sweep is compiled exactly once, in src/tsv/kernels_tu.cpp — a
@@ -191,7 +204,11 @@ inline void transpose_sweep_row(
 // Instantiations not on this list still compile implicitly (correct, and
 // usually fine because rare combinations imply small TUs).
 #define TSV_DECLARE_TRANSPOSE_SWEEP(V, R, NR)                                \
-  extern template void transpose_sweep_row_region<V, R, NR>(                 \
+  extern template void transpose_sweep_row_region<V, R, NR, false>(          \
+      const std::array<const V::value_type*, NR>&, V::value_type*,           \
+      const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
+      index, index);                                                         \
+  extern template void transpose_sweep_row_region<V, R, NR, true>(           \
       const std::array<const V::value_type*, NR>&, V::value_type*,           \
       const std::array<std::array<V::value_type, 2 * R + 1>, NR>&, index,    \
       index, index);
@@ -218,14 +235,15 @@ TSV_DECLARE_TRANSPOSE_SWEEPS_FOR(VecF16)
 
 // ---- full-grid steps (grids already in transpose layout) --------------------
 
-template <typename V, int R>
+template <typename V, bool Stream = false, int R>
 void transpose_step(const Grid1D<vec_value_t<V>>& in,
                     Grid1D<vec_value_t<V>>& out,
                     const Stencil1D<R, vec_value_t<V>>& s) {
-  transpose_sweep_row<V, R, 1>({in.x0()}, out.x0(), {s.w}, in.nx());
+  transpose_sweep_row<V, R, 1, Stream>({in.x0()}, out.x0(), {s.w}, in.nx());
+  if constexpr (Stream) stream_fence();
 }
 
-template <typename V, int R, int NR>
+template <typename V, bool Stream = false, int R, int NR>
 void transpose_step(const Grid2D<vec_value_t<V>>& in,
                     Grid2D<vec_value_t<V>>& out,
                     const Stencil2D<R, NR, vec_value_t<V>>& s) {
@@ -235,11 +253,12 @@ void transpose_step(const Grid2D<vec_value_t<V>>& in,
   for (index y = 0; y < in.ny(); ++y) {
     std::array<const T*, NR> rp;
     for (int r = 0; r < NR; ++r) rp[r] = in.row(y + s.rows[r].dy);
-    transpose_sweep_row<V, R, NR>(rp, out.row(y), w, in.nx());
+    transpose_sweep_row<V, R, NR, Stream>(rp, out.row(y), w, in.nx());
   }
+  if constexpr (Stream) stream_fence();  // once per step, not per row
 }
 
-template <typename V, int R, int NR>
+template <typename V, bool Stream = false, int R, int NR>
 void transpose_step(const Grid3D<vec_value_t<V>>& in,
                     Grid3D<vec_value_t<V>>& out,
                     const Stencil3D<R, NR, vec_value_t<V>>& s) {
@@ -251,8 +270,9 @@ void transpose_step(const Grid3D<vec_value_t<V>>& in,
       std::array<const T*, NR> rp;
       for (int r = 0; r < NR; ++r)
         rp[r] = in.row(y + s.rows[r].dy, z + s.rows[r].dz);
-      transpose_sweep_row<V, R, NR>(rp, out.row(y, z), w, in.nx());
+      transpose_sweep_row<V, R, NR, Stream>(rp, out.row(y, z), w, in.nx());
     }
+  if constexpr (Stream) stream_fence();  // once per step, not per row
 }
 
 // ---- run drivers: transform once, T steps inside the layout, transform back.
@@ -266,16 +286,31 @@ void require_transpose_conforming(const Grid& g, int width) {
 }
 }  // namespace detail
 
+/// Workspace-backed run: the Jacobi parity buffer comes from @p ws (steady
+/// state is allocation-free); @p stream selects non-temporal write-back for
+/// LLC-exceeding working sets (resolved by the plan layer).
 template <typename V, typename Grid, typename S>
-TSV_NOINLINE void transpose_vs_run(Grid& g, const S& s, index steps) {
+TSV_NOINLINE void transpose_vs_run(Grid& g, const S& s, index steps,
+                                   Workspace& ws, bool stream = false) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
   block_transpose_grid<T, W>(g);
-  jacobi_run(g, steps, [&](const Grid& in, Grid& out) {
-    transpose_step<V>(in, out, s);
-  });
+  if (stream)
+    jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid& in, Grid& out) {
+      transpose_step<V, true>(in, out, s);
+    });
+  else
+    jacobi_run(g, steps, ws, kWsTmpGrid, [&](const Grid& in, Grid& out) {
+      transpose_step<V>(in, out, s);
+    });
   block_transpose_grid<T, W>(g);
+}
+
+template <typename V, typename Grid, typename S>
+void transpose_vs_run(Grid& g, const S& s, index steps) {
+  Workspace ws;
+  transpose_vs_run<V>(g, s, steps, ws);
 }
 
 }  // namespace tsv

@@ -132,10 +132,12 @@ TSV_DECLARE_UJ_SWEEPS_FOR(VecF16)
 #endif  // !TSV_KERNELS_TU
 
 /// 1D run driver: transform to transpose layout, ⌊T/K⌋ pipelined in-place
-/// sweeps + remainder Jacobi steps, transform back.
+/// sweeps + remainder Jacobi steps, transform back. The remainder parity
+/// buffer lives in @p ws.
 template <typename V, int R, int K = 2>
 TSV_NOINLINE void unroll_jam_run(Grid1D<vec_value_t<V>>& g,
-                    const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+                    const Stencil1D<R, vec_value_t<V>>& s, index steps,
+                    Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
@@ -145,10 +147,18 @@ TSV_NOINLINE void unroll_jam_run(Grid1D<vec_value_t<V>>& g,
     unroll_jam_sweep_row<V, R, K>(g.x0(), s.w, g.nx());
   const index rem = steps - sweeps * K;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid1D<T>& in, Grid1D<T>& out) {
+    jacobi_run(g, rem, ws, kWsTmpGrid, [&](const Grid1D<T>& in,
+                                           Grid1D<T>& out) {
       transpose_step<V>(in, out, s);
     });
   block_transpose_grid<T, W>(g);
+}
+
+template <typename V, int R, int K = 2>
+void unroll_jam_run(Grid1D<vec_value_t<V>>& g,
+                    const Stencil1D<R, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  unroll_jam_run<V, R, K>(g, s, steps, ws);
 }
 
 // ---- 2D: ring of row buffers holding the intermediate level -----------------
@@ -160,10 +170,14 @@ template <typename T>
 class ScratchRow {
  public:
   ScratchRow() = default;
-  ScratchRow(index nx, index halo)
+  ScratchRow(index nx, index halo, FirstTouch ft = FirstTouch::kSerial)
       : lead_(round_up(std::max<index>(halo, 1),
                        static_cast<index>(kAlignment / sizeof(T)))),
-        buf_(lead_ + nx + lead_) {}
+        buf_(lead_ + nx + lead_, ft) {}
+
+  /// Zeroes the whole row (first touch for FirstTouch::kNone buffers —
+  /// per-thread pools call this from the owning thread).
+  void zero() { buf_.zero(); }
 
   T* x0() { return buf_.data() + lead_; }
   const T* x0() const { return buf_.data() + lead_; }
@@ -181,10 +195,12 @@ class ScratchRow {
 
 }  // namespace detail
 
-/// 2D K=2 run driver (see header comment). Grid ends in original layout.
+/// 2D K=2 run driver (see header comment). Grid ends in original layout;
+/// the level-1 row ring and the remainder parity buffer live in @p ws.
 template <typename V, int R, int NR>
 TSV_NOINLINE void unroll_jam2_run(Grid2D<vec_value_t<V>>& g,
-                     const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+                     const Stencil2D<R, NR, vec_value_t<V>>& s, index steps,
+                     Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
@@ -197,8 +213,12 @@ TSV_NOINLINE void unroll_jam2_run(Grid2D<vec_value_t<V>>& g,
   // Ring of 2R+1 level-1 rows; level-1 values of halo rows are the halo rows
   // themselves (Dirichlet), provided by pointer selection in row_l1().
   constexpr index RB = 2 * R + 1;
-  std::array<detail::ScratchRow<T>, RB> ring;
-  for (auto& r : ring) r = detail::ScratchRow<T>(nx, R);
+  using Ring = std::array<detail::ScratchRow<T>, RB>;
+  Ring& ring = ws.slot<Ring>(kWsRing, ws_key(nx, R), [&] {
+    Ring r;
+    for (auto& row : r) row = detail::ScratchRow<T>(nx, R);
+    return r;
+  });
   auto ring_slot = [&](index y) { return ((y % RB) + RB) % RB; };
   auto row_l1 = [&](index y) -> const T* {
     return (y < 0 || y >= ny) ? g.row(y) : ring[ring_slot(y)].x0();
@@ -226,19 +246,29 @@ TSV_NOINLINE void unroll_jam2_run(Grid2D<vec_value_t<V>>& g,
   }
   const index rem = steps - pairs * 2;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid2D<T>& in, Grid2D<T>& out) {
+    jacobi_run(g, rem, ws, kWsTmpGrid, [&](const Grid2D<T>& in,
+                                           Grid2D<T>& out) {
       transpose_step<V>(in, out, s);
     });
   block_transpose_grid<T, W>(g);
 }
 
+template <typename V, int R, int NR>
+void unroll_jam2_run(Grid2D<vec_value_t<V>>& g,
+                     const Stencil2D<R, NR, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  unroll_jam2_run<V>(g, s, steps, ws);
+}
+
 // ---- 3D: ring of plane buffers ----------------------------------------------
 
 /// 3D K=2 run driver: the intermediate level lives in 2R+1 plane buffers
-/// (Grid2D scratch, same row layout as g's planes).
+/// (Grid2D scratch, same row layout as g's planes); ring and remainder
+/// parity buffer live in @p ws.
 template <typename V, int R, int NR>
 TSV_NOINLINE void unroll_jam2_run(Grid3D<vec_value_t<V>>& g,
-                     const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+                     const Stencil3D<R, NR, vec_value_t<V>>& s, index steps,
+                     Workspace& ws) {
   using T = vec_value_t<V>;
   constexpr int W = V::width;
   detail::require_transpose_conforming(g, W);
@@ -249,9 +279,13 @@ TSV_NOINLINE void unroll_jam2_run(Grid3D<vec_value_t<V>>& g,
   block_transpose_grid<T, W>(g);
 
   constexpr index RB = 2 * R + 1;
-  std::vector<Grid2D<T>> ring;
-  ring.reserve(RB);
-  for (index i = 0; i < RB; ++i) ring.emplace_back(nx, ny, R);
+  std::vector<Grid2D<T>>& ring =
+      ws.slot<std::vector<Grid2D<T>>>(kWsRing, ws_key(nx, ny, R), [&] {
+        std::vector<Grid2D<T>> r;
+        r.reserve(RB);
+        for (index i = 0; i < RB; ++i) r.emplace_back(nx, ny, R);
+        return r;
+      });
   auto ring_slot = [&](index z) { return ((z % RB) + RB) % RB; };
   // Row y of the level-1 plane z; halo planes and halo rows resolve to the
   // main grid (Dirichlet values, valid at every level).
@@ -290,10 +324,18 @@ TSV_NOINLINE void unroll_jam2_run(Grid3D<vec_value_t<V>>& g,
   }
   const index rem = steps - pairs * 2;
   if (rem > 0)
-    jacobi_run(g, rem, [&](const Grid3D<T>& in, Grid3D<T>& out) {
+    jacobi_run(g, rem, ws, kWsTmpGrid, [&](const Grid3D<T>& in,
+                                           Grid3D<T>& out) {
       transpose_step<V>(in, out, s);
     });
   block_transpose_grid<T, W>(g);
+}
+
+template <typename V, int R, int NR>
+void unroll_jam2_run(Grid3D<vec_value_t<V>>& g,
+                     const Stencil3D<R, NR, vec_value_t<V>>& s, index steps) {
+  Workspace ws;
+  unroll_jam2_run<V>(g, s, steps, ws);
 }
 
 }  // namespace tsv

@@ -214,6 +214,35 @@ TEST(StoreMask, Avx512) { check_store_mask<Vec<double, 8>>(); }
 TEST(StoreMask, Avx512Float) { check_store_mask<Vec<float, 16>>(); }
 #endif
 
+// ---- streaming (non-temporal) stores ----------------------------------------
+// Values must round-trip exactly; stream_fence() orders the write-back
+// before the (same-thread) verification loads.
+
+template <typename V>
+void check_stream_store() {
+  using T = typename V::value_type;
+  constexpr int W = V::width;
+  alignas(64) T src[W], dst[W];
+  for (int i = 0; i < W; ++i) {
+    src[i] = static_cast<T>(3 * i + 1);
+    dst[i] = T(-1);
+  }
+  V::load(src).stream(dst);
+  stream_fence();
+  for (int i = 0; i < W; ++i) EXPECT_EQ(dst[i], src[i]) << "lane " << i;
+}
+
+TEST(StreamStore, GenericW2) { check_stream_store<Vec<double, 2>>(); }
+TEST(StreamStore, GenericFloatW4) { check_stream_store<Vec<float, 4>>(); }
+#if defined(__AVX2__)
+TEST(StreamStore, Avx2) { check_stream_store<Vec<double, 4>>(); }
+TEST(StreamStore, Avx2Float) { check_stream_store<Vec<float, 8>>(); }
+#endif
+#if defined(__AVX512F__)
+TEST(StreamStore, Avx512) { check_stream_store<Vec<double, 8>>(); }
+TEST(StreamStore, Avx512Float) { check_stream_store<Vec<float, 16>>(); }
+#endif
+
 // ---- transpose --------------------------------------------------------------
 
 template <typename V, bool kBaseline>

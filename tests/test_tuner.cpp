@@ -1,0 +1,236 @@
+// Autotuner tests: determinism under cached mode, JSON round-trip of the
+// memo cache, legality of tuned blocks on tiny grids, and bit-identical
+// results between tuned and default plans for both dtypes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+template <typename T>
+T fill1(index x) {
+  return static_cast<T>(0.3 + 1e-3 * static_cast<double>(x % 53));
+}
+
+Options tess_options(Tune tune, index steps = 16) {
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = steps;
+  o.tune = tune;
+  return o;
+}
+
+TEST(Tuner, NamesRoundTrip) {
+  for (Tune t : {Tune::kOff, Tune::kCached, Tune::kFull})
+    EXPECT_EQ(tune_from_name(tune_name(t)), t);
+  EXPECT_FALSE(tune_from_name("banana").has_value());
+}
+
+TEST(Tuner, CandidatesIncludeDefaultAndRespectPins) {
+  Options user;
+  user.bx = 512;  // pinned by the user: every candidate must keep it
+  const auto cands = tune_candidates(1, 4096, 1, 1, 1, Tiling::kTessellate,
+                                     false, 100, user);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front().bx, 512);  // candidate 0 is the user's own config
+  EXPECT_EQ(cands.front().bt, 0);
+  for (const TunedBlocks& b : cands) EXPECT_EQ(b.bx, 512);
+  EXPECT_GT(cands.size(), 1u) << "unpinned bt should produce alternatives";
+}
+
+TEST(Tuner, TrialStepsAreBudgetCapped) {
+  // Small grid: trials run two full time blocks.
+  EXPECT_EQ(tune_trial_steps(4096, 32, 1000), 64);
+  // Huge grid: the budget caps the step count instead.
+  EXPECT_LE(tune_trial_steps(index{1} << 30, 128, 1000), 2);
+  // Never longer than the real run.
+  EXPECT_EQ(tune_trial_steps(4096, 32, 3), 3);
+}
+
+TEST(Tuner, CachedModeIsDeterministic) {
+  tune_cache_clear();
+  const auto s = make_1d3p(0.3);
+  const Shape shape = shape1d(2048);
+  const auto p1 = make_plan(shape, s, tess_options(Tune::kCached));
+  const std::size_t after_first = tune_cache_size();
+  EXPECT_GE(after_first, 1u);
+  const auto p2 = make_plan(shape, s, tess_options(Tune::kCached));
+  EXPECT_EQ(tune_cache_size(), after_first) << "second plan must hit the cache";
+  EXPECT_EQ(p1.config().bx, p2.config().bx);
+  EXPECT_EQ(p1.config().bt, p2.config().bt);
+  EXPECT_EQ(p1.config().tune, Tune::kCached);
+}
+
+// A cache hit must never overwrite an explicitly pinned field: the pins are
+// part of the key, so pinned and unpinned plans can never alias.
+TEST(Tuner, CacheHitNeverOverridesPins) {
+  tune_cache_clear();
+  const auto s = make_1d3p(0.3);
+  Options o = tess_options(Tune::kCached);
+  const auto unpinned = make_plan(shape1d(2048), s, o);
+  EXPECT_GT(unpinned.config().bx, 0);
+  o.bx = 256;  // explicit pin
+  const auto pinned = make_plan(shape1d(2048), s, o);
+  EXPECT_EQ(pinned.config().bx, 256);
+  // And the reverse direction: the unpinned key still serves its own entry.
+  o.bx = 0;
+  EXPECT_EQ(make_plan(shape1d(2048), s, o).config().bx,
+            unpinned.config().bx);
+}
+
+TEST(Tuner, JsonRoundTrip) {
+  tune_cache_clear();
+  TuneKey key;
+  key.method = Method::kTranspose;
+  key.tiling = Tiling::kTessellate;
+  key.rank = 2;
+  key.isa = Isa::kAvx2;
+  key.dtype = Dtype::kF32;
+  key.nx = 1024;
+  key.ny = 256;
+  key.radius = 1;
+  key.threads = 8;
+  const TunedBlocks blocks{2048, 32, 0, 8};
+  tune_cache_store(key, blocks);
+
+  const std::string json = tune_cache_to_json();
+  tune_cache_clear();
+  EXPECT_EQ(tune_cache_size(), 0u);
+  EXPECT_EQ(tune_cache_from_json(json), 1u);
+  const auto hit = tune_cache_lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, blocks);
+
+  EXPECT_THROW(tune_cache_from_json("[{\"method\":\"nope\"}]"),
+               std::invalid_argument);
+  EXPECT_THROW(tune_cache_from_json("not json"), std::invalid_argument);
+  EXPECT_EQ(tune_cache_from_json("[]"), 0u);
+  // Partial entries must be rejected loudly, not merged under a
+  // default-initialized key (that would silently un-pin the config).
+  EXPECT_THROW(tune_cache_from_json("[{}]"), std::invalid_argument);
+  EXPECT_THROW(tune_cache_from_json("[{\"bx\":4096}]"),
+               std::invalid_argument);
+}
+
+TEST(Tuner, JsonFileRoundTrip) {
+  tune_cache_clear();
+  TuneKey key;
+  key.method = Method::kDlt;
+  key.tiling = Tiling::kSplit;
+  key.rank = 1;
+  key.isa = Isa::kScalar;
+  key.dtype = Dtype::kF64;
+  key.nx = 4096;
+  key.radius = 1;
+  key.threads = 2;
+  tune_cache_store(key, {1024, 0, 0, 2});
+
+  const std::string path = ::testing::TempDir() + "tsv_tuned.json";
+  ASSERT_TRUE(tune_cache_export_json(path));
+  tune_cache_clear();
+  EXPECT_EQ(tune_cache_import_json(path), 1u);
+  EXPECT_TRUE(tune_cache_lookup(key).has_value());
+  std::remove(path.c_str());
+  EXPECT_THROW(tune_cache_import_json(path), std::invalid_argument);
+}
+
+// Tuned blocks must be legal wherever the default heuristics are: a tiny
+// grid leaves little blocking freedom, and make_plan must still succeed for
+// every tuned tiled capability, with results matching the reference.
+TEST(Tuner, TunedBlocksLegalOnTinyGrids) {
+  tune_cache_clear();
+  const auto s = make_1d3p(0.3);
+  const index nx = 256;  // W^2-conforming for every compiled width
+  Grid1D<double> ref(nx, 1);
+  ref.fill(fill1<double>);
+  reference_run(ref, s, 9);
+  for (Method m : supported_methods(Tiling::kTessellate, 1)) {
+    Options o;
+    o.method = m;
+    o.tiling = Tiling::kTessellate;
+    o.steps = 9;
+    o.tune = Tune::kFull;
+    Grid1D<double> g(nx, 1);
+    g.fill(fill1<double>);
+    const auto plan = make_plan(shape1d(nx), s, o);
+    EXPECT_GT(plan.config().bx, 0) << method_name(m);
+    EXPECT_GT(plan.config().bt, 0) << method_name(m);
+    plan.execute(g);
+    EXPECT_LE(max_abs_diff(ref, g), accuracy_tolerance<double>(9))
+        << method_name(m);
+  }
+  {
+    Options o;
+    o.method = Method::kDlt;
+    o.tiling = Tiling::kSplit;
+    o.steps = 9;
+    o.tune = Tune::kFull;
+    Grid1D<double> g(nx, 1);
+    g.fill(fill1<double>);
+    const auto plan = make_plan(shape1d(nx), s, o);
+    plan.execute(g);
+    EXPECT_LE(max_abs_diff(ref, g), accuracy_tolerance<double>(9));
+  }
+}
+
+// Blocking changes the traversal order of tiles, never the per-cell
+// arithmetic: a tuned plan must produce bit-identical results to the
+// default plan, for both element types.
+template <typename T>
+void expect_tuned_bit_identical() {
+  tune_cache_clear();
+  const auto s = make_1d3p<T>(T(1) / T(3));
+  const index nx = 4096;
+  Grid1D<T> gd(nx, 1), gt(nx, 1);
+  gd.fill(fill1<T>);
+  gt.fill(fill1<T>);
+
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 12;
+  make_plan(shape1d(nx), s, o).execute(gd);  // fixed-default blocks
+
+  o.tune = Tune::kFull;
+  const auto tuned = make_plan(shape1d(nx), s, o);
+  tuned.execute(gt);
+  EXPECT_EQ(max_abs_diff(gd, gt), T(0))
+      << "tuned blocks (bx=" << tuned.config().bx
+      << ", bt=" << tuned.config().bt << ") changed the numerics";
+}
+
+TEST(Tuner, TunedPlanBitIdenticalToDefaultF64) {
+  expect_tuned_bit_identical<double>();
+}
+
+TEST(Tuner, TunedPlanBitIdenticalToDefaultF32) {
+  expect_tuned_bit_identical<float>();
+}
+
+// Rank-erased plans tune through the same path.
+TEST(Tuner, StencilKindPlansTune) {
+  tune_cache_clear();
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 8;
+  o.tune = Tune::kCached;
+  const Plan plan = make_plan(shape1d(2048), StencilKind::k1d3p, o);
+  EXPECT_GT(plan.config().bx, 0);
+  EXPECT_GE(tune_cache_size(), 1u);
+  Grid1D<double> g(2048, 1);
+  g.fill(fill1<double>);
+  Grid1D<double> ref = g;
+  reference_run(ref, make_1d3p(), 8);
+  plan.execute(g);
+  EXPECT_LE(max_abs_diff(ref, g), accuracy_tolerance<double>(8));
+}
+
+}  // namespace
+}  // namespace tsv
