@@ -19,6 +19,10 @@
 //   --nx N          replace the cache ladder with one custom rung of N
 //                   elements (A/B runs at a pinned size)
 //   --stream MODE   non-temporal store policy: auto (default), off, on
+//   --boundary B    boundary condition on every axis: zero (default — the
+//                   paper's implicit zero halo, so committed baseline
+//                   numbers stay comparable), dirichlet, periodic, neumann;
+//                   every fig7/table4 --json record carries the value
 
 #include <omp.h>
 
@@ -40,6 +44,19 @@ using tsv::index;
 /// and the policy is a harness-wide A/B switch, never per-measurement.
 inline tsv::StreamMode g_stream = tsv::StreamMode::kAuto;
 
+/// Process-wide boundary condition for every run_problem() plan (same
+/// rationale as g_stream). The bench default is kZero — the paper's
+/// implicit zero halo — NOT the library's source-compatible kDirichlet
+/// default, so the committed bench/baseline.json numbers stay comparable
+/// and every record's "boundary" field is explicit.
+inline tsv::BoundarySpec g_boundary =
+    tsv::BoundarySpec::uniform(tsv::Boundary::kZero);
+
+/// The uniform boundary name for JSON records ("zero", "periodic", ...).
+inline const char* boundary_field_name() {
+  return tsv::boundary_name(g_boundary.x);
+}
+
 struct Config {
   bool paper_scale = false;
   bool long_t = false;
@@ -52,6 +69,8 @@ struct Config {
   tsv::Tune tune = tsv::Tune::kOff;  ///< plan-time block autotuning
   index nx_override = 0;             ///< --nx: one custom ladder rung
   tsv::StreamMode stream = tsv::StreamMode::kAuto;
+  tsv::BoundarySpec boundary =
+      tsv::BoundarySpec::uniform(tsv::Boundary::kZero);
 
   static Config parse(int argc, char** argv) {
     Config c;
@@ -104,15 +123,28 @@ struct Config {
           std::fprintf(stderr, "unknown --stream %s (want auto|off|on)\n", m);
           std::exit(2);
         }
+      } else if (!std::strcmp(argv[i], "--boundary") && i + 1 < argc) {
+        const char* b = argv[++i];
+        if (auto parsed = tsv::boundary_from_name(b)) {
+          c.boundary = tsv::BoundarySpec::uniform(*parsed);
+        } else {
+          std::fprintf(stderr,
+                       "unknown --boundary %s "
+                       "(want zero|dirichlet|periodic|neumann)\n",
+                       b);
+          std::exit(2);
+        }
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "flags: --paper-scale --long --smoke --csv FILE --json FILE "
             "--dtype f64|f32|both --isa auto|scalar|avx2|avx512 --threads N "
-            "--tune off|cached|full --nx N --stream auto|off|on\n");
+            "--tune off|cached|full --nx N --stream auto|off|on "
+            "--boundary zero|dirichlet|periodic|neumann\n");
         std::exit(0);
       }
     }
-    g_stream = c.stream;  // picked up by every run_problem() plan
+    g_stream = c.stream;      // picked up by every run_problem() plan
+    g_boundary = c.boundary;  // likewise
     return c;
   }
 };
@@ -340,6 +372,7 @@ inline double run_problem(const tsv::Problem& p, tsv::Method m, tsv::Tiling t,
   o.threads = threads;
   o.tune = tune;
   o.stream = g_stream;
+  o.boundary = g_boundary;
   return dtype == tsv::Dtype::kF32
              ? detail::run_problem_t<float>(p, o, cfg_out)
              : detail::run_problem_t<double>(p, o, cfg_out);

@@ -57,6 +57,7 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
       o.steps = steps;
       o.tune = cfg.tune;
       o.stream = cfg.stream;
+      o.boundary = cfg.boundary;
       const auto s = tsv::make_1d3p<T>(1.0 / 3.0);
       try {
         tsv::Grid1D<T> g(nx, 1);
@@ -76,12 +77,12 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
         json.record(
             "{\"bench\":\"fig7\",\"steps\":%td,\"level\":\"%s\",\"nx\":%td,"
             "\"method\":\"%s\",\"isa\":\"%s\",\"dtype\":\"%s\","
-            "\"gflops\":%.3f,\"points_per_s\":%.0f%s}",
+            "\"boundary\":\"%s\",\"gflops\":%.3f,\"points_per_s\":%.0f%s}",
             steps, rung.level, nx, tsv::method_name(m),
             tsv::isa_name(cfg.isa == tsv::Isa::kAuto ? tsv::best_isa()
                                                      : cfg.isa),
-            tsv::dtype_name(dt), gf, points_per_sec(gf, s.flops_per_point),
-            json_cfg_fields(rc).c_str());
+            tsv::dtype_name(dt), boundary_field_name(), gf,
+            points_per_sec(gf, s.flops_per_point), json_cfg_fields(rc).c_str());
       } catch (const std::exception& e) {
         ok = false;
         std::printf(" %13s", "ERROR");
@@ -89,8 +90,9 @@ bool sweep_dtype(tsv::index steps, const Config& cfg, CsvSink& csv,
                      tsv::method_name(m), tsv::dtype_name(dt), nx, e.what());
         json.record(
             "{\"bench\":\"fig7\",\"method\":\"%s\",\"dtype\":\"%s\","
-            "\"nx\":%td,\"error\":true}",
-            tsv::method_name(m), tsv::dtype_name(dt), nx);
+            "\"boundary\":\"%s\",\"nx\":%td,\"error\":true}",
+            tsv::method_name(m), tsv::dtype_name(dt), boundary_field_name(),
+            nx);
       }
     }
     std::printf("\n");

@@ -61,9 +61,10 @@ int main(int argc, char** argv) {
                          tsv::dtype_name(dt), e.what());
             json.record(
                 "{\"bench\":\"table4\",\"stencil\":\"%s\",\"method\":\"%s\","
-                "\"isa\":\"%s\",\"dtype\":\"%s\",\"error\":true}",
+                "\"isa\":\"%s\",\"dtype\":\"%s\",\"boundary\":\"%s\","
+                "\"error\":true}",
                 p.name.c_str(), c.name, tsv::isa_name(isa),
-                tsv::dtype_name(dt));
+                tsv::dtype_name(dt), boundary_field_name());
           }
         }
         // Speedups are only defined when both the contender and the
@@ -85,17 +86,18 @@ int main(int argc, char** argv) {
           if (cok[k] && valid)
             json.record(
                 "{\"bench\":\"table4\",\"stencil\":\"%s\",\"method\":\"%s\","
-                "\"isa\":\"%s\",\"dtype\":\"%s\",\"gflops\":%.3f,"
-                "\"speedup\":%.3f%s}",
+                "\"isa\":\"%s\",\"dtype\":\"%s\",\"boundary\":\"%s\","
+                "\"gflops\":%.3f,\"speedup\":%.3f%s}",
                 p.name.c_str(), contenders()[k].name, tsv::isa_name(isa),
-                tsv::dtype_name(dt), gf_max[k], speedup,
-                json_cfg_fields(rcfg[k]).c_str());
+                tsv::dtype_name(dt), boundary_field_name(), gf_max[k],
+                speedup, json_cfg_fields(rcfg[k]).c_str());
           else if (cok[k])  // measured, but the baseline failed: no speedup
             json.record(
                 "{\"bench\":\"table4\",\"stencil\":\"%s\",\"method\":\"%s\","
-                "\"isa\":\"%s\",\"dtype\":\"%s\",\"gflops\":%.3f%s}",
+                "\"isa\":\"%s\",\"dtype\":\"%s\",\"boundary\":\"%s\","
+                "\"gflops\":%.3f%s}",
                 p.name.c_str(), contenders()[k].name, tsv::isa_name(isa),
-                tsv::dtype_name(dt), gf_max[k],
+                tsv::dtype_name(dt), boundary_field_name(), gf_max[k],
                 json_cfg_fields(rcfg[k]).c_str());
         }
         std::printf("   |         ");

@@ -1,0 +1,105 @@
+// 3D heat conduction in an INSULATED brick (Neumann / zero-flux walls) with
+// a runtime-configurable conductivity — the second workload frozen halos
+// cannot express: no heat may leave the domain, so the temperature must
+// equilibrate to the initial mean instead of draining out through the
+// boundary.
+//
+// The stencil is the paper's 3D 7-point heat kernel, but its weights come
+// from a runtime StencilSpec (wc = 1 - 6c, face weight c = alpha*dt/dx^2) —
+// the path a service would use to plan a user-supplied conductivity without
+// recompiling. Zero-gradient walls come from Options::boundary: before
+// every step the ghost cells mirror the first interior layer
+// (core/halo.hpp), which makes the discrete boundary flux exactly zero.
+//
+//   ./examples/neumann_heat_plate_3d [n] [steps]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tsv/tsv.hpp"
+
+namespace {
+
+double mean_temperature(const tsv::Grid3D<double>& g) {
+  double m = 0;
+  for (tsv::index z = 0; z < g.nz(); ++z)
+    for (tsv::index y = 0; y < g.ny(); ++y)
+      for (tsv::index x = 0; x < g.nx(); ++x) m += g.at(x, y, z);
+  return m / (double(g.nx()) * double(g.ny()) * double(g.nz()));
+}
+
+std::pair<double, double> min_max(const tsv::Grid3D<double>& g) {
+  double lo = g.at(0, 0, 0), hi = lo;
+  for (tsv::index z = 0; z < g.nz(); ++z)
+    for (tsv::index y = 0; y < g.ny(); ++y)
+      for (tsv::index x = 0; x < g.nx(); ++x) {
+        lo = std::min(lo, g.at(x, y, z));
+        hi = std::max(hi, g.at(x, y, z));
+      }
+  return {lo, hi};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tsv::index n = tsv::round_up(argc > 1 ? std::atoll(argv[1]) : 256, 256);
+  const tsv::index ny = 64, nz = 48;
+  const tsv::index steps = argc > 2 ? std::atoll(argv[2]) : 400;
+  const double c = 0.12;  // alpha*dt/dx^2, stable for c <= 1/6
+
+  std::printf("3D heat in an insulated %td x %td x %td brick, %td steps, "
+              "c = %.2f\n\n", n, ny, nz, steps, c);
+
+  // One hot octant in a cold brick.
+  tsv::Grid3D<double> brick(n, ny, nz, 1);
+  brick.fill([&](tsv::index x, tsv::index y, tsv::index z) {
+    return (x < n / 2 && y < ny / 2 && z < nz / 2) ? 100.0 : 0.0;
+  });
+
+  // Runtime coefficients through the rank-erased StencilSpec path: the 7
+  // weights of the 3d7p shape are (wc, wx, wy, wz) factory parameters.
+  tsv::StencilSpec spec{.kind = tsv::StencilKind::k3d7p,
+                        .coeffs = {1.0 - 6.0 * c, c, c, c}};
+  tsv::Options o;
+  o.method = tsv::Method::kTranspose;
+  o.tiling = tsv::Tiling::kTessellate;
+  o.steps = steps;
+  o.boundary = tsv::BoundarySpec::uniform(tsv::Boundary::kNeumann);
+  o.threads = static_cast<int>(tsv::cpu_info().logical_cores);
+  tsv::Plan plan = tsv::make_plan(tsv::shape_of(brick), spec, o);
+  std::printf("plan: %s + %s, boundary=%s, dtype=%s, threads=%d\n\n",
+              tsv::method_name(plan.config().method),
+              tsv::tiling_name(plan.config().tiling),
+              tsv::boundary_name(plan.config().boundary.x),
+              tsv::dtype_name(plan.config().dtype), plan.config().threads);
+
+  const double mean0 = mean_temperature(brick);
+  const auto [lo0, hi0] = min_max(brick);
+  std::printf("t=0    mean %7.3f  range [%7.3f, %7.3f]\n", mean0, lo0, hi0);
+
+  tsv::Timer total;
+  plan.execute(brick);
+  const double sec = total.seconds();
+
+  const double mean1 = mean_temperature(brick);
+  const auto [lo1, hi1] = min_max(brick);
+  std::printf("t=%-4td mean %7.3f  range [%7.3f, %7.3f]\n", steps, mean1, lo1,
+              hi1);
+  std::printf("\n%.1f M cell-updates/s (%d threads)\n",
+              1e-6 * double(n) * double(ny) * double(nz) * double(steps) / sec,
+              plan.config().threads);
+
+  // Physics checks for insulated walls: (a) the mean temperature is
+  // conserved — the mirror ghosts make the net boundary flux zero and the
+  // sum-1 weights conserve interior heat; (b) diffusion contracts the
+  // range toward the mean (maximum principle).
+  // (the 1e-8 bound leaves room for the naive summation in
+  // mean_temperature itself, ~n*eps relative over 786k cells)
+  const double drift = std::abs(mean1 - mean0) / mean0;
+  const bool ok = drift < 1e-8 && hi1 < hi0 && lo1 > lo0 - 1e-12;
+  std::printf("mean drift %.2e, range contracted: %s\n", drift,
+              ok ? "yes" : "NO");
+  std::printf(ok ? "OK: no heat escaped the insulated brick\n" : "FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -2,10 +2,14 @@
 // with every vectorization scheme, timed and cross-checked.
 //
 //   ./examples/quickstart [nx] [steps] [--dtype float|double]
+//                         [--boundary zero|dirichlet|periodic|neumann]
 //
 // Expected output: identical results from every method, with the transpose
 // scheme (and its 2-step variant) fastest once the problem spills L2 — and
 // the float runs roughly twice as fast as the double runs (2x lanes).
+// Under --boundary periodic|neumann every method runs step-granular with a
+// ghost refresh between steps (see docs/TUNING.md) and must still agree
+// with the scalar reference executed under the same condition.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,21 +20,24 @@
 namespace {
 
 template <typename T>
-int run_quickstart(tsv::index nx, tsv::index steps) {
+int run_quickstart(tsv::index nx, tsv::index steps, tsv::BoundarySpec bc) {
   // Transpose layout needs nx % W^2; 256 conforms for every width and dtype.
   const tsv::index nx_pad = tsv::round_up(nx, 256);
 
-  std::printf("1D heat (3-point), nx = %td (padded from %td), T = %td, %s %s\n\n",
-              nx_pad, nx, steps, tsv::isa_name(tsv::best_isa()),
-              tsv::dtype_name(tsv::dtype_of<T>()));
+  std::printf(
+      "1D heat (3-point), nx = %td (padded from %td), T = %td, %s %s, "
+      "boundary %s\n\n",
+      nx_pad, nx, steps, tsv::isa_name(tsv::best_isa()),
+      tsv::dtype_name(tsv::dtype_of<T>()), tsv::boundary_name(bc.x));
 
   const auto stencil = tsv::make_1d3p<T>(1.0 / 3.0);
   auto initial = [](tsv::index x) { return T(x % 97) * T(0.01); };
 
-  // Ground truth for the cross-check.
+  // Ground truth for the cross-check, under the same boundary condition.
   tsv::Grid1D<T> ref(nx_pad, 1);
   ref.fill(initial);
-  tsv::run(ref, stencil, {.method = tsv::Method::kScalar, .steps = steps});
+  tsv::run(ref, stencil, {.method = tsv::Method::kScalar, .steps = steps,
+                          .boundary = bc});
 
   std::printf("%-14s %10s %10s %12s\n", "method", "time[s]", "GFLOP/s",
               "max|diff|");
@@ -43,7 +50,8 @@ int run_quickstart(tsv::index nx, tsv::index steps) {
     tsv::Grid1D<T> g(nx_pad, 1);
     g.fill(initial);
     tsv::Timer timer;
-    tsv::run(g, stencil, {.method = m, .isa = tsv::best_isa(), .steps = steps});
+    tsv::run(g, stencil, {.method = m, .isa = tsv::best_isa(), .steps = steps,
+                          .boundary = bc});
     const double sec = timer.seconds();
     const double gflops = 1e-9 * static_cast<double>(nx_pad) *
                           static_cast<double>(steps) *
@@ -66,6 +74,7 @@ int run_quickstart(tsv::index nx, tsv::index steps) {
 int main(int argc, char** argv) {
   tsv::index nx = 1 << 20, steps = 100;
   tsv::Dtype dtype = tsv::Dtype::kF64;
+  tsv::BoundarySpec bc;  // default: frozen Dirichlet halo
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--dtype") && i + 1 < argc) {
@@ -73,6 +82,16 @@ int main(int argc, char** argv) {
         dtype = *d;
       } else {
         std::fprintf(stderr, "unknown --dtype %s (want float|double)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--boundary") && i + 1 < argc) {
+      if (auto b = tsv::boundary_from_name(argv[++i])) {
+        bc = tsv::BoundarySpec::uniform(*b);
+      } else {
+        std::fprintf(stderr,
+                     "unknown --boundary %s "
+                     "(want zero|dirichlet|periodic|neumann)\n",
                      argv[i]);
         return 2;
       }
@@ -84,6 +103,6 @@ int main(int argc, char** argv) {
       ++positional;
     }
   }
-  return dtype == tsv::Dtype::kF32 ? run_quickstart<float>(nx, steps)
-                                   : run_quickstart<double>(nx, steps);
+  return dtype == tsv::Dtype::kF32 ? run_quickstart<float>(nx, steps, bc)
+                                   : run_quickstart<double>(nx, steps, bc);
 }

@@ -6,8 +6,11 @@
 //  * the x stride between consecutive rows/planes is a multiple of the widest
 //    vector length, so aligned row kernels stay aligned on every row.
 //
-// Halo semantics: halo cells hold Dirichlet boundary values. The stencil
-// drivers never write halo cells, so they are constant in time.
+// Halo semantics: halo cells carry the boundary condition. By default
+// (Boundary::kDirichlet) they hold user-supplied fixed values the stencil
+// drivers never write, so they are constant in time; the other conditions
+// (zero, periodic wrap, Neumann mirror) are realized by the plan layer
+// writing these same cells via core/halo.hpp — the kernels are identical.
 
 #include <algorithm>
 #include <cmath>

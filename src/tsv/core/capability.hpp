@@ -30,12 +30,25 @@ inline constexpr unsigned kDtypeF64 = 1u << 0;
 inline constexpr unsigned kDtypeF32 = 1u << 1;
 inline constexpr unsigned kAllDtypes = kDtypeF64 | kDtypeF32;
 
+/// Boundary-mask bits for Capability rows (one per Boundary enumerator).
+inline constexpr unsigned boundary_bit(Boundary b) {
+  return 1u << static_cast<unsigned>(b);
+}
+inline constexpr unsigned kAllBoundaries =
+    boundary_bit(Boundary::kDirichlet) | boundary_bit(Boundary::kZero) |
+    boundary_bit(Boundary::kPeriodic) | boundary_bit(Boundary::kNeumann);
+
 /// One supported (method, tiling) combination.
 struct Capability {
   Method method;
   Tiling tiling;
   unsigned rank_mask;   ///< bit (r-1) set when grid rank r is supported
   unsigned dtype_mask;  ///< kDtypeF64/kDtypeF32 bits for the element types
+  /// boundary_bit() bits for the boundary conditions this row handles.
+  /// Every current row claims kAllBoundaries — the ghost fill happens at
+  /// the plan layer, outside the kernels — but the mask keeps the axis
+  /// explicit so a future row can opt out and supports() stays honest.
+  unsigned boundary_mask;
   XRule x_rule;         ///< layout divisibility constraint on nx
   bool needs_even_bt;   ///< temporal block must be even (2-step unroll&jam)
   /// True when this combination's write-back path has a non-temporal
@@ -50,6 +63,10 @@ struct Capability {
 
   bool supports_dtype(Dtype d) const {
     return (dtype_mask & (d == Dtype::kF32 ? kDtypeF32 : kDtypeF64)) != 0;
+  }
+
+  bool supports_boundary(Boundary b) const {
+    return (boundary_mask & boundary_bit(b)) != 0;
   }
 };
 

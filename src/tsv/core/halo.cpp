@@ -1,0 +1,43 @@
+#include "tsv/core/halo.hpp"
+
+namespace tsv {
+
+const char* boundary_name(Boundary b) {
+  switch (b) {
+    case Boundary::kDirichlet: return "dirichlet";
+    case Boundary::kZero: return "zero";
+    case Boundary::kPeriodic: return "periodic";
+    case Boundary::kNeumann: return "neumann";
+  }
+  return "?";
+}
+
+const std::vector<Boundary>& all_boundaries() {
+  static const std::vector<Boundary> v = {
+      Boundary::kDirichlet, Boundary::kZero, Boundary::kPeriodic,
+      Boundary::kNeumann};
+  return v;
+}
+
+std::optional<Boundary> boundary_from_name(std::string_view name) {
+  for (Boundary b : all_boundaries())
+    if (name == boundary_name(b)) return b;
+  return std::nullopt;
+}
+
+const char* boundary_violation(int rank, index nx, index ny, index nz,
+                               int radius, const BoundarySpec& bc) {
+  const struct {
+    Boundary b;
+    index n;
+  } axes[] = {{bc.x, nx}, {bc.y, ny}, {bc.z, nz}};
+  static const char* const msgs[] = {
+      "periodic/neumann boundary in x needs an extent >= the stencil radius",
+      "periodic/neumann boundary in y needs an extent >= the stencil radius",
+      "periodic/neumann boundary in z needs an extent >= the stencil radius"};
+  for (int a = 0; a < rank; ++a)
+    if (boundary_per_step(axes[a].b) && axes[a].n < radius) return msgs[a];
+  return nullptr;
+}
+
+}  // namespace tsv

@@ -1,0 +1,177 @@
+#pragma once
+// Boundary-condition ghost fills (the halo-exchange layer).
+//
+// Every grid already carries ghost cells (the halo) and every kernel in the
+// library reads them for out-of-domain taps — that is how the seed
+// implemented frozen Dirichlet boundaries with branch-free interior loops.
+// This header adds the fills that make the other Boundary conditions work
+// with the SAME kernels: fill_ghosts() writes the ghost cells of the
+// radius-deep rim from the interior (periodic wrap, Neumann mirror) or with
+// zeros, in O(halo) memcpy/loop segments — never an interior sweep.
+//
+// Axis order and corners: axes are filled x, then y, then z. The x fill
+// covers interior rows only; the y fill copies whole extended rows
+// (including the just-filled x ghosts) into the ghost rows; the z fill
+// copies whole extended planes. Corner/edge ghost cells therefore get the
+// standard sequential-exchange values (e.g. the periodic diagonal wrap),
+// and because the scalar reference oracle (kernels/reference.hpp) uses this
+// very function, optimized methods and the oracle always read identical
+// ghost values.
+//
+// Execution model (see TypedPlan::execute in core/plan.hpp): kDirichlet
+// axes are never touched; kZero axes are filled once per execute; plans
+// with a kPeriodic or kNeumann axis run step-at-a-time with a fill_ghosts
+// refresh between steps, because those ghosts depend on the evolving
+// interior. Methods that fuse several time steps per driver call (the
+// 2-step unroll&jam scheme, temporal tiling with bt > 1) degrade gracefully
+// to their single-step path between refreshes — resolve_options reports the
+// temporal block that actually executes.
+
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "tsv/common/grid.hpp"
+#include "tsv/core/options.hpp"
+
+namespace tsv {
+
+/// Every Boundary enumerator, for exhaustive sweeps (registry-style).
+const std::vector<Boundary>& all_boundaries();
+
+/// Name -> enum inverse of boundary_name(); nullopt for unknown spellings.
+std::optional<Boundary> boundary_from_name(std::string_view name);
+
+/// Reason the boundary spec cannot run on this shape (static storage), or
+/// nullptr when it is valid. Wrap/mirror fills read @p radius interior
+/// cells next to each face, so a periodic or Neumann axis needs an extent
+/// of at least the stencil radius. Used by resolve_options.
+const char* boundary_violation(int rank, index nx, index ny, index nz,
+                               int radius, const BoundarySpec& bc);
+
+namespace detail {
+
+/// Row-granular ghost copies: the y/z-axis fills move whole extended rows,
+/// so they are straight memcpy/memset segments (IEEE zero is all-zero
+/// bytes).
+template <typename T>
+void copy_row_segment(T* dst, const T* src, index n) {
+  std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(T));
+}
+
+template <typename T>
+void zero_row_segment(T* dst, index n) {
+  std::memset(dst, 0, static_cast<std::size_t>(n) * sizeof(T));
+}
+
+/// x-axis fill for one unit-stride row: ghost cells at [-r, 0) and
+/// [nx, nx + r) around the interior [0, nx). Element loops, O(r).
+template <typename T>
+void fill_row_x(T* row, index nx, int r, Boundary b) {
+  switch (b) {
+    case Boundary::kDirichlet:
+      break;
+    case Boundary::kZero:
+      for (int d = 1; d <= r; ++d) row[-d] = T(0);
+      for (int d = 0; d < r; ++d) row[nx + d] = T(0);
+      break;
+    case Boundary::kPeriodic:
+      for (int d = 1; d <= r; ++d) row[-d] = row[nx - d];
+      for (int d = 0; d < r; ++d) row[nx + d] = row[d];
+      break;
+    case Boundary::kNeumann:
+      for (int d = 1; d <= r; ++d) row[-d] = row[d - 1];
+      for (int d = 0; d < r; ++d) row[nx + d] = row[nx - 1 - d];
+      break;
+  }
+}
+
+/// Source index (in the interior) a ghost layer at distance @p d outside a
+/// face copies from, for the axis-granular (row/plane) fills. Low face:
+/// ghost index -d; high face: ghost index n-1+d.
+inline index ghost_src_lo(index n, int d, Boundary b) {
+  return b == Boundary::kPeriodic ? n - d : d - 1;  // wrap : mirror
+}
+inline index ghost_src_hi(index n, int d, Boundary b) {
+  return b == Boundary::kPeriodic ? d - 1 : n - d;  // wrap : mirror
+}
+
+}  // namespace detail
+
+/// Fills the radius-@p radius ghost rim of @p g according to @p bc (see the
+/// header comment for semantics and corner handling). kDirichlet axes are
+/// left untouched. The grid's halo must be >= radius (plan-validated).
+template <typename T>
+void fill_ghosts(Grid1D<T>& g, const BoundarySpec& bc, int radius) {
+  detail::fill_row_x(g.x0(), g.nx(), radius, bc.x);
+}
+
+template <typename T>
+void fill_ghosts(Grid2D<T>& g, const BoundarySpec& bc, int radius) {
+  const index nx = g.nx(), ny = g.ny();
+  const int r = radius;
+  if (bc.x != Boundary::kDirichlet)
+    for (index y = 0; y < ny; ++y) detail::fill_row_x(g.row(y), nx, r, bc.x);
+  if (bc.y == Boundary::kDirichlet) return;
+  // Ghost rows copy the whole extended row [-r, nx + r) so corners inherit
+  // the x fill of their source row.
+  const index w = nx + 2 * r;
+  for (int d = 1; d <= r; ++d) {
+    if (bc.y == Boundary::kZero) {
+      detail::zero_row_segment(g.row(-d) - r, w);
+      detail::zero_row_segment(g.row(ny - 1 + d) - r, w);
+      continue;
+    }
+    detail::copy_row_segment(g.row(-d) - r,
+                             g.row(detail::ghost_src_lo(ny, d, bc.y)) - r, w);
+    detail::copy_row_segment(g.row(ny - 1 + d) - r,
+                             g.row(detail::ghost_src_hi(ny, d, bc.y)) - r, w);
+  }
+}
+
+template <typename T>
+void fill_ghosts(Grid3D<T>& g, const BoundarySpec& bc, int radius) {
+  const index nx = g.nx(), ny = g.ny(), nz = g.nz();
+  const int r = radius;
+  if (bc.x != Boundary::kDirichlet)
+    for (index z = 0; z < nz; ++z)
+      for (index y = 0; y < ny; ++y)
+        detail::fill_row_x(g.row(y, z), nx, r, bc.x);
+  const index w = nx + 2 * r;
+  if (bc.y != Boundary::kDirichlet) {
+    for (index z = 0; z < nz; ++z)
+      for (int d = 1; d <= r; ++d) {
+        if (bc.y == Boundary::kZero) {
+          detail::zero_row_segment(g.row(-d, z) - r, w);
+          detail::zero_row_segment(g.row(ny - 1 + d, z) - r, w);
+          continue;
+        }
+        detail::copy_row_segment(
+            g.row(-d, z) - r, g.row(detail::ghost_src_lo(ny, d, bc.y), z) - r,
+            w);
+        detail::copy_row_segment(
+            g.row(ny - 1 + d, z) - r,
+            g.row(detail::ghost_src_hi(ny, d, bc.y), z) - r, w);
+      }
+  }
+  if (bc.z == Boundary::kDirichlet) return;
+  // Ghost planes copy whole extended planes (rows [-r, ny + r), each row
+  // extended by the x rim) so edges and corners inherit the x and y fills.
+  for (int d = 1; d <= r; ++d)
+    for (index y = -r; y < ny + r; ++y) {
+      if (bc.z == Boundary::kZero) {
+        detail::zero_row_segment(g.row(y, -d) - r, w);
+        detail::zero_row_segment(g.row(y, nz - 1 + d) - r, w);
+        continue;
+      }
+      detail::copy_row_segment(
+          g.row(y, -d) - r, g.row(y, detail::ghost_src_lo(nz, d, bc.z)) - r,
+          w);
+      detail::copy_row_segment(
+          g.row(y, nz - 1 + d) - r,
+          g.row(y, detail::ghost_src_hi(nz, d, bc.z)) - r, w);
+    }
+}
+
+}  // namespace tsv

@@ -46,10 +46,62 @@ enum class StreamMode {
   kOn,    ///< stream whenever the schedule permits it (ignore the threshold)
 };
 
+/// Boundary condition applied on one grid axis. The halo ("ghost") cells of
+/// the grid are the carrier in every case; the conditions differ only in who
+/// writes them and when (core/halo.hpp implements the fills):
+///
+///  * kDirichlet — ghost cells hold user-supplied fixed boundary values and
+///    are never touched by the library (the seed's convention: fill() the
+///    halo yourself; it stays frozen in time). This is the default.
+///  * kZero     — Dirichlet with value 0, enforced: the library zeroes the
+///    ghost cells once per execute (the paper's implicit zero halo).
+///  * kPeriodic — the axis wraps; ghost cells are refreshed from the
+///    opposite interior edge before every time step.
+///  * kNeumann  — zero-gradient (reflecting): the ghost cell at distance d
+///    outside a face mirrors the interior cell at distance d-1 inside it,
+///    refreshed before every time step.
+///
+/// Periodic and Neumann ghosts depend on the evolving interior, so plans
+/// with such an axis execute step-at-a-time with a ghost refresh between
+/// steps (see TypedPlan::execute); the interior kernels stay branch-free.
+enum class Boundary {
+  kDirichlet,  ///< frozen user-supplied halo values (default)
+  kZero,       ///< enforced zero halo (paper's implicit convention)
+  kPeriodic,   ///< wrap-around, refreshed every step
+  kNeumann,    ///< zero-gradient mirror, refreshed every step
+};
+
+/// Per-axis boundary conditions. Axes beyond the grid rank are ignored (and
+/// normalized to kDirichlet in ResolvedOptions).
+struct BoundarySpec {
+  Boundary x = Boundary::kDirichlet;
+  Boundary y = Boundary::kDirichlet;
+  Boundary z = Boundary::kDirichlet;
+
+  /// The same condition on every axis.
+  static BoundarySpec uniform(Boundary b) { return {b, b, b}; }
+
+  friend bool operator==(const BoundarySpec&, const BoundarySpec&) = default;
+};
+
+/// True when @p b requires a ghost refresh before every time step (the
+/// ghost values depend on the evolving interior).
+inline bool boundary_per_step(Boundary b) {
+  return b == Boundary::kPeriodic || b == Boundary::kNeumann;
+}
+
+/// True when any axis of @p bc needs per-step ghost refreshes.
+inline bool needs_per_step_fill(const BoundarySpec& bc) {
+  return boundary_per_step(bc.x) || boundary_per_step(bc.y) ||
+         boundary_per_step(bc.z);
+}
+
 /// Stable human-readable names ("transpose", "tessellate", ...). Defined in
 /// core/registry.cpp; registry.hpp adds the name -> enum inverses.
+/// boundary_name lives in core/halo.cpp with its name -> enum inverse.
 const char* method_name(Method m);
 const char* tiling_name(Tiling t);
+const char* boundary_name(Boundary b);
 
 /// Stable names for the tuning knob ("off", "cached", "full"); inverse in
 /// core/tuner.hpp.
@@ -74,6 +126,9 @@ struct Options {
   Tune tune = Tune::kOff;   ///< block autotuning (fills only fields left 0)
   StreamMode stream = StreamMode::kAuto;  ///< non-temporal store policy
   double stream_threshold = 0.0;  ///< LLC multiple for kAuto; 0 = default
+  /// Per-axis boundary conditions (core/halo.hpp). The default, kDirichlet
+  /// on every axis, is the seed behaviour: the halo you fill()ed is frozen.
+  BoundarySpec boundary;
 };
 
 }  // namespace tsv

@@ -76,6 +76,20 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   if (!cap->supports_dtype(o.dtype))
     fail(std::string("not implemented for dtype ") + dtype_name(o.dtype));
 
+  // Boundary conditions: normalize axes beyond the rank to the frozen
+  // default, check the registry's boundary axis, and reject shapes the
+  // wrap/mirror fills cannot source from (core/halo.hpp).
+  r.boundary = o.boundary;
+  if (rank < 2) r.boundary.y = Boundary::kDirichlet;
+  if (rank < 3) r.boundary.z = Boundary::kDirichlet;
+  for (Boundary b : {r.boundary.x, r.boundary.y, r.boundary.z})
+    if (!cap->supports_boundary(b))
+      fail(std::string("not implemented for boundary ") + boundary_name(b));
+  if (const char* why = boundary_violation(rank, shape.nx, shape.ny, shape.nz,
+                                           radius, r.boundary))
+    fail(why);
+  const bool per_step = needs_per_step_fill(r.boundary);
+
   // Layout divisibility rules, checked against the planned shape.
   switch (cap->x_rule) {
     case XRule::kNone: break;
@@ -121,8 +135,13 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
 
   // ---- resolved-blocking rule (tiled runs) --------------------------------
   // bt: temporal block, defaulting to kDefaultBt; the 2-step unroll&jam
-  // scheme tessellates at pair granularity and needs an even bt.
-  r.bt = o.bt > 0 ? o.bt : kDefaultBt;
+  // scheme tessellates at pair granularity and needs an even bt. A
+  // periodic/Neumann boundary inserts a ghost refresh between every pair of
+  // steps, so a temporal block cannot span more than one step: bt resolves
+  // to 1 (2 for the even-bt rows, whose engines then take the single-step
+  // path) and reports what actually executes.
+  r.bt = per_step ? (cap->needs_even_bt ? 2 : 1)
+                  : (o.bt > 0 ? o.bt : kDefaultBt);
   resolve_streaming(r.bt == 1);
   if (cap->needs_even_bt && r.bt % 2 != 0)
     fail("2-step unroll&jam tiling needs an even temporal block bt (got " +
@@ -191,7 +210,25 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   return r;
 }
 
-Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
+Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
+  // Spec validation: the kind's shape (rank, radius, tap structure) is
+  // compile-time; only the weights are runtime data. A radius of 0 means
+  // "the kind's own"; anything else is a cross-check.
+  if (spec.radius != 0 && spec.radius != stencil_kind_radius(spec.kind))
+    throw ConfigError(o.method, o.tiling, shape.rank,
+                      std::string("stencil ") + stencil_kind_name(spec.kind) +
+                          " has radius " +
+                          std::to_string(stencil_kind_radius(spec.kind)) +
+                          ", spec says " + std::to_string(spec.radius));
+  const std::size_t want = stencil_kind_coeff_count(spec.kind);
+  if (!spec.coeffs.empty() && spec.coeffs.size() != want)
+    throw ConfigError(o.method, o.tiling, shape.rank,
+                      std::string("stencil ") + stencil_kind_name(spec.kind) +
+                          " takes " + std::to_string(want) +
+                          " coefficients (got " +
+                          std::to_string(spec.coeffs.size()) +
+                          "; empty = defaults)");
+
   Plan p;
   p.shape_ = shape;
   auto bind = [&](auto stencil) {
@@ -213,15 +250,33 @@ Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
     }
   };
   // The Options dtype selects which instantiation of the Table-1 stencil the
-  // plan binds; the grid handed to execute() must match it.
+  // plan binds; the grid handed to execute() must match it. User
+  // coefficients ride through the factories in their parameter order.
+  const std::vector<double>& c = spec.coeffs;
   auto bind_kind = [&]<typename T>() {
-    switch (kind) {
-      case StencilKind::k1d3p: bind(make_1d3p<T>()); break;
-      case StencilKind::k1d5p: bind(make_1d5p<T>()); break;
-      case StencilKind::k2d5p: bind(make_2d5p<T>()); break;
-      case StencilKind::k2d9p: bind(make_2d9p<T>()); break;
-      case StencilKind::k3d7p: bind(make_3d7p<T>()); break;
-      case StencilKind::k3d27p: bind(make_3d27p<T>()); break;
+    switch (spec.kind) {
+      case StencilKind::k1d3p:
+        c.empty() ? bind(make_1d3p<T>()) : bind(make_1d3p<T>(c[0]));
+        break;
+      case StencilKind::k1d5p:
+        c.empty() ? bind(make_1d5p<T>())
+                  : bind(make_1d5p<T>(c[0], c[1], c[2]));
+        break;
+      case StencilKind::k2d5p:
+        c.empty() ? bind(make_2d5p<T>())
+                  : bind(make_2d5p<T>(c[0], c[1], c[2]));
+        break;
+      case StencilKind::k2d9p:
+        c.empty() ? bind(make_2d9p<T>())
+                  : bind(make_2d9p<T>(c[0], c[1], c[2]));
+        break;
+      case StencilKind::k3d7p:
+        c.empty() ? bind(make_3d7p<T>())
+                  : bind(make_3d7p<T>(c[0], c[1], c[2], c[3]));
+        break;
+      case StencilKind::k3d27p:
+        c.empty() ? bind(make_3d27p<T>()) : bind(make_3d27p<T>(c[0]));
+        break;
     }
   };
   if (o.dtype == Dtype::kF32)
@@ -229,6 +284,10 @@ Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
   else
     bind_kind.template operator()<double>();
   return p;
+}
+
+Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
+  return make_plan(shape, StencilSpec{.kind = kind}, o);
 }
 
 }  // namespace tsv

@@ -22,6 +22,8 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <array>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "tsv/common/timer.hpp"
+#include "tsv/core/halo.hpp"
 #include "tsv/core/problems.hpp"
 #include "tsv/core/registry.hpp"
 #include "tsv/core/tuner.hpp"
@@ -94,6 +97,12 @@ struct ResolvedOptions {
   /// (untiled sweeps, or tiled with bt == 1). See core/workspace.cpp.
   bool streaming = false;
   Tune tune = Tune::kOff;  ///< tuning mode the plan was built with
+  /// Per-axis boundary conditions, normalized (axes beyond the rank are
+  /// kDirichlet). When any axis is periodic/Neumann the plan executes
+  /// step-at-a-time with a ghost refresh between steps, and bt above
+  /// reports the temporal block that actually executes (1, or 2 for the
+  /// even-bt unroll&jam rows). See core/halo.hpp.
+  BoundarySpec boundary;
 };
 
 /// Validates (shape, stencil radius, options) against the registry and
@@ -350,12 +359,30 @@ class TypedPlan {
 
   /// Advances @p g by config().steps time steps. The grid must match the
   /// planned shape (checked; everything else was validated at plan time).
+  ///
+  /// Boundary handling (core/halo.hpp): kDirichlet axes never touch the
+  /// ghost cells; kZero axes are zeroed once up front; a periodic/Neumann
+  /// axis makes the ghost values depend on the evolving interior, so the
+  /// plan runs the bound driver one step at a time with a fill_ghosts
+  /// refresh before each step. The interior kernels are identical in every
+  /// case — the boundary work is O(halo) per step, outside the hot loops.
   void execute(G& g) const {
     if (shape_of(g) != shape_)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
                         "grid does not match the planned shape");
     if (cfg_.tiling != Tiling::kNone)
       omp_set_num_threads(cfg_.threads);  // always concrete after resolve
+    if (cfg_.steps <= 0) return;
+    if (needs_per_step_fill(cfg_.boundary)) {
+      ResolvedOptions step = cfg_;
+      step.steps = 1;
+      for (index t = 0; t < cfg_.steps; ++t) {
+        fill_ghosts(g, cfg_.boundary, S::radius);
+        fn_(g, stencil_, step, *ws_);
+      }
+      return;
+    }
+    fill_ghosts(g, cfg_.boundary, S::radius);  // no-op unless a kZero axis
     fn_(g, stencil_, cfg_, *ws_);
   }
 
@@ -427,7 +454,7 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
   const TuneKey key{r0.method, r0.tiling,  shape.rank, r0.isa,  r0.dtype,
                     shape.nx,  shape.ny,   shape.nz,   S::radius,
                     r0.threads, r0.steps,  o.bx,       o.by,    o.bz,
-                    o.bt};
+                    o.bt,       r0.boundary};
   // Tuning fills ONLY the fields the user left at 0 — a pinned field is
   // never overwritten, not even by a cache hit (the pins are part of the
   // key, so an entry found here was searched under the same constraints).
@@ -462,12 +489,22 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
     Options opts;
   };
   std::vector<Candidate> runnable;
+  std::vector<std::array<index, 4>> seen;  // resolved (bx, by, bz, bt)
   index max_bt = 1;
   for (const TunedBlocks& cand : candidates) {
     Options oc = apply(cand);
     oc.tune = Tune::kOff;
     try {
       const ResolvedOptions rc = resolve_options(shape, S::radius, oc);
+      // Race each RESOLVED blocking once: distinct candidates can collapse
+      // to the same concrete blocks (e.g. every bt variant resolves to the
+      // forced step-granular bt under a periodic/Neumann boundary), and a
+      // duplicate trial costs two timed executions for zero information.
+      // The first candidate wins ties — tune_candidates puts the
+      // fixed-heuristic default first.
+      const std::array<index, 4> blocks{rc.bx, rc.by, rc.bz, rc.bt};
+      if (std::find(seen.begin(), seen.end(), blocks) != seen.end()) continue;
+      seen.push_back(blocks);
       max_bt = std::max(max_bt, rc.bt);
       runnable.push_back({cand, oc});
     } catch (const std::invalid_argument&) {
@@ -558,6 +595,8 @@ class Plan {
  private:
   friend Plan make_plan(const Shape& shape, StencilKind kind,
                         const Options& o);
+  friend Plan make_plan(const Shape& shape, const StencilSpec& spec,
+                        const Options& o);
 
   template <typename F, typename G>
   void dispatch(const F& f, G& g) const {
@@ -580,5 +619,12 @@ class Plan {
 /// Builds a rank-erased plan for one of the named Table-1 stencil kinds
 /// (with the factory-default weights). Defined in plan.cpp.
 Plan make_plan(const Shape& shape, StencilKind kind, const Options& o = {});
+
+/// Builds a rank-erased plan from a runtime StencilSpec — one of the
+/// compiled stencil shapes carrying user coefficients (and an optional
+/// radius cross-check); see core/problems.hpp. Throws ConfigError on a
+/// radius mismatch or a wrong coefficient count. Defined in plan.cpp.
+Plan make_plan(const Shape& shape, const StencilSpec& spec,
+               const Options& o = {});
 
 }  // namespace tsv

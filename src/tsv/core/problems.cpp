@@ -2,6 +2,57 @@
 
 namespace tsv {
 
+const char* stencil_kind_name(StencilKind k) {
+  switch (k) {
+    case StencilKind::k1d3p: return "1d3p";
+    case StencilKind::k1d5p: return "1d5p";
+    case StencilKind::k2d5p: return "2d5p";
+    case StencilKind::k2d9p: return "2d9p";
+    case StencilKind::k3d7p: return "3d7p";
+    case StencilKind::k3d27p: return "3d27p";
+  }
+  return "?";
+}
+
+std::optional<StencilKind> stencil_kind_from_name(std::string_view name) {
+  for (StencilKind k :
+       {StencilKind::k1d3p, StencilKind::k1d5p, StencilKind::k2d5p,
+        StencilKind::k2d9p, StencilKind::k3d7p, StencilKind::k3d27p})
+    if (name == stencil_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+int stencil_kind_rank(StencilKind k) {
+  switch (k) {
+    case StencilKind::k1d3p:
+    case StencilKind::k1d5p: return 1;
+    case StencilKind::k2d5p:
+    case StencilKind::k2d9p: return 2;
+    case StencilKind::k3d7p:
+    case StencilKind::k3d27p: return 3;
+  }
+  return 0;
+}
+
+int stencil_kind_radius(StencilKind k) {
+  return k == StencilKind::k1d5p ? 2 : 1;
+}
+
+// Factory parameter counts, in the order kernels/stencil.hpp declares them:
+// 1d3p(a); 1d5p(w2, w1, wc); 2d5p(wc, wx, wy); 2d9p(wc, edge, corner);
+// 3d7p(wc, wx, wy, wz); 3d27p(wc).
+std::size_t stencil_kind_coeff_count(StencilKind k) {
+  switch (k) {
+    case StencilKind::k1d3p: return 1;
+    case StencilKind::k1d5p: return 3;
+    case StencilKind::k2d5p: return 3;
+    case StencilKind::k2d9p: return 3;
+    case StencilKind::k3d7p: return 4;
+    case StencilKind::k3d27p: return 1;
+  }
+  return 0;
+}
+
 std::vector<Problem> table1_problems(bool paper_scale) {
   // Paper Table 1, with x extents rounded up to a multiple of 64 (= W^2 for
   // AVX-512 doubles) so every layout-constrained method accepts them.

@@ -1,7 +1,10 @@
 #pragma once
 // Named problem presets (paper Table 1).
 
+#include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tsv/common/aligned.hpp"
@@ -9,6 +12,39 @@
 namespace tsv {
 
 enum class StencilKind { k1d3p, k1d5p, k2d5p, k2d9p, k3d7p, k3d27p };
+
+/// Stable names ("1d3p", ...) and the name -> enum inverse (CLI parsing).
+const char* stencil_kind_name(StencilKind k);
+std::optional<StencilKind> stencil_kind_from_name(std::string_view name);
+
+/// Structural facts about a kind: grid rank, stencil radius, and how many
+/// coefficients its factory takes (kernels/stencil.hpp, in parameter order).
+int stencil_kind_rank(StencilKind k);
+int stencil_kind_radius(StencilKind k);
+std::size_t stencil_kind_coeff_count(StencilKind k);
+
+/// A runtime stencil description for the rank-erased plan path: one of the
+/// compiled Table-1 shapes, carrying user coefficients instead of the
+/// hard-coded factory defaults. The shapes (radius, tap structure) are
+/// compile-time — that is what the vector kernels specialize on — but the
+/// weights are plain runtime data, so services can plan application
+/// stencils (heat conductivity, smoothing weights, upwind CFL factors)
+/// without recompiling.
+///
+///   tsv::StencilSpec spec{.kind = tsv::StencilKind::k2d5p,
+///                         .coeffs = {0.4, 0.15, 0.15}};  // wc, wx, wy
+///   tsv::Plan plan = tsv::make_plan(shape, spec, opts);
+///
+/// `coeffs` must be empty (factory defaults) or exactly
+/// stencil_kind_coeff_count(kind) values in the factory's parameter order.
+/// `radius` is a cross-check: 0 means "the kind's own radius"; any other
+/// value must match stencil_kind_radius(kind) or make_plan throws
+/// ConfigError.
+struct StencilSpec {
+  StencilKind kind = StencilKind::k2d5p;
+  int radius = 0;               ///< 0 = kind's radius; else must match it
+  std::vector<double> coeffs;   ///< empty = Table-1 defaults
+};
 
 struct Problem {
   std::string name;

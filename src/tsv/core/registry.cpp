@@ -15,45 +15,45 @@ constexpr unsigned kAllRanks = kRank1 | kRank2 | kRank3;
 const std::vector<Capability>& table() {
   static const std::vector<Capability> rows = {
       // -- untiled sweeps (paper §4.2; single-threaded by design) ----------
-      {Method::kScalar, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+      {Method::kScalar, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kNone,
        false, false,
        "plain scalar reference"},
-      {Method::kAutoVec, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+      {Method::kAutoVec, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kNone,
        false, false,
        "compiler auto-vectorization"},
-      {Method::kMultiLoad, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+      {Method::kMultiLoad, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kNone,
        false, false,
        "unaligned load per shifted vector (paper §2.1)"},
-      {Method::kReorg, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kNone,
+      {Method::kReorg, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kNone,
        false, false,
        "aligned loads + register shuffles (paper §2.1)"},
-      {Method::kDlt, Tiling::kNone, kAllRanks, kAllDtypes, XRule::kWidth,
+      {Method::kDlt, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kWidth,
        false, true,
        "dimension-lifting transpose (Henretty; paper §2.2)"},
-      {Method::kTranspose, Tiling::kNone, kAllRanks, kAllDtypes,
+      {Method::kTranspose, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kWidth2, false, true,
        "register-block transpose layout (paper §3.2, \"Our\")"},
-      {Method::kTransposeUJ, Tiling::kNone, kAllRanks, kAllDtypes,
+      {Method::kTransposeUJ, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kWidth2, false, false,
        "transpose layout + 2-step unroll&jam (paper §3.3, \"Our (2 steps)\")"},
       // -- tessellate tiling (paper §3.4; Yuan SC'17), multicore -----------
-      {Method::kAutoVec, Tiling::kTessellate, kAllRanks, kAllDtypes,
+      {Method::kAutoVec, Tiling::kTessellate, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kNone, false, false,
        "tessellation baseline: tiled compiler-vectorized sweeps"},
-      {Method::kMultiLoad, Tiling::kTessellate, kRank1, kAllDtypes,
+      {Method::kMultiLoad, Tiling::kTessellate, kRank1, kAllDtypes, kAllBoundaries,
        XRule::kNone, false, false,
        "ablation: tessellate tiling over multiload sweeps (1D)"},
-      {Method::kReorg, Tiling::kTessellate, kRank1, kAllDtypes, XRule::kNone,
+      {Method::kReorg, Tiling::kTessellate, kRank1, kAllDtypes, kAllBoundaries, XRule::kNone,
        false, false,
        "ablation: tessellate tiling over reorg sweeps (1D)"},
-      {Method::kTranspose, Tiling::kTessellate, kAllRanks, kAllDtypes,
+      {Method::kTranspose, Tiling::kTessellate, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kWidth2, false, true,
        "the paper's scheme: tessellate tiling + transpose layout"},
-      {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, kAllDtypes,
+      {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kWidth2, true, false,
        "pair-granular tessellation of the 2-step unroll&jam scheme"},
       // -- split tiling over the DLT layout (SDSL baseline) ----------------
-      {Method::kDlt, Tiling::kSplit, kAllRanks, kAllDtypes, XRule::kWidth,
+      {Method::kDlt, Tiling::kSplit, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kWidth,
        false, true,
        "SDSL baseline: DLT layout + split/hybrid tiling"},
   };
@@ -104,6 +104,12 @@ bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype) {
     return false;
   if (isa == Isa::kAuto) isa = best_isa();
   return isa_compiled(isa) && isa_supported(isa);
+}
+
+bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype,
+              Boundary boundary) {
+  if (!supports(m, t, rank, isa, dtype)) return false;
+  return find_capability(m, t)->supports_boundary(boundary);
 }
 
 std::vector<Method> supported_methods(Tiling t, int rank) {

@@ -33,6 +33,12 @@ bool supports(Method m, Tiling t, int rank, Isa isa = Isa::kAuto);
 /// creation rejects exactly the tuples this predicate rejects.
 bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype);
 
+/// Boundary-axis form: additionally requires the row's boundary_mask to
+/// claim @p boundary (core/halo.hpp enumerates the axis itself via
+/// all_boundaries()/boundary_from_name()).
+bool supports(Method m, Tiling t, int rank, Isa isa, Dtype dtype,
+              Boundary boundary);
+
 /// Methods usable with tiling @p t at rank @p rank, in registry order.
 std::vector<Method> supported_methods(Tiling t, int rank);
 

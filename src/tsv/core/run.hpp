@@ -22,11 +22,13 @@
 namespace tsv {
 
 /// Advances @p g by `o.steps` Jacobi steps of stencil @p s using the selected
-/// method / tiling / ISA. The result (and the untouched Dirichlet halo) ends
-/// in @p g. Throws tsv::ConfigError (a std::invalid_argument) on invalid
-/// configurations, including layout-divisibility violations. The element
-/// type follows the grid/stencil pair (double by default, float for
-/// Grid1D<float> + make_1d3p<float>() and friends).
+/// method / tiling / ISA / boundary conditions. The result ends in @p g
+/// (under the default all-Dirichlet boundary the halo is left untouched;
+/// see core/halo.hpp for the other conditions). Throws tsv::ConfigError (a
+/// std::invalid_argument) on invalid configurations, including
+/// layout-divisibility violations. The element type follows the
+/// grid/stencil pair (double by default, float for Grid1D<float> +
+/// make_1d3p<float>() and friends).
 template <int R, typename T>
 void run(Grid1D<T>& g, const Stencil1D<R, T>& s, const Options& o) {
   make_plan(shape_of(g), s, o).execute(g);

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "tsv/common/cpu.hpp"
+#include "tsv/core/halo.hpp"
 #include "tsv/core/registry.hpp"
 
 namespace tsv {
@@ -35,7 +36,8 @@ namespace {
 auto key_tie(const TuneKey& k) {
   return std::tie(k.method, k.tiling, k.rank, k.isa, k.dtype, k.nx, k.ny,
                   k.nz, k.radius, k.threads, k.steps, k.pin_bx, k.pin_by,
-                  k.pin_bz, k.pin_bt);
+                  k.pin_bz, k.pin_bt, k.boundary.x, k.boundary.y,
+                  k.boundary.z);
 }
 
 std::mutex& cache_mutex() {
@@ -103,7 +105,11 @@ std::string tune_cache_to_json() {
        << ",\"radius\":" << k.radius << ",\"threads\":" << k.threads
        << ",\"steps\":" << k.steps << ",\"pin_bx\":" << k.pin_bx
        << ",\"pin_by\":" << k.pin_by << ",\"pin_bz\":" << k.pin_bz
-       << ",\"pin_bt\":" << k.pin_bt << ",\"bx\":" << b.bx
+       << ",\"pin_bt\":" << k.pin_bt
+       << ",\"bc_x\":\"" << boundary_name(k.boundary.x) << "\""
+       << ",\"bc_y\":\"" << boundary_name(k.boundary.y) << "\""
+       << ",\"bc_z\":\"" << boundary_name(k.boundary.z) << "\""
+       << ",\"bx\":" << b.bx
        << ",\"by\":" << b.by << ",\"bz\":" << b.bz << ",\"bt\":" << b.bt
        << "}";
   }
@@ -185,17 +191,24 @@ std::size_t tune_cache_from_json(const std::string& json) {
   std::vector<std::pair<TuneKey, TunedBlocks>> parsed;
   // Every field of the key and the blocks must be present exactly: a
   // partial entry would merge under a default-initialized key that no real
-  // plan ever looks up — the config would be silently un-pinned.
+  // plan ever looks up — the config would be silently un-pinned. Exception:
+  // the boundary fields (bc_x/bc_y/bc_z) may be absent and default to
+  // kDirichlet — caches exported before the boundary axis existed were
+  // tuned under exactly those semantics and must stay importable.
   static constexpr const char* kFields[] = {
       "method", "tiling",  "rank",  "isa",    "dtype",  "nx",     "ny",
       "nz",     "radius",  "threads", "steps", "pin_bx", "pin_by", "pin_bz",
-      "pin_bt", "bx",      "by",    "bz",     "bt"};
-  constexpr unsigned kAllFields = (1u << (sizeof(kFields) / sizeof(*kFields))) - 1;
+      "pin_bt", "bc_x",    "bc_y",  "bc_z",   "bx",     "by",     "bz",
+      "bt"};
+  constexpr unsigned kNumFields = sizeof(kFields) / sizeof(*kFields);
   auto field_bit = [&](const std::string& name) -> unsigned {
-    for (unsigned i = 0; i < sizeof(kFields) / sizeof(*kFields); ++i)
+    for (unsigned i = 0; i < kNumFields; ++i)
       if (name == kFields[i]) return 1u << i;
     return 0;
   };
+  const unsigned optional_fields =
+      field_bit("bc_x") | field_bit("bc_y") | field_bit("bc_z");
+  const unsigned required_fields = ((1u << kNumFields) - 1) & ~optional_fields;
   if (!sc.consume(']')) {
     do {
       sc.expect('{');
@@ -245,6 +258,18 @@ std::size_t tune_cache_from_json(const std::string& json) {
           k.pin_bz = sc.number_value();
         } else if (field == "pin_bt") {
           k.pin_bt = sc.number_value();
+        } else if (field == "bc_x") {
+          auto b0 = boundary_from_name(sc.string_value());
+          if (!b0) sc.fail("unknown boundary name");
+          k.boundary.x = *b0;
+        } else if (field == "bc_y") {
+          auto b0 = boundary_from_name(sc.string_value());
+          if (!b0) sc.fail("unknown boundary name");
+          k.boundary.y = *b0;
+        } else if (field == "bc_z") {
+          auto b0 = boundary_from_name(sc.string_value());
+          if (!b0) sc.fail("unknown boundary name");
+          k.boundary.z = *b0;
         } else if (field == "bx") {
           b.bx = sc.number_value();
         } else if (field == "by") {
@@ -259,7 +284,8 @@ std::size_t tune_cache_from_json(const std::string& json) {
         if (sc.consume('}')) break;
         sc.expect(',');
       }
-      if (seen != kAllFields) sc.fail("entry is missing required fields");
+      if ((seen & required_fields) != required_fields)
+        sc.fail("entry is missing required fields");
       parsed.emplace_back(k, b);
     } while (sc.consume(','));
     sc.expect(']');

@@ -58,6 +58,11 @@ struct TuneKey {
   /// key because pins constrain the search space: a winner found under one
   /// pin set must not be served to a plan with different pins.
   index pin_bx = 0, pin_by = 0, pin_bz = 0, pin_bt = 0;
+  /// Resolved per-axis boundary conditions. Part of the key because a
+  /// periodic/Neumann axis forces step-granular execution (bt resolves to
+  /// 1/2 and every step pays a ghost refresh) — blocks tuned under one
+  /// boundary regime must not be served to another.
+  BoundarySpec boundary;
 
   friend bool operator==(const TuneKey&, const TuneKey&) = default;
   friend bool operator<(const TuneKey& a, const TuneKey& b);

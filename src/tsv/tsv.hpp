@@ -30,6 +30,7 @@
 #include "tsv/common/grid.hpp"       // IWYU pragma: export
 #include "tsv/common/timer.hpp"      // IWYU pragma: export
 #include "tsv/core/capability.hpp"   // IWYU pragma: export
+#include "tsv/core/halo.hpp"         // IWYU pragma: export
 #include "tsv/core/options.hpp"      // IWYU pragma: export
 #include "tsv/core/plan.hpp"         // IWYU pragma: export
 #include "tsv/core/problems.hpp"     // IWYU pragma: export

@@ -118,6 +118,37 @@ TEST(Tuner, JsonRoundTrip) {
                std::invalid_argument);
 }
 
+TEST(Tuner, JsonImportAcceptsPreBoundaryExports) {
+  // Caches exported before the boundary axis existed carry no bc_x/bc_y/
+  // bc_z fields; they were tuned under frozen (kDirichlet) halos, so the
+  // import must default exactly that — not reject the file.
+  tune_cache_clear();
+  const std::string legacy =
+      "[{\"method\":\"transpose\",\"tiling\":\"tessellate\",\"rank\":1,"
+      "\"isa\":\"avx2\",\"dtype\":\"f64\",\"nx\":8192,\"ny\":1,\"nz\":1,"
+      "\"radius\":1,\"threads\":4,\"steps\":100,\"pin_bx\":0,\"pin_by\":0,"
+      "\"pin_bz\":0,\"pin_bt\":0,\"bx\":2048,\"by\":0,\"bz\":0,\"bt\":8}]";
+  EXPECT_EQ(tune_cache_from_json(legacy), 1u);
+  TuneKey key;
+  key.method = Method::kTranspose;
+  key.tiling = Tiling::kTessellate;
+  key.rank = 1;
+  key.isa = Isa::kAvx2;
+  key.dtype = Dtype::kF64;
+  key.nx = 8192;
+  key.radius = 1;
+  key.threads = 4;
+  key.steps = 100;
+  // Default-constructed boundary == all kDirichlet: the legacy entry must
+  // be found under the frozen-halo key and no other.
+  const auto hit = tune_cache_lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->bx, 2048);
+  key.boundary = BoundarySpec::uniform(Boundary::kPeriodic);
+  EXPECT_FALSE(tune_cache_lookup(key).has_value());
+  tune_cache_clear();
+}
+
 TEST(Tuner, JsonFileRoundTrip) {
   tune_cache_clear();
   TuneKey key;

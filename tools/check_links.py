@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail CI on broken relative links in Markdown files.
+
+Usage: check_links.py [FILE_OR_DIR ...]     (default: README.md docs/)
+
+Checks every inline Markdown link [text](target) whose target is relative
+(no scheme, no leading '#'):
+  * the referenced file must exist relative to the linking file;
+  * a '#fragment' on a .md target must match a heading anchor in that file
+    (GitHub-style slugs: lowercase, punctuation stripped, spaces -> dashes).
+
+Absolute URLs (http/https/mailto) are ignored — this gate is about repo
+self-consistency, not the internet. Exit 0 = all links resolve, 1 = broken
+links (each printed as file:line), 2 = bad invocation.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip markup-ish chars, lowercase, dashes."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path):
+    anchors = set()
+    counts = {}
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(md_path, problems):
+    text = md_path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                target = m.group(1)
+                if SCHEME_RE.match(target) or target.startswith("#"):
+                    continue  # external URL / same-file fragment
+                path_part, _, fragment = target.partition("#")
+                dest = (md_path.parent / path_part).resolve()
+                if not dest.exists():
+                    problems.append(
+                        f"{md_path}:{lineno}: broken link -> {target}")
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if fragment not in anchors_of(dest):
+                        problems.append(
+                            f"{md_path}:{lineno}: missing anchor "
+                            f"#{fragment} in {path_part}")
+
+
+def main(argv):
+    roots = [pathlib.Path(a) for a in argv[1:]] or [
+        pathlib.Path("README.md"), pathlib.Path("docs")]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.suffix == ".md" and root.exists():
+            files.append(root)
+        else:
+            print(f"check_links: no such markdown input: {root}",
+                  file=sys.stderr)
+            return 2
+    problems = []
+    for f in files:
+        check_file(f, problems)
+    if problems:
+        print("\n".join(problems))
+        print(f"check_links: {len(problems)} broken link(s) "
+              f"across {len(files)} file(s)")
+        return 1
+    print(f"check_links: OK ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
