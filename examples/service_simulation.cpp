@@ -1,0 +1,157 @@
+// Multi-tenant service simulation: three tenants with different physics
+// share one batched Executor, each running several independent sessions
+// over multiple rounds — the serving shape the executor subsystem exists
+// for (core/executor.hpp).
+//
+//   ./service_simulation [rounds]
+//
+//   tenant A  2D heat plate, custom conductivity (StencilSpec coefficients),
+//             zero halo, tessellate+transpose (tiled; may claim a gang team)
+//   tenant B  1D smoothing on a ring (periodic), float, transpose layout
+//   tenant C  3D insulated diffusion (Neumann), compiler-vectorized sweeps
+//
+// Self-checking: after all rounds every session must match the
+// boundary-aware scalar oracle advanced the same total number of steps
+// (exit nonzero otherwise), every submission must have completed, and the
+// plan cache must show exactly one construction per distinct configuration
+// — rounds beyond the first are pure cache hits reusing pooled workspaces.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "tsv/kernels/reference.hpp"
+#include "tsv/tsv.hpp"
+
+namespace {
+
+constexpr tsv::index kStepsA = 4, kStepsB = 3, kStepsC = 2;
+
+template <typename G, typename S>
+bool check_session(const G& got, G& oracle, const S& stencil,
+                   tsv::index total_steps, const tsv::BoundarySpec& bc,
+                   const char* tenant) {
+  using T = typename S::value_type;
+  tsv::reference_run(oracle, stencil, total_steps, bc);
+  const double diff = tsv::max_abs_diff(oracle, got);
+  const double tol = tsv::accuracy_tolerance<T>(total_steps);
+  std::printf("  tenant %s: max|got - oracle| = %.3g (tolerance %.3g)\n",
+              tenant, diff, tol);
+  if (diff > tol) {
+    std::fprintf(stderr, "tenant %s diverged from the oracle\n", tenant);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  tsv::Executor ex({.gangs = 4, .threads_per_gang = 2});
+  std::printf("service simulation: %d gangs x %d threads, %d rounds\n\n",
+              ex.gangs(), ex.threads_per_gang(), rounds);
+
+  // ---- tenant A: 2D heat plate, runtime conductivity, tiled ---------------
+  const tsv::StencilSpec spec_a{.kind = tsv::StencilKind::k2d5p,
+                                .coeffs = {0.6, 0.11, 0.09}};
+  tsv::Options opt_a;
+  opt_a.method = tsv::Method::kTranspose;
+  opt_a.tiling = tsv::Tiling::kTessellate;
+  opt_a.steps = kStepsA;
+  opt_a.boundary = tsv::BoundarySpec::uniform(tsv::Boundary::kZero);
+  std::vector<std::unique_ptr<tsv::Grid2D<double>>> sessions_a;
+  for (int s = 0; s < 3; ++s) {
+    sessions_a.push_back(std::make_unique<tsv::Grid2D<double>>(256, 32, 1));
+    sessions_a.back()->fill([s](tsv::index x, tsv::index y) {
+      return 0.2 + 1e-3 * static_cast<double>((x + 3 * y + 7 * s) % 89);
+    });
+  }
+
+  // ---- tenant B: 1D periodic smoothing, float -----------------------------
+  const tsv::StencilSpec spec_b{.kind = tsv::StencilKind::k1d3p,
+                                .coeffs = {1.0 / 3.0}};
+  tsv::Options opt_b;
+  opt_b.method = tsv::Method::kTranspose;
+  opt_b.steps = kStepsB;
+  opt_b.boundary = tsv::BoundarySpec::uniform(tsv::Boundary::kPeriodic);
+  std::vector<std::unique_ptr<tsv::Grid1D<float>>> sessions_b;
+  for (int s = 0; s < 3; ++s) {
+    sessions_b.push_back(std::make_unique<tsv::Grid1D<float>>(512, 1));
+    sessions_b.back()->fill([s](tsv::index x) {
+      return static_cast<float>(0.1 + 1e-3 * static_cast<double>((5 * x + s) % 71));
+    });
+  }
+
+  // ---- tenant C: 3D insulated diffusion (Neumann walls) -------------------
+  const tsv::StencilSpec spec_c{.kind = tsv::StencilKind::k3d7p,
+                                .coeffs = {0.4, 0.1, 0.1, 0.1}};
+  tsv::Options opt_c;
+  opt_c.method = tsv::Method::kAutoVec;
+  opt_c.steps = kStepsC;
+  opt_c.boundary = tsv::BoundarySpec::uniform(tsv::Boundary::kNeumann);
+  std::vector<std::unique_ptr<tsv::Grid3D<double>>> sessions_c;
+  for (int s = 0; s < 2; ++s) {
+    sessions_c.push_back(std::make_unique<tsv::Grid3D<double>>(48, 10, 8, 1));
+    sessions_c.back()->fill([s](tsv::index x, tsv::index y, tsv::index z) {
+      return 0.3 + 1e-3 * static_cast<double>((x + 3 * y + 5 * z + 11 * s) % 83);
+    });
+  }
+
+  // Oracle twins of session 0 of each tenant, advanced serially at the end.
+  tsv::Grid2D<double> oracle_a = *sessions_a[0];
+  tsv::Grid1D<float> oracle_b = *sessions_b[0];
+  tsv::Grid3D<double> oracle_c = *sessions_c[0];
+
+  // ---- rounds: every tenant submits every session, then the batch drains --
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::future<void>> futs;
+    for (auto& g : sessions_a) futs.push_back(ex.submit(*g, spec_a, opt_a));
+    for (auto& g : sessions_b) futs.push_back(ex.submit(*g, spec_b, opt_b));
+    for (auto& g : sessions_c) futs.push_back(ex.submit(*g, spec_c, opt_c));
+    for (auto& f : futs) f.get();  // rethrows any ConfigError
+  }
+
+  const tsv::ExecutorStats st = ex.stats();
+  std::printf("submitted %llu, completed %llu, failed %llu\n",
+              static_cast<unsigned long long>(st.submitted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.failed));
+  std::printf(
+      "plan cache: %llu hits / %llu misses (%zu entries); workspaces: %llu "
+      "created, %llu reused\n\n",
+      static_cast<unsigned long long>(st.plan_cache.hits),
+      static_cast<unsigned long long>(st.plan_cache.misses),
+      st.plan_cache.entries, static_cast<unsigned long long>(st.workspaces.created),
+      static_cast<unsigned long long>(st.workspaces.reused));
+
+  bool ok = st.failed == 0 && st.completed == st.submitted;
+  // Three distinct configurations => exactly three plan constructions, no
+  // matter how many sessions, rounds or racing workers.
+  if (st.plan_cache.misses != 3) {
+    std::fprintf(stderr, "expected 3 plan-cache misses, saw %llu\n",
+                 static_cast<unsigned long long>(st.plan_cache.misses));
+    ok = false;
+  }
+  if (st.workspaces.in_flight != 0) {
+    std::fprintf(stderr, "workspace leak: %zu still in flight\n",
+                 st.workspaces.in_flight);
+    ok = false;
+  }
+
+  const auto total = [rounds](tsv::index per) { return rounds * per; };
+  ok &= check_session(*sessions_a[0], oracle_a,
+                      tsv::make_2d5p(0.6, 0.11, 0.09), total(kStepsA),
+                      opt_a.boundary, "A (2D heat, tiled)");
+  ok &= check_session(*sessions_b[0], oracle_b, tsv::make_1d3p<float>(1.0 / 3.0),
+                      total(kStepsB), opt_b.boundary, "B (1D periodic, f32)");
+  ok &= check_session(*sessions_c[0], oracle_c,
+                      tsv::make_3d7p(0.4, 0.1, 0.1, 0.1), total(kStepsC),
+                      opt_c.boundary, "C (3D Neumann)");
+
+  std::printf("\n%s\n", ok ? "service simulation: OK" : "service simulation: FAILED");
+  return ok ? 0 : 1;
+}

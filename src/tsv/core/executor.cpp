@@ -1,0 +1,134 @@
+#include "tsv/core/executor.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "tsv/common/cpu.hpp"
+
+namespace tsv {
+
+Executor::Executor(ExecutorConfig cfg) {
+  threads_per_gang_ = std::max(1, cfg.threads_per_gang);
+  // Pin the process-wide default-team capture to THIS thread's environment
+  // before any ICV-pinned worker exists: if the process's first make_plan
+  // happened on a worker, the tiled-plan default would silently become the
+  // gang size for every plan built outside the executor too.
+  detail::runtime_default_threads();
+  int gangs = cfg.gangs;
+  if (gangs <= 0) {
+    const int cores = static_cast<int>(cpu_info().logical_cores);
+    gangs = std::max(1, cores / threads_per_gang_);
+  }
+  workers_.reserve(static_cast<std::size_t>(gangs));
+  for (int i = 0; i < gangs; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> Executor::submit(Request req) {
+  // Normalize on the submitting thread (cheap, deterministic): the grid is
+  // the source of truth for the dtype, and the gang size caps the team.
+  Options o = req.options;
+  std::visit(
+      [&o](auto* g) {
+        using G = std::remove_pointer_t<decltype(g)>;
+        o.dtype = dtype_of<typename detail::grid_value_t<G>>();
+      },
+      req.grid);
+  // 0 means "unset" and becomes the gang cap; a positive cap is clamped to
+  // the gang. Negative values pass through UNCHANGED so resolve_options
+  // rejects them on the worker — the executor must surface the same
+  // ConfigError the serial path throws, not sanitize bad input.
+  if (o.max_threads == 0)
+    o.max_threads = threads_per_gang_;
+  else if (o.max_threads > 0)
+    o.max_threads = std::min(o.max_threads, threads_per_gang_);
+
+  std::packaged_task<void()> task(
+      [this, grid = req.grid, spec = std::move(req.stencil), o]() {
+        try {
+          const Shape shape =
+              std::visit([](auto* g) { return shape_of(*g); }, grid);
+          // Everything that can throw (validation, tuning, execution) lives
+          // inside the packaged_task, so it raises into the future.
+          std::shared_ptr<PlanCache::Entry> entry = cache_.get(shape, spec, o);
+          WorkspacePool::Lease ws = entry->workspaces().checkout();
+          std::visit([&](auto* g) { entry->plan().execute(*g, *ws); }, grid);
+          std::lock_guard<std::mutex> lock(mu_);
+          ++completed_;
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++failed_;
+          }
+          throw;  // into the future
+        }
+      });
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+void Executor::worker_loop() {
+  // This worker is one GANG: its default OpenMP team is the gang size, so
+  // anything that forks a region here (kParallel first touch, a tiled
+  // plan) uses at most the gang's share of the machine. The nthreads ICV
+  // is per-thread, so gangs do not interfere with each other or with the
+  // caller's threads — but a tiled plan overwrites this thread's ICV with
+  // its own resolved team (TypedPlan::execute), so the pin is re-applied
+  // per task, not once at startup: one 2-thread request must not shrink
+  // every later request's first-touch parallelism on this gang.
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    omp_set_num_threads(threads_per_gang_);
+    task();  // exceptions land in the future, never escape here
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void Executor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+  }
+  s.plan_cache = cache_.stats();
+  s.workspaces = cache_.workspace_stats();
+  return s;
+}
+
+}  // namespace tsv

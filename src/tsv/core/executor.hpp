@@ -1,0 +1,145 @@
+#pragma once
+// Batched, asynchronous execution: a fixed worker pool serving many stencil
+// requests concurrently.
+//
+//   tsv::Executor ex({.gangs = 4, .threads_per_gang = 2});
+//   std::future<void> done =
+//       ex.submit(grid, tsv::StencilSpec{.kind = tsv::StencilKind::k2d5p},
+//                 {.method = tsv::Method::kTranspose, .steps = 100});
+//   ...
+//   done.get();   // rethrows tsv::ConfigError for invalid configurations
+//
+// Model: the machine is partitioned into GANGS. Each gang is one worker
+// thread that pops requests off a shared queue; a request's plan may fork
+// an OpenMP team of up to threads_per_gang inside that worker (the
+// Options::max_threads cap is applied at submit), so a large tiled grid
+// claims its gang's full team while many small (untiled, single-threaded)
+// grids run one per gang, concurrently. Throughput therefore scales with
+// independent requests instead of serializing every request behind one
+// machine-wide OpenMP team.
+//
+// Shared state along the request path and who guards it:
+//   * plan construction  — deduplicated + single-flighted by the executor's
+//     PlanCache (core/plan_cache.hpp); tuning trials additionally serialize
+//     on the tuner's process-wide trial lock (core/tuner.hpp).
+//   * scratch buffers    — every in-flight request checks a private
+//     Workspace out of its cached plan's WorkspacePool; the plan itself is
+//     immutable and shared.
+//   * the grid           — owned by the caller. A grid must not be passed
+//     to a second submit (or touched) while a request on it is in flight;
+//     the future is the handoff.
+//
+// Results are bit-identical to executing the same (grid, spec, options)
+// serially through Plan::execute: the executor changes scheduling, never
+// kernels or arithmetic (tests/test_executor.cpp pins this).
+//
+// Lifetime: the destructor drains the queue — every submitted request runs
+// to completion (or to its exception) before the workers join, so no
+// future is ever abandoned.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "tsv/core/plan_cache.hpp"
+
+namespace tsv {
+
+struct ExecutorConfig {
+  /// Worker gangs (one worker thread each). 0 = one gang per
+  /// threads_per_gang-sized slice of the machine's logical cores (at least
+  /// one).
+  int gangs = 0;
+  /// OpenMP team cap per request: submit clamps every request's
+  /// Options::max_threads to this, so one gang can never fork a
+  /// machine-wide team. 1 (the default) runs every request single-threaded
+  /// — pure request-level parallelism.
+  int threads_per_gang = 1;
+};
+
+struct ExecutorStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished successfully
+  std::uint64_t failed = 0;     ///< finished by raising into the future
+  PlanCacheStats plan_cache;
+  WorkspacePool::Stats workspaces;  ///< aggregated over all cached plans
+};
+
+class Executor {
+ public:
+  /// Non-owning reference to a caller grid of any rank/dtype.
+  using GridRef =
+      std::variant<Grid1D<double>*, Grid2D<double>*, Grid3D<double>*,
+                   Grid1D<float>*, Grid2D<float>*, Grid3D<float>*>;
+
+  /// One unit of work: advance `grid` by `options.steps` steps of
+  /// `stencil`. `options.dtype` is overridden from the grid's element type
+  /// at submit (the grid is the source of truth), and
+  /// `options.max_threads` is clamped to the gang size.
+  struct Request {
+    GridRef grid;
+    StencilSpec stencil;
+    Options options;
+  };
+
+  explicit Executor(ExecutorConfig cfg = {});
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  /// Enqueues @p req and returns immediately. The future becomes ready when
+  /// the request finished; plan-time validation also happens on the worker,
+  /// so invalid configurations surface as a ConfigError from future.get(),
+  /// never as a throw from submit.
+  std::future<void> submit(Request req);
+
+  /// Convenience: submit one grid with a stencil spec / named kind.
+  template <typename G>
+  std::future<void> submit(G& g, const StencilSpec& spec,
+                           const Options& o = {}) {
+    return submit(Request{GridRef{&g}, spec, o});
+  }
+  template <typename G>
+  std::future<void> submit(G& g, StencilKind kind, const Options& o = {}) {
+    return submit(Request{GridRef{&g}, StencilSpec{.kind = kind}, o});
+  }
+
+  /// Blocks until every submitted request has finished. (Per-request
+  /// completion is the future; this is the whole-batch barrier.)
+  void wait_idle();
+
+  ExecutorStats stats() const;
+
+  /// The executor-owned plan cache (introspection; shared by every worker).
+  PlanCache& plan_cache() { return cache_; }
+
+  int gangs() const { return static_cast<int>(workers_.size()); }
+  int threads_per_gang() const { return threads_per_gang_; }
+
+ private:
+  void worker_loop();
+
+  PlanCache cache_;
+  int threads_per_gang_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue became non-empty / stopping
+  std::condition_variable idle_cv_;   // queue drained and no active request
+  std::deque<std::packaged_task<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+
+  std::vector<std::thread> workers_;  // last member: joins before the rest
+};
+
+}  // namespace tsv

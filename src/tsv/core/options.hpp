@@ -123,6 +123,13 @@ struct Options {
   index bx = 0, by = 0, bz = 0;  ///< spatial block sizes (0 = plan default)
   index bt = 0;             ///< temporal block (0 = plan default)
   int threads = 0;          ///< OpenMP threads; 0 = runtime default
+  /// Upper bound on the resolved OpenMP team (0 = no cap). This is the
+  /// executor's gang hint (core/executor.hpp): a batched service partitions
+  /// the machine into gangs and caps every request's team at its gang size,
+  /// so concurrent requests compose instead of each claiming the whole
+  /// machine. Applies after the `threads` default resolves; an explicit
+  /// `threads` larger than the cap is clamped, never an error.
+  int max_threads = 0;
   Tune tune = Tune::kOff;   ///< block autotuning (fills only fields left 0)
   StreamMode stream = StreamMode::kAuto;  ///< non-temporal store policy
   double stream_threshold = 0.0;  ///< LLC multiple for kAuto; 0 = default

@@ -15,6 +15,7 @@ namespace {
 // the autotuner's candidate seeding shares it.)
 constexpr index kDefaultBt = 4;
 
+
 std::string isa_err(const char* what, Isa isa) {
   std::string s = "ISA ";
   s += isa_name(isa);
@@ -23,6 +24,24 @@ std::string isa_err(const char* what, Isa isa) {
 }
 
 }  // namespace
+
+namespace detail {
+
+// Default OpenMP team for tiled runs when Options::threads is 0: the
+// calling thread's nthreads ICV at FIRST use, captured once. First-use
+// capture honors a deliberate pre-plan omp_set_num_threads() in the
+// application's main() while staying immune to the thread counts
+// Plan::execute itself sets later (the first make_plan necessarily
+// precedes the first execute). The one thread that must never be first is
+// an executor worker — its ICV is pinned to the gang size — so the
+// Executor constructor calls this before spawning workers, pinning the
+// capture to the constructing thread's environment.
+int runtime_default_threads() {
+  static const int threads = omp_get_max_threads();
+  return threads;
+}
+
+}  // namespace detail
 
 ResolvedOptions resolve_options(const Shape& shape, int radius,
                                 const Options& o) {
@@ -45,13 +64,15 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   r.steps = o.steps;
   r.tune = o.tune;
   // Threads resolve to a concrete team size: untiled sweeps are
-  // single-threaded by design; tiled runs default to the OpenMP runtime's
-  // initial team size (captured once, so it respects OMP_NUM_THREADS and is
-  // immune to thread counts set by earlier plan executions).
-  static const int runtime_default_threads = omp_get_max_threads();
+  // single-threaded by design; tiled runs default to the runtime team
+  // captured at first use (see detail::runtime_default_threads above).
+  // max_threads caps the resolved team (never errors): the executor's gang
+  // hint, so a request scheduled onto a gang cannot fork a machine-wide team.
+  if (o.max_threads < 0) fail("max_threads must be >= 0");
   r.threads = o.threads > 0 ? o.threads
               : o.tiling == Tiling::kNone ? 1
-                                          : runtime_default_threads;
+                                          : detail::runtime_default_threads();
+  if (o.max_threads > 0) r.threads = std::min(r.threads, o.max_threads);
 
   // ISA: kAuto resolves to the widest compiled+supported ISA. The dtype is
   // already concrete (no auto); the kernel width is lanes of that dtype.
@@ -237,7 +258,9 @@ Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
     using G = detail::grid_for_t<decltype(stencil)>;
     using T = typename decltype(stencil)::value_type;
     constexpr bool f32 = std::is_same_v<T, float>;
-    auto fn = [typed = std::move(typed)](G& g) { typed.execute(g); };
+    auto fn = [typed = std::move(typed)](G& g, Workspace* ws) {
+      ws != nullptr ? typed.execute(g, *ws) : typed.execute(g);
+    };
     if constexpr (detail::grid_rank<G> == 1) {
       if constexpr (f32) p.f1f_ = std::move(fn);
       else p.f1_ = std::move(fn);

@@ -117,6 +117,12 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
 
 namespace detail {
 
+/// The OpenMP team a tiled plan resolves when Options::threads is 0:
+/// captured once, at first use, from the calling thread (plan.cpp). The
+/// Executor constructor invokes this before spawning its ICV-pinned
+/// workers so the capture can never come from a gang-sized worker thread.
+int runtime_default_threads();
+
 template <typename G>
 inline constexpr int grid_rank = 0;
 template <typename T>
@@ -346,7 +352,11 @@ ExecFn<G, S> lookup_exec(const ResolvedOptions& r) {
 /// the first execute populates it (NUMA first touch by the compute threads)
 /// and all subsequent executes are allocation-free. Copies of a plan SHARE
 /// the workspace, so one plan object must not be executed from two threads
-/// concurrently — build one plan per concurrent execution stream.
+/// concurrently THROUGH THE OWNED WORKSPACE — either build one plan per
+/// concurrent execution stream, or use the execute(g, ws) overload with a
+/// distinct Workspace per in-flight call (what the batched executor's
+/// per-request workspace pool does; everything else in the plan is
+/// immutable after construction and safe to share).
 template <typename G, typename S>
 class TypedPlan {
  public:
@@ -366,24 +376,34 @@ class TypedPlan {
   /// plan runs the bound driver one step at a time with a fill_ghosts
   /// refresh before each step. The interior kernels are identical in every
   /// case — the boundary work is O(halo) per step, outside the hot loops.
-  void execute(G& g) const {
+  void execute(G& g) const { execute(g, *ws_); }
+
+  /// As execute(g), but every scratch buffer comes from @p ws instead of the
+  /// plan-owned workspace. This is the concurrency-safe entry point: the
+  /// plan itself is immutable, so any number of threads may run this
+  /// overload simultaneously as long as each brings its own grid AND its
+  /// own workspace (core/workspace.hpp's WorkspacePool hands out exactly
+  /// that). A workspace reused across executes of the same plan stays
+  /// allocation-free after its first use, like the owned one.
+  void execute(G& g, Workspace& ws) const {
     if (shape_of(g) != shape_)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
                         "grid does not match the planned shape");
     if (cfg_.tiling != Tiling::kNone)
-      omp_set_num_threads(cfg_.threads);  // always concrete after resolve
+      omp_set_num_threads(cfg_.threads);  // per-thread ICV; concrete after
+                                          // resolve, so no cross-plan leak
     if (cfg_.steps <= 0) return;
     if (needs_per_step_fill(cfg_.boundary)) {
       ResolvedOptions step = cfg_;
       step.steps = 1;
       for (index t = 0; t < cfg_.steps; ++t) {
         fill_ghosts(g, cfg_.boundary, S::radius);
-        fn_(g, stencil_, step, *ws_);
+        fn_(g, stencil_, step, ws);
       }
       return;
     }
     fill_ghosts(g, cfg_.boundary, S::radius);  // no-op unless a kZero axis
-    fn_(g, stencil_, cfg_, *ws_);
+    fn_(g, stencil_, cfg_, ws);
   }
 
   const Shape& shape() const { return shape_; }
@@ -466,6 +486,16 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
     if (o.bt == 0) out.bt = b.bt;
     return out;
   };
+  if (o.tune == Tune::kCached)
+    if (auto hit = tune_cache_lookup(key)) return apply(*hit);
+
+  // Single-flight: serialize the trial section so concurrent make_plan
+  // calls never run timed trials on top of each other (overlapping trials
+  // memoize each other's noise), then re-check the cache — the racing
+  // planner that lost the lock must reuse the winner's search, not repeat
+  // it. kFull skips the re-check by contract (it always re-trials) but
+  // still serializes.
+  std::lock_guard<std::mutex> trial_lock(tune_trial_mutex());
   if (o.tune == Tune::kCached)
     if (auto hit = tune_cache_lookup(key)) return apply(*hit);
 
@@ -579,14 +609,26 @@ TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
 /// Holds a TypedPlan for one of the named Table-1 stencils in the dtype the
 /// Options selected; execute() on the wrong grid rank — or on a grid whose
 /// element type differs from the planned dtype — throws ConfigError.
+///
+/// Concurrency follows TypedPlan's rule: the one-argument execute() goes
+/// through the shared plan-owned workspace (single execution stream only);
+/// the (grid, workspace) overloads are safe from any number of threads as
+/// long as each in-flight call brings its own grid and workspace.
 class Plan {
  public:
-  void execute(Grid1D<double>& g) const { dispatch(f1_, g); }
-  void execute(Grid2D<double>& g) const { dispatch(f2_, g); }
-  void execute(Grid3D<double>& g) const { dispatch(f3_, g); }
-  void execute(Grid1D<float>& g) const { dispatch(f1f_, g); }
-  void execute(Grid2D<float>& g) const { dispatch(f2f_, g); }
-  void execute(Grid3D<float>& g) const { dispatch(f3f_, g); }
+  void execute(Grid1D<double>& g) const { dispatch(f1_, g, nullptr); }
+  void execute(Grid2D<double>& g) const { dispatch(f2_, g, nullptr); }
+  void execute(Grid3D<double>& g) const { dispatch(f3_, g, nullptr); }
+  void execute(Grid1D<float>& g) const { dispatch(f1f_, g, nullptr); }
+  void execute(Grid2D<float>& g) const { dispatch(f2f_, g, nullptr); }
+  void execute(Grid3D<float>& g) const { dispatch(f3f_, g, nullptr); }
+
+  void execute(Grid1D<double>& g, Workspace& ws) const { dispatch(f1_, g, &ws); }
+  void execute(Grid2D<double>& g, Workspace& ws) const { dispatch(f2_, g, &ws); }
+  void execute(Grid3D<double>& g, Workspace& ws) const { dispatch(f3_, g, &ws); }
+  void execute(Grid1D<float>& g, Workspace& ws) const { dispatch(f1f_, g, &ws); }
+  void execute(Grid2D<float>& g, Workspace& ws) const { dispatch(f2f_, g, &ws); }
+  void execute(Grid3D<float>& g, Workspace& ws) const { dispatch(f3f_, g, &ws); }
 
   int rank() const { return shape_.rank; }
   const Shape& shape() const { return shape_; }
@@ -599,19 +641,19 @@ class Plan {
                         const Options& o);
 
   template <typename F, typename G>
-  void dispatch(const F& f, G& g) const {
+  void dispatch(const F& f, G& g, Workspace* ws) const {
     if (!f)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
                         "plan was built for a different grid rank or dtype");
-    f(g);
+    f(g, ws);
   }
 
-  std::function<void(Grid1D<double>&)> f1_;
-  std::function<void(Grid2D<double>&)> f2_;
-  std::function<void(Grid3D<double>&)> f3_;
-  std::function<void(Grid1D<float>&)> f1f_;
-  std::function<void(Grid2D<float>&)> f2f_;
-  std::function<void(Grid3D<float>&)> f3f_;
+  std::function<void(Grid1D<double>&, Workspace*)> f1_;
+  std::function<void(Grid2D<double>&, Workspace*)> f2_;
+  std::function<void(Grid3D<double>&, Workspace*)> f3_;
+  std::function<void(Grid1D<float>&, Workspace*)> f1f_;
+  std::function<void(Grid2D<float>&, Workspace*)> f2f_;
+  std::function<void(Grid3D<float>&, Workspace*)> f3f_;
   Shape shape_;
   ResolvedOptions cfg_;
 };

@@ -78,6 +78,11 @@ std::size_t tune_cache_size() {
   return cache().size();
 }
 
+std::mutex& tune_trial_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // JSON pinning. The format is a flat array of one-line objects so bench
 // trajectories and CI diffs stay readable; the parser below accepts exactly

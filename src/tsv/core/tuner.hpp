@@ -22,6 +22,7 @@
 // capped so one make_plan spends milliseconds-to-seconds, not minutes, even
 // on LLC-exceeding grids.
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -77,6 +78,16 @@ std::optional<TunedBlocks> tune_cache_lookup(const TuneKey& key);
 void tune_cache_store(const TuneKey& key, const TunedBlocks& blocks);
 void tune_cache_clear();
 std::size_t tune_cache_size();
+
+/// Process-wide single-flight lock for plan-time tuning TRIALS (the memo
+/// cache itself has its own internal mutex). Concurrent make_plan calls
+/// with tuning enabled must not run timed trials simultaneously: two
+/// overlapping trials time-share the cores and memoize each other's noise
+/// as the "optimal" blocks, and N concurrent kCached misses on the same key
+/// would each pay the full search. The plan layer (core/plan.hpp) takes
+/// this lock around the trial section and re-checks the cache after
+/// acquiring it, so N racing planners run exactly one search.
+std::mutex& tune_trial_mutex();
 
 // ---- JSON pinning ----------------------------------------------------------
 

@@ -25,4 +25,52 @@ index streaming_threshold_bytes(double factor) {
   return static_cast<index>(f * static_cast<double>(cpu_info().l3_bytes));
 }
 
+WorkspacePool::Lease WorkspacePool::checkout() {
+  std::unique_ptr<Workspace> ws;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      ws = std::move(free_.back());
+      free_.pop_back();
+      ++reused_;
+      ++in_flight_;
+    }
+  }
+  // Empty-pool path: construct OUTSIDE the lock and count only afterwards —
+  // a throwing construction (bad_alloc) must leave the counters untouched,
+  // or in_flight_ would report a phantom leak forever.
+  if (ws == nullptr) {
+    ws = std::make_unique<Workspace>();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++created_;
+    ++in_flight_;
+  }
+  return Lease(this, std::move(ws));
+}
+
+void WorkspacePool::checkin(std::unique_ptr<Workspace> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  // Parking is best-effort: push_back can throw bad_alloc growing the free
+  // list, and this is called from the noexcept Lease destructor — an
+  // escaping exception would terminate the process. Dropping the workspace
+  // instead is always safe (the next checkout just constructs a fresh one)
+  // and the counters stay consistent.
+  try {
+    free_.push_back(std::move(ws));
+  } catch (...) {
+  }
+}
+
+void WorkspacePool::Lease::release() {
+  if (pool_ != nullptr && ws_ != nullptr) pool_->checkin(std::move(ws_));
+  pool_ = nullptr;
+  ws_.reset();
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {created_, reused_, free_.size(), in_flight_};
+}
+
 }  // namespace tsv

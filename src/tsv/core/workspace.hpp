@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <typeindex>
 #include <typeinfo>
 #include <utility>
+#include <vector>
 
 #include "tsv/common/grid.hpp"
 
@@ -84,6 +86,87 @@ class Workspace {
     std::shared_ptr<void> obj;
   };
   std::map<int, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Workspace reuse pool: the multi-tenant counterpart of the plan-owned
+// workspace. One pool serves one plan (the batched executor's PlanCache
+// keeps a pool per cached plan, so a recycled workspace's slots always
+// match the next request's keys and steady-state checkouts stay
+// allocation-free). Checkout moves a workspace OUT of the free list under
+// the pool mutex, so two in-flight requests can never observe the same
+// instance — the exclusivity the Workspace concurrency contract requires.
+// ---------------------------------------------------------------------------
+
+class WorkspacePool {
+ public:
+  /// RAII checkout: holds exclusive ownership of one Workspace and returns
+  /// it to the pool on destruction. Movable, not copyable. The pool must
+  /// outlive the lease (the executor guarantees this by keeping the cached
+  /// plan entry alive for the duration of every request it spawned).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ws_ = std::move(other.ws_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Workspace& operator*() const { return *ws_; }
+    Workspace* operator->() const { return ws_.get(); }
+    Workspace* get() const { return ws_.get(); }
+    explicit operator bool() const { return ws_ != nullptr; }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, std::unique_ptr<Workspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    void release();
+
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<Workspace> ws_;
+  };
+
+  /// Checkout totals since construction. `in_flight` is the number of live
+  /// leases; `created` only grows when a checkout finds the free list empty
+  /// (i.e. it equals the peak concurrency this pool ever served).
+  struct Stats {
+    std::uint64_t created = 0;  ///< workspaces constructed on empty-pool hits
+    std::uint64_t reused = 0;   ///< checkouts served from the free list
+    std::size_t free = 0;       ///< workspaces currently parked in the pool
+    std::size_t in_flight = 0;  ///< live leases
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Exclusive checkout: reuses a parked workspace when one is free,
+  /// constructs a fresh one otherwise (never blocks waiting for a return).
+  Lease checkout();
+
+  Stats stats() const;
+
+ private:
+  void checkin(std::unique_ptr<Workspace> ws);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> free_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::size_t in_flight_ = 0;
 };
 
 // ---------------------------------------------------------------------------

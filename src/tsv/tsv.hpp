@@ -30,9 +30,11 @@
 #include "tsv/common/grid.hpp"       // IWYU pragma: export
 #include "tsv/common/timer.hpp"      // IWYU pragma: export
 #include "tsv/core/capability.hpp"   // IWYU pragma: export
+#include "tsv/core/executor.hpp"     // IWYU pragma: export
 #include "tsv/core/halo.hpp"         // IWYU pragma: export
 #include "tsv/core/options.hpp"      // IWYU pragma: export
 #include "tsv/core/plan.hpp"         // IWYU pragma: export
+#include "tsv/core/plan_cache.hpp"   // IWYU pragma: export
 #include "tsv/core/problems.hpp"     // IWYU pragma: export
 #include "tsv/core/registry.hpp"     // IWYU pragma: export
 #include "tsv/core/run.hpp"          // IWYU pragma: export

@@ -1,0 +1,393 @@
+// Concurrency suite for the batched executor (core/executor.hpp).
+//
+// The contract under test: the executor changes SCHEDULING, never numerics.
+// N threads submitting M requests over mixed shapes/dtypes/boundaries must
+// produce results bit-identical to running the same (grid, spec, options)
+// serially through Plan::execute; the plan cache must deduplicate
+// construction (hit/miss accounting is deterministic because insertion is
+// atomic under the shard lock); the workspace pool must never hand one
+// instance to two in-flight requests; and plan-time failures must surface
+// as ConfigError from future.get(), never crash a worker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+// Deterministic per-(case, copy) noise so a serially computed baseline and
+// an executor-computed grid start from identical bits.
+template <typename T>
+T noise(index salt, index lin) {
+  return static_cast<T>(0.25 + 1e-3 * static_cast<double>((salt * 31 + lin * 7) % 101));
+}
+
+template <typename G>
+G make_grid(const Shape& s) {
+  using T = detail::grid_value_t<G>;
+  if constexpr (detail::grid_rank<G> == 1)
+    return G(s.nx, s.halo);
+  else if constexpr (detail::grid_rank<G> == 2)
+    return G(s.nx, s.ny, s.halo);
+  else
+    return G(s.nx, s.ny, s.nz, s.halo);
+}
+
+template <typename G>
+void fill_noise(G& g, index salt) {
+  using T = detail::grid_value_t<G>;
+  if constexpr (detail::grid_rank<G> == 1)
+    g.fill([&](index x) { return noise<T>(salt, x); });
+  else if constexpr (detail::grid_rank<G> == 2)
+    g.fill([&](index x, index y) { return noise<T>(salt, x + 131 * y); });
+  else
+    g.fill([&](index x, index y, index z) {
+      return noise<T>(salt, x + 131 * y + 1031 * z);
+    });
+}
+
+/// Mirrors Executor::submit's option normalization so a serial baseline
+/// resolves to the exact plan the executor runs.
+template <typename G>
+Options normalized(Options o, int threads_per_gang) {
+  o.dtype = dtype_of<detail::grid_value_t<G>>();
+  o.max_threads = o.max_threads > 0 ? std::min(o.max_threads, threads_per_gang)
+                                    : threads_per_gang;
+  return o;
+}
+
+// One stress case: a (stencil spec, shape, options) configuration plus
+// `copies` independent grids submitted through the executor, verified
+// bitwise against one serially executed baseline.
+template <typename G>
+class StressCase {
+ public:
+  StressCase(StencilSpec spec, Shape shape, Options o, int copies, index salt)
+      : spec_(std::move(spec)), shape_(shape), o_(o), salt_(salt) {
+    for (int c = 0; c < copies; ++c) {
+      grids_.push_back(std::make_unique<G>(make_grid<G>(shape_)));
+      fill_noise(*grids_.back(), salt_);
+    }
+  }
+
+  /// One submit thunk per grid copy (called concurrently from N threads).
+  void collect(std::vector<std::function<std::future<void>(Executor&)>>& out) {
+    for (auto& g : grids_)
+      out.push_back([this, grid = g.get()](Executor& ex) {
+        return ex.submit(*grid, spec_, o_);
+      });
+  }
+
+  void verify(int threads_per_gang) {
+    G expected = make_grid<G>(shape_);
+    fill_noise(expected, salt_);
+    const Plan serial =
+        make_plan(shape_, spec_, normalized<G>(o_, threads_per_gang));
+    serial.execute(expected);
+    for (std::size_t c = 0; c < grids_.size(); ++c)
+      EXPECT_EQ(max_abs_diff(expected, *grids_[c]),
+                detail::grid_value_t<G>(0))
+          << "copy " << c << " diverged from serial Plan::execute";
+  }
+
+ private:
+  StencilSpec spec_;
+  Shape shape_;
+  Options o_;
+  index salt_;
+  std::vector<std::unique_ptr<G>> grids_;
+};
+
+Options opts(Method m, Tiling t, index steps, BoundarySpec bc = {}) {
+  Options o;
+  o.method = m;
+  o.tiling = t;
+  o.steps = steps;
+  o.boundary = bc;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// The headline stress: 4 submitter threads x mixed shapes/dtypes/boundaries
+// racing through one executor, every result bit-identical to serial.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, StressMixedRequestsBitIdenticalToSerial) {
+  Executor ex({.gangs = 4, .threads_per_gang = 1});
+  constexpr int kCopies = 4;
+
+  StressCase<Grid1D<double>> c1(
+      StencilSpec{.kind = StencilKind::k1d3p, .coeffs = {0.31}}, shape1d(512),
+      opts(Method::kTranspose, Tiling::kNone, 5,
+           BoundarySpec::uniform(Boundary::kZero)),
+      kCopies, 11);
+  StressCase<Grid1D<float>> c2(
+      StencilSpec{.kind = StencilKind::k1d3p, .coeffs = {0.3}}, shape1d(385),
+      opts(Method::kMultiLoad, Tiling::kNone, 4,
+           BoundarySpec::uniform(Boundary::kPeriodic)),
+      kCopies, 23);
+  StressCase<Grid2D<double>> c3(
+      StencilSpec{.kind = StencilKind::k2d5p, .coeffs = {0.5, 0.12, 0.13}},
+      shape2d(256, 24),
+      [] {
+        Options o = opts(Method::kTranspose, Tiling::kTessellate, 4,
+                         {Boundary::kZero, Boundary::kNeumann, Boundary::kDirichlet});
+        o.bx = 128;
+        return o;
+      }(),
+      kCopies, 37);
+  StressCase<Grid2D<float>> c4(
+      StencilSpec{.kind = StencilKind::k2d9p, .coeffs = {0.2, 0.1, 0.05}},
+      shape2d(130, 17), opts(Method::kAutoVec, Tiling::kNone, 3), kCopies, 41);
+  StressCase<Grid3D<double>> c5(
+      StencilSpec{.kind = StencilKind::k3d7p, .coeffs = {0.4, 0.1, 0.1, 0.09}},
+      shape3d(64, 8, 6),
+      opts(Method::kAutoVec, Tiling::kTessellate, 2,
+           BoundarySpec::uniform(Boundary::kPeriodic)),
+      kCopies, 53);
+  StressCase<Grid1D<double>> c6(
+      StencilSpec{.kind = StencilKind::k1d3p}, shape1d(512),
+      opts(Method::kDlt, Tiling::kSplit, 6), kCopies, 67);
+
+  std::vector<std::function<std::future<void>(Executor&)>> jobs;
+  c1.collect(jobs);
+  c2.collect(jobs);
+  c3.collect(jobs);
+  c4.collect(jobs);
+  c5.collect(jobs);
+  c6.collect(jobs);
+
+  // N submitter threads racing the submit path itself.
+  constexpr int kSubmitters = 4;
+  std::vector<std::future<void>> futures(jobs.size());
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = t; i < jobs.size(); i += kSubmitters)
+        futures[i] = jobs[i](ex);
+    });
+  for (auto& t : submitters) t.join();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+
+  c1.verify(ex.threads_per_gang());
+  c2.verify(ex.threads_per_gang());
+  c3.verify(ex.threads_per_gang());
+  c4.verify(ex.threads_per_gang());
+  c5.verify(ex.threads_per_gang());
+  c6.verify(ex.threads_per_gang());
+
+  const ExecutorStats s = ex.stats();
+  EXPECT_EQ(s.submitted, jobs.size());
+  EXPECT_EQ(s.completed, jobs.size());
+  EXPECT_EQ(s.failed, 0u);
+  // 6 distinct configurations -> exactly 6 single-flighted builds.
+  EXPECT_EQ(s.plan_cache.misses, 6u);
+  EXPECT_EQ(s.plan_cache.hits, jobs.size() - 6u);
+  // Exclusivity bound: a pool only creates when its free list is empty, so
+  // per entry at most `gangs` workspaces can ever exist (that is the peak
+  // concurrency), and nothing may still be checked out after the drain.
+  EXPECT_EQ(s.workspaces.in_flight, 0u);
+  EXPECT_LE(s.workspaces.created, 6u * static_cast<unsigned>(ex.gangs()));
+  EXPECT_EQ(s.workspaces.created + s.workspaces.reused, s.submitted);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache accounting is deterministic: insertion happens exactly once
+// under the shard lock, so M same-key submissions = 1 miss + M-1 hits.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, PlanCacheAccounting) {
+  Executor ex({.gangs = 2, .threads_per_gang = 1});
+  const Shape shape = shape1d(256);
+  const Options o = opts(Method::kTranspose, Tiling::kNone, 3);
+
+  constexpr int kSame = 12;
+  std::vector<std::unique_ptr<Grid1D<double>>> grids;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < kSame; ++i) {
+    grids.push_back(std::make_unique<Grid1D<double>>(make_grid<Grid1D<double>>(shape)));
+    fill_noise(*grids.back(), i);
+    futs.push_back(ex.submit(*grids.back(), StencilKind::k1d3p, o));
+  }
+  for (auto& f : futs) f.get();
+  ExecutorStats s = ex.stats();
+  EXPECT_EQ(s.plan_cache.misses, 1u);
+  EXPECT_EQ(s.plan_cache.hits, static_cast<std::uint64_t>(kSame - 1));
+  EXPECT_EQ(s.plan_cache.entries, 1u);
+
+  // A different configuration is a new entry, not a hit.
+  Grid1D<double> other = make_grid<Grid1D<double>>(shape);
+  fill_noise(other, 99);
+  ex.submit(other, StencilKind::k1d3p,
+            opts(Method::kReorg, Tiling::kNone, 3))
+      .get();
+  s = ex.stats();
+  EXPECT_EQ(s.plan_cache.misses, 2u);
+  EXPECT_EQ(s.plan_cache.entries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The cache is bounded: a service whose requests vary per-call fields
+// (steps here) must not grow memory without bound. Idle entries are
+// evicted and rebuilt on next use; entries held by in-flight requests are
+// pinned.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, PlanCacheBoundsIdleEntries) {
+  PlanCache cache(8);  // tiny bound: every shard's share is 1
+  const Shape shape = shape1d(256);
+  const StencilSpec spec{.kind = StencilKind::k1d3p};
+  Options o = opts(Method::kTranspose, Tiling::kNone, 1);
+
+  // Hold one entry like an in-flight request would: eviction must skip it.
+  auto held = cache.get(shape, spec, o);
+  const Plan* held_plan = &held->plan();
+
+  for (index steps = 2; steps < 60; ++steps) {
+    o.steps = steps;  // a new key every call — the unbounded-growth shape
+    cache.get(shape, spec, o);
+  }
+  const PlanCacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  // Bound: at most ~1 idle entry per shard plus the pinned one.
+  EXPECT_LE(s.entries, 2u * 8u + 1u);
+  // The held entry survived (whether or not its map slot was evicted).
+  EXPECT_EQ(&held->plan(), held_plan);
+  Grid1D<double> g = make_grid<Grid1D<double>>(shape);
+  fill_noise(g, 7);
+  EXPECT_NO_THROW(held->plan().execute(g));
+}
+
+// ---------------------------------------------------------------------------
+// Failures propagate as ConfigError through the future; the executor keeps
+// serving afterwards.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, FutureExceptionPropagatesConfigError) {
+  Executor ex({.gangs = 2, .threads_per_gang = 1});
+
+  // nx = 251 violates every compiled width's DLT rule (odd, W >= 2).
+  Grid1D<double> bad(251, 1);
+  fill_noise(bad, 1);
+  auto f1 = ex.submit(bad, StencilKind::k1d3p,
+                      opts(Method::kDlt, Tiling::kNone, 2));
+  EXPECT_THROW(f1.get(), ConfigError);
+
+  // Odd temporal block for the 2-step unroll&jam tiling.
+  Grid1D<double> bad2(512, 1);
+  fill_noise(bad2, 2);
+  Options o = opts(Method::kTransposeUJ, Tiling::kTessellate, 4);
+  o.bt = 3;
+  auto f2 = ex.submit(bad2, StencilKind::k1d3p, o);
+  EXPECT_THROW(f2.get(), ConfigError);
+
+  // A deterministically-invalid key stays loud on every later submit.
+  auto f3 = ex.submit(bad, StencilKind::k1d3p,
+                      opts(Method::kDlt, Tiling::kNone, 2));
+  EXPECT_THROW(f3.get(), ConfigError);
+
+  // Invalid gang hints are rejected exactly like the serial path, not
+  // silently sanitized to the gang cap.
+  Grid1D<double> bad3(512, 1);
+  fill_noise(bad3, 4);
+  Options neg = opts(Method::kTranspose, Tiling::kNone, 2);
+  neg.max_threads = -1;
+  auto f4 = ex.submit(bad3, StencilKind::k1d3p, neg);
+  EXPECT_THROW(f4.get(), ConfigError);
+
+  // The workers survived: a valid request still completes.
+  Grid1D<double> good(512, 1);
+  fill_noise(good, 3);
+  EXPECT_NO_THROW(
+      ex.submit(good, StencilKind::k1d3p, opts(Method::kTranspose, Tiling::kNone, 2))
+          .get());
+  const ExecutorStats s = ex.stats();
+  EXPECT_EQ(s.failed, 4u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Gang hints: an explicit thread request is clamped to the gang size, so
+// one request can never fork a machine-wide team.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, GangCapClampsThreads) {
+  Executor ex({.gangs = 2, .threads_per_gang = 2});
+
+  // An executed tiled request whose team resolves from the runtime default
+  // (clamped to the gang): under the TSan CI job OMP_NUM_THREADS=1 keeps
+  // this single-threaded — libgomp must not spawn there (see ci.yml) —
+  // while native runs exercise a real gang team.
+  Grid2D<double> g = make_grid<Grid2D<double>>(shape2d(256, 16));
+  fill_noise(g, 5);
+  Options o = opts(Method::kAutoVec, Tiling::kTessellate, 2);
+  ex.submit(g, StencilKind::k2d5p, o).get();
+
+  // The clamp itself, checked at resolve time with steps = 0: execute
+  // returns before any parallel region, so asserting "8 requested threads
+  // resolve to the gang cap of 2" forks no OpenMP team under any runner.
+  Grid2D<double> g2 = make_grid<Grid2D<double>>(shape2d(256, 16));
+  fill_noise(g2, 6);
+  Options wide = opts(Method::kAutoVec, Tiling::kTessellate, 0);
+  wide.threads = 8;  // wants the whole machine
+  ex.submit(g2, StencilKind::k2d5p, wide).get();
+
+  // Probe the cache under the executor's own normalization: same key, and
+  // the resolved team must be the gang cap, not 8.
+  const Options probe = normalized<Grid2D<double>>(wide, ex.threads_per_gang());
+  auto entry = ex.plan_cache().get(shape2d(256, 16),
+                                   StencilSpec{.kind = StencilKind::k2d5p}, probe);
+  EXPECT_EQ(entry->plan().config().threads, 2);
+  EXPECT_LE(entry->plan().config().threads, ex.threads_per_gang());
+  EXPECT_GE(ex.stats().plan_cache.hits, 1u);  // the probe hit, not rebuilt
+}
+
+// ---------------------------------------------------------------------------
+// Destruction drains: every submitted future is satisfied, never abandoned.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, DestructorDrainsQueue) {
+  constexpr int kJobs = 16;
+  std::vector<std::unique_ptr<Grid1D<double>>> grids;
+  std::vector<std::future<void>> futs;
+  {
+    Executor ex({.gangs = 2, .threads_per_gang = 1});
+    for (int i = 0; i < kJobs; ++i) {
+      grids.push_back(std::make_unique<Grid1D<double>>(512, 1));
+      fill_noise(*grids.back(), i);
+      futs.push_back(ex.submit(*grids.back(), StencilKind::k1d3p,
+                               opts(Method::kTranspose, Tiling::kNone, 4)));
+    }
+  }  // destructor runs the whole queue before joining
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+// wait_idle is the whole-batch barrier.
+TEST(Executor, WaitIdleDrains) {
+  Executor ex({.gangs = 2, .threads_per_gang = 1});
+  std::vector<std::unique_ptr<Grid1D<double>>> grids;
+  for (int i = 0; i < 8; ++i) {
+    grids.push_back(std::make_unique<Grid1D<double>>(512, 1));
+    fill_noise(*grids.back(), i);
+    ex.submit(*grids.back(), StencilKind::k1d3p,
+              opts(Method::kTranspose, Tiling::kNone, 3));
+  }
+  ex.wait_idle();
+  const ExecutorStats s = ex.stats();
+  EXPECT_EQ(s.completed + s.failed, s.submitted);
+  EXPECT_EQ(s.workspaces.in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace tsv

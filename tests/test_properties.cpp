@@ -8,9 +8,19 @@
 //   * translation equivariance away from the boundary,
 //   * determinism (bitwise-identical repeated runs),
 //   * halo immutability.
+//
+// The file ends with a seeded randomized DIFFERENTIAL FUZZER: random
+// (method, tiling, rank, dtype, boundary, shape, blocks, steps, coeffs)
+// tuples drawn from the capability registry, each executed through the
+// rank-erased plan path and checked against the boundary-aware scalar
+// oracle. The seed is deterministic (override with TSV_FUZZ_SEED) and is
+// printed with every failure, so any found divergence replays exactly.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <random>
+#include <sstream>
 #include <string>
 #include <tuple>
 
@@ -320,6 +330,226 @@ INSTANTIATE_TEST_SUITE_P(
       return "bx" + std::to_string(std::get<0>(info.param)) + "_bt" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Seeded randomized differential fuzzer.
+//
+// Every iteration draws one registry capability and randomizes everything a
+// plan depends on around it — rank (from the row's rank mask), dtype (from
+// its dtype mask), ISA (from the runnable set), per-axis boundaries, odd or
+// width-aligned extents as the row's layout rule allows, temporal block,
+// thread count, steps and runtime stencil coefficients — then executes the
+// rank-erased plan and compares against the boundary-aware scalar oracle
+// built from the SAME coefficients. Tuples the resolver legitimately
+// rejects (a ConfigError) are resampled, but the test fails if it cannot
+// land enough executed tuples: a fuzzer that silently rejects everything
+// would pass vacuously.
+// ---------------------------------------------------------------------------
+
+namespace fuzz {
+
+using Rng = std::mt19937_64;
+
+index pick(Rng& rng, std::initializer_list<index> xs) {
+  std::vector<index> v(xs);
+  return v[rng() % v.size()];
+}
+
+/// A width-legal interior extent for the row's layout rule: odd/unaligned
+/// shapes when the rule allows any nx, width-multiples otherwise.
+index draw_nx(Rng& rng, XRule rule, index width) {
+  switch (rule) {
+    case XRule::kNone:
+      return pick(rng, {33, 57, 96, 130, 255, 256, 384});
+    case XRule::kWidth:
+      return width * static_cast<index>(2 + rng() % 30);
+    case XRule::kWidth2:
+      return width * width * static_cast<index>(1 + rng() % 4);
+  }
+  return 256;
+}
+
+Boundary draw_boundary(Rng& rng) {
+  const auto& all = all_boundaries();
+  return all[rng() % all.size()];
+}
+
+/// The Table-1 kinds at a given rank (the fuzzer's stencil axis).
+StencilKind draw_kind(Rng& rng, int rank) {
+  switch (rank) {
+    case 1: return rng() % 2 ? StencilKind::k1d5p : StencilKind::k1d3p;
+    case 2: return rng() % 2 ? StencilKind::k2d9p : StencilKind::k2d5p;
+    default: return rng() % 2 ? StencilKind::k3d27p : StencilKind::k3d7p;
+  }
+}
+
+std::string describe(const StencilSpec& spec, const Shape& shape,
+                     const Options& o, std::uint64_t seed, int iter) {
+  std::ostringstream os;
+  os << "seed=" << seed << " iter=" << iter << " kind="
+     << stencil_kind_name(spec.kind) << " method=" << method_name(o.method)
+     << " tiling=" << tiling_name(o.tiling) << " isa=" << isa_name(o.isa)
+     << " dtype=" << dtype_name(o.dtype) << " shape=" << shape.nx << "x"
+     << shape.ny << "x" << shape.nz << " halo=" << shape.halo
+     << " steps=" << o.steps << " bt=" << o.bt << " threads=" << o.threads
+     << " bc=" << boundary_name(o.boundary.x) << "/"
+     << boundary_name(o.boundary.y) << "/" << boundary_name(o.boundary.z)
+     << " coeffs=[";
+  for (std::size_t i = 0; i < spec.coeffs.size(); ++i)
+    os << (i ? "," : "") << spec.coeffs[i];
+  os << "]  (replay: TSV_FUZZ_SEED=" << seed << ")";
+  return os.str();
+}
+
+/// Executes one sampled tuple and diffs it against the oracle. Returns
+/// false when the resolver rejected the tuple (the caller resamples).
+template <typename T, typename G, typename S>
+bool run_tuple(const S& stencil, const StencilSpec& spec, const Shape& shape,
+               const Options& o, const std::string& label, index salt) {
+  auto init = [&](index lin) {
+    return static_cast<T>(0.2 + 1e-3 * static_cast<double>((salt * 17 + lin * 5) % 97));
+  };
+  G got = [&] {
+    if constexpr (detail::grid_rank<G> == 1)
+      return G(shape.nx, shape.halo);
+    else if constexpr (detail::grid_rank<G> == 2)
+      return G(shape.nx, shape.ny, shape.halo);
+    else
+      return G(shape.nx, shape.ny, shape.nz, shape.halo);
+  }();
+  if constexpr (detail::grid_rank<G> == 1)
+    got.fill([&](index x) { return init(x); });
+  else if constexpr (detail::grid_rank<G> == 2)
+    got.fill([&](index x, index y) { return init(x + 131 * y); });
+  else
+    got.fill([&](index x, index y, index z) {
+      return init(x + 131 * y + 1031 * z);
+    });
+  G ref = got;
+
+  Plan plan;
+  try {
+    plan = make_plan(shape, spec, o);
+  } catch (const ConfigError&) {
+    return false;  // legitimately rejected tuple: resample
+  }
+  plan.execute(got);
+  // The oracle reads the RESOLVED boundary (axes beyond the rank are
+  // normalized there) so method and oracle see identical ghost fills.
+  reference_run(ref, stencil, o.steps, plan.config().boundary);
+  EXPECT_LE(static_cast<double>(max_abs_diff(ref, got)),
+            accuracy_tolerance<T>(o.steps))
+      << label;
+  return true;
+}
+
+/// Dispatches a sampled kind to its compile-time stencil with the sampled
+/// runtime coefficients — the same factory mapping the rank-erased plan
+/// uses, so the differential really is method-vs-oracle, never
+/// stencil-vs-stencil.
+template <typename T>
+bool run_kind(const StencilSpec& spec, const Shape& shape, const Options& o,
+              const std::string& label, index salt) {
+  const std::vector<double>& c = spec.coeffs;
+  switch (spec.kind) {
+    case StencilKind::k1d3p:
+      return run_tuple<T, Grid1D<T>>(make_1d3p<T>(c[0]), spec, shape, o,
+                                     label, salt);
+    case StencilKind::k1d5p:
+      return run_tuple<T, Grid1D<T>>(make_1d5p<T>(c[0], c[1], c[2]), spec,
+                                     shape, o, label, salt);
+    case StencilKind::k2d5p:
+      return run_tuple<T, Grid2D<T>>(make_2d5p<T>(c[0], c[1], c[2]), spec,
+                                     shape, o, label, salt);
+    case StencilKind::k2d9p:
+      return run_tuple<T, Grid2D<T>>(make_2d9p<T>(c[0], c[1], c[2]), spec,
+                                     shape, o, label, salt);
+    case StencilKind::k3d7p:
+      return run_tuple<T, Grid3D<T>>(make_3d7p<T>(c[0], c[1], c[2], c[3]),
+                                     spec, shape, o, label, salt);
+    case StencilKind::k3d27p:
+      return run_tuple<T, Grid3D<T>>(make_3d27p<T>(c[0]), spec, shape, o,
+                                     label, salt);
+  }
+  return false;
+}
+
+}  // namespace fuzz
+
+TEST(RandomizedDifferential, SampledTuplesMatchOracle) {
+  std::uint64_t seed = 20260728;
+  if (const char* env = std::getenv("TSV_FUZZ_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fuzz::Rng rng(seed);
+
+  constexpr int kTuples = 32;     // executed tuples required
+  constexpr int kMaxDraws = 400;  // resample budget across the whole run
+  int executed = 0, draws = 0;
+  while (executed < kTuples && draws < kMaxDraws) {
+    ++draws;
+    const auto& caps = capabilities();
+    const Capability& cap = caps[rng() % caps.size()];
+
+    // Rank from the row's mask; dtype from its dtype mask.
+    std::vector<int> ranks;
+    for (int r = 1; r <= 3; ++r)
+      if (cap.supports_rank(r)) ranks.push_back(r);
+    const int rank = ranks[rng() % ranks.size()];
+    std::vector<Dtype> dtypes;
+    for (Dtype d : all_dtypes())
+      if (cap.supports_dtype(d)) dtypes.push_back(d);
+    const Dtype dtype = dtypes[rng() % dtypes.size()];
+    const auto isas = runnable_isas();
+    const Isa isa = isas[rng() % isas.size()];
+
+    const StencilKind kind = fuzz::draw_kind(rng, rank);
+    const int radius = stencil_kind_radius(kind);
+
+    Options o;
+    o.method = cap.method;
+    o.tiling = cap.tiling;
+    o.isa = isa;
+    o.dtype = dtype;
+    o.steps = static_cast<index>(rng() % 6);  // 0..5, incl. identity runs
+    o.threads = 1 + static_cast<int>(rng() % 3);
+    o.boundary = {fuzz::draw_boundary(rng),
+                  rank >= 2 ? fuzz::draw_boundary(rng) : Boundary::kDirichlet,
+                  rank >= 3 ? fuzz::draw_boundary(rng) : Boundary::kDirichlet};
+    if (o.tiling != Tiling::kNone && rng() % 3 == 0)
+      o.bt = cap.needs_even_bt ? fuzz::pick(rng, {2, 4}) : fuzz::pick(rng, {1, 2, 4});
+
+    Shape shape;
+    shape.rank = rank;
+    shape.halo = radius;
+    shape.nx = fuzz::draw_nx(rng, cap.x_rule, kernel_width(isa, dtype));
+    // Wrap/mirror fills need extent >= radius; the y/z draws respect that.
+    shape.ny = rank >= 2 ? fuzz::pick(rng, {3, 5, 8, 13, 17}) : 1;
+    shape.nz = rank >= 3 ? fuzz::pick(rng, {3, 4, 7, 10}) : 1;
+    if (shape.nx < 2 * radius) continue;
+
+    StencilSpec spec;
+    spec.kind = kind;
+    std::uniform_real_distribution<double> coeff(0.02, 0.28);
+    for (std::size_t i = 0; i < stencil_kind_coeff_count(kind); ++i)
+      spec.coeffs.push_back(coeff(rng));
+
+    const std::string label =
+        fuzz::describe(spec, shape, o, seed, executed);
+    const bool ran =
+        dtype == Dtype::kF32
+            ? fuzz::run_kind<float>(spec, shape, o, label, draws)
+            : fuzz::run_kind<double>(spec, shape, o, label, draws);
+    if (ran) ++executed;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "fuzzer stopped at first divergence; " << label;
+      break;
+    }
+  }
+  // A fuzzer that rejects (or exhausts) its way to a pass proves nothing.
+  EXPECT_GE(executed, kTuples)
+      << "only " << executed << " tuples executed in " << draws
+      << " draws (seed=" << seed << ")";
+}
 
 }  // namespace
 }  // namespace tsv

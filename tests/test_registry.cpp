@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "tsv/kernels/reference.hpp"
 #include "tsv/tsv.hpp"
@@ -251,6 +253,44 @@ TEST(Registry, KernelWidthsPerDtype) {
   // The one-argument form stays the double-precision width.
   for (Isa isa : all_isas())
     EXPECT_EQ(kernel_width(isa), kernel_width(isa, Dtype::kF64));
+}
+
+// Concurrency regression (TSan-audited): the registry's lazy-initialized
+// tables — capabilities(), the enum universes, cpu_info()/best_isa() behind
+// supports(), and every exec_table the plan layer builds from them — must
+// be safe to first-touch and read from many threads at once; the batched
+// executor's workers do exactly that on a cold process. The tables are
+// function-local statics (C++11 thread-safe initialization) and immutable
+// afterwards; this test pins the stable-address + consistent-content
+// contract so a future "optimization" away from magic statics fails
+// loudly under the TSan CI job.
+TEST(Registry, ConcurrentLazyInitAndLookupsAreConsistent) {
+  constexpr int kThreads = 8;
+  std::vector<const std::vector<Capability>*> tables(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto& caps = capabilities();
+        tables[t] = &caps;
+        for (const Capability& c : caps) {
+          EXPECT_EQ(find_capability(c.method, c.tiling), &c);
+          EXPECT_EQ(method_from_name(method_name(c.method)), c.method);
+          EXPECT_EQ(tiling_from_name(tiling_name(c.tiling)), c.tiling);
+        }
+        EXPECT_TRUE(supports(Method::kTranspose, Tiling::kNone, 1));
+        EXPECT_FALSE(runnable_isas().empty());
+        // Concurrent plan construction exercises the dispatch-table and
+        // resolver statics behind the registry.
+        const auto plan = make_plan(
+            shape1d(256), StencilKind::k1d3p,
+            Options{.method = Method::kTranspose, .steps = 1});
+        EXPECT_EQ(plan.config().method, Method::kTranspose);
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(tables[t], tables[0]) << "registry must initialize once";
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 // Autotuner tests: determinism under cached mode, JSON round-trip of the
-// memo cache, legality of tuned blocks on tiny grids, and bit-identical
-// results between tuned and default plans for both dtypes.
+// memo cache, legality of tuned blocks on tiny grids, bit-identical results
+// between tuned and default plans for both dtypes, and thread-safety of the
+// memo cache + trial path under concurrent make_plan (the batched executor
+// plans from worker threads).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "tsv/kernels/reference.hpp"
 #include "tsv/tsv.hpp"
@@ -242,6 +246,54 @@ TEST(Tuner, TunedPlanBitIdenticalToDefaultF64) {
 
 TEST(Tuner, TunedPlanBitIdenticalToDefaultF32) {
   expect_tuned_bit_identical<float>();
+}
+
+// Concurrency regression (TSan-audited): N threads planning the SAME key
+// under kCached must single-flight the trial — the tuner's trial lock
+// serializes the search and the losers reuse the winner's result, so the
+// memo cache ends with exactly one entry and every plan carries identical
+// blocks. Before the single-flight fix this raced lookup-then-trial: every
+// thread ran its own timed search, the trials time-shared the cores, and
+// whichever noisy winner stored last won the cache.
+TEST(Tuner, ConcurrentCachedPlanningSingleFlights) {
+  tune_cache_clear();
+  const auto s = make_1d3p(0.3);
+  const Shape shape = shape1d(2048);
+  const Options o = tess_options(Tune::kCached, 8);
+  constexpr int kThreads = 8;
+  std::vector<ResolvedOptions> cfgs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { cfgs[t] = make_plan(shape, s, o).config(); });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tune_cache_size(), 1u)
+      << "concurrent same-key planning must run exactly one search";
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(cfgs[t].bx, cfgs[0].bx) << "thread " << t;
+    EXPECT_EQ(cfgs[t].bt, cfgs[0].bt) << "thread " << t;
+  }
+}
+
+// Distinct keys tuned concurrently must all land (no lost updates in the
+// memo cache) and stay individually replayable.
+TEST(Tuner, ConcurrentDistinctKeysAllLand) {
+  tune_cache_clear();
+  const auto s = make_1d3p(0.3);
+  const index sizes[] = {512, 1024, 2048, 4096};
+  std::vector<std::thread> threads;
+  for (index nx : sizes)
+    threads.emplace_back([&, nx] {
+      const auto p = make_plan(shape1d(nx), s, tess_options(Tune::kCached, 8));
+      EXPECT_GT(p.config().bx, 0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tune_cache_size(), 4u);
+  for (index nx : sizes) {  // every key memoized: replans are pure hits
+    const std::size_t before = tune_cache_size();
+    make_plan(shape1d(nx), s, tess_options(Tune::kCached, 8));
+    EXPECT_EQ(tune_cache_size(), before) << "nx=" << nx;
+  }
 }
 
 // Rank-erased plans tune through the same path.

@@ -13,7 +13,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "tsv/kernels/reference.hpp"
 #include "tsv/tsv.hpp"
@@ -102,6 +106,82 @@ TEST(Workspace, ParallelFirstTouchZeroes) {
   AlignedBuffer<double> b(1000, FirstTouch::kNone);
   b.zero_parallel();
   for (index i = 0; i < 1000; ++i) ASSERT_EQ(b[i], 0.0);
+}
+
+// ---- WorkspacePool: the executor's per-request scratch source ---------------
+
+// The pool's headline invariant: a checkout is EXCLUSIVE — two in-flight
+// leases can never reference the same Workspace. 8 threads hammer the pool
+// and track the live instance set; any overlap is a failure (and a data
+// race the TSan CI job would flag independently).
+TEST(WorkspacePool, CheckoutIsExclusiveUnderContention) {
+  WorkspacePool pool;
+  constexpr int kThreads = 8, kIters = 100;
+  std::mutex mu;
+  std::set<Workspace*> live;
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        WorkspacePool::Lease lease = pool.checkout();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!live.insert(lease.get()).second) overlap = true;
+        }
+        // Touch a slot while holding the lease (the realistic critical
+        // section a second owner would corrupt).
+        lease->slot<int>(0, ws_key(i % 4), [] { return 7; });
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          live.erase(lease.get());
+        }
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(overlap.load()) << "one workspace handed to two leases";
+  const WorkspacePool::Stats s = pool.stats();
+  EXPECT_EQ(s.in_flight, 0u);
+  // Creation only happens on an empty free list, so the pool can never
+  // hold more workspaces than its peak concurrency.
+  EXPECT_LE(s.created, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.created + s.reused,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.free, s.created);
+}
+
+// A recycled workspace keeps its slots warm: the second checkout gets the
+// parked instance back and a same-key slot access allocates nothing — the
+// pooled equivalent of the plan-owned steady-state contract below.
+TEST(WorkspacePool, RecycledWorkspaceKeepsSlotsWarm) {
+  WorkspacePool pool;
+  Grid1D<double> g(512, 1);
+  Workspace* first = nullptr;
+  {
+    WorkspacePool::Lease lease = pool.checkout();
+    first = lease.get();
+    ws_grid_like(*lease, kWsTmpGrid, g);  // populate
+  }
+  WorkspacePool::Lease again = pool.checkout();
+  EXPECT_EQ(again.get(), first) << "free list must serve LIFO reuse";
+  expect_alloc_free([&] { ws_grid_like(*again, kWsTmpGrid, g); },
+                    "same-key slot on a recycled workspace");
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+// Leases are movable (the executor hands them across scopes): moving must
+// transfer ownership exactly once.
+TEST(WorkspacePool, LeaseMoveTransfersOwnership) {
+  WorkspacePool pool;
+  WorkspacePool::Lease a = pool.checkout();
+  Workspace* raw = a.get();
+  WorkspacePool::Lease b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(pool.stats().in_flight, 1u);
+  b = WorkspacePool::Lease();  // releases
+  EXPECT_EQ(pool.stats().in_flight, 0u);
+  EXPECT_EQ(pool.stats().free, 1u);
 }
 
 // ---- steady-state executes are allocation-free ------------------------------
