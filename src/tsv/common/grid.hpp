@@ -33,6 +33,9 @@ constexpr index align_elems() {
 template <typename T>
 class Grid1D {
  public:
+  using value_type = T;
+  static constexpr int kRank = 1;
+
   Grid1D(index nx, index halo, FirstTouch ft = FirstTouch::kSerial)
       : nx_(nx), halo_(halo) {
     require(nx > 0 && halo >= 0, "Grid1D: need nx > 0, halo >= 0");
@@ -83,6 +86,9 @@ class Grid1D {
 template <typename T>
 class Grid2D {
  public:
+  using value_type = T;
+  static constexpr int kRank = 2;
+
   Grid2D(index nx, index ny, index halo, FirstTouch ft = FirstTouch::kSerial)
       : nx_(nx), ny_(ny), halo_(halo) {
     require(nx > 0 && ny > 0 && halo >= 0, "Grid2D: bad extents");
@@ -152,6 +158,9 @@ class Grid2D {
 template <typename T>
 class Grid3D {
  public:
+  using value_type = T;
+  static constexpr int kRank = 3;
+
   Grid3D(index nx, index ny, index nz, index halo,
          FirstTouch ft = FirstTouch::kSerial)
       : nx_(nx), ny_(ny), nz_(nz), halo_(halo) {

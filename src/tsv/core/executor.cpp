@@ -21,9 +21,10 @@ Executor::Executor(ExecutorConfig cfg) {
     const int cores = static_cast<int>(cpu_info().logical_cores);
     gangs = std::max(1, cores / threads_per_gang_);
   }
+  gang_stats_.resize(static_cast<std::size_t>(gangs));
   workers_.reserve(static_cast<std::size_t>(gangs));
   for (int i = 0; i < gangs; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 Executor::~Executor() {
@@ -74,6 +75,27 @@ std::future<void> Executor::submit(Request req) {
           throw;  // into the future
         }
       });
+  return enqueue(std::move(task));
+}
+
+std::future<void> Executor::submit_task(std::function<void()> fn) {
+  std::packaged_task<void()> task([this, fn = std::move(fn)]() {
+    try {
+      fn();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+      }
+      throw;  // into the future
+    }
+  });
+  return enqueue(std::move(task));
+}
+
+std::future<void> Executor::enqueue(std::packaged_task<void()> task) {
   std::future<void> fut = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,7 +106,7 @@ std::future<void> Executor::submit(Request req) {
   return fut;
 }
 
-void Executor::worker_loop() {
+void Executor::worker_loop(int gang) {
   // This worker is one GANG: its default OpenMP team is the gang size, so
   // anything that forks a region here (kParallel first touch, a tiled
   // plan) uses at most the gang's share of the machine. The nthreads ICV
@@ -102,11 +124,21 @@ void Executor::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      // Counted at dequeue, not after the run: the task body makes its
+      // future ready (and bumps completed_/failed_) before control returns
+      // here, so a post-run count could lag a caller that already drained
+      // the future. busy_seconds is a duration and can only land post-run;
+      // wait_idle() is the quiescent point for it.
+      gang_stats_[static_cast<std::size_t>(gang)].tasks += 1;
     }
     omp_set_num_threads(threads_per_gang_);
+    Timer busy;
     task();  // exceptions land in the future, never escape here
+    const double busy_seconds = busy.seconds();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      GangStats& g = gang_stats_[static_cast<std::size_t>(gang)];
+      g.busy_seconds += busy_seconds;
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -125,7 +157,9 @@ ExecutorStats Executor::stats() const {
     s.submitted = submitted_;
     s.completed = completed_;
     s.failed = failed_;
+    s.gangs = gang_stats_;
   }
+  s.uptime_seconds = uptime_.seconds();
   s.plan_cache = cache_.stats();
   s.workspaces = cache_.workspace_stats();
   return s;

@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,7 @@
 #include <variant>
 #include <vector>
 
+#include "tsv/common/timer.hpp"
 #include "tsv/core/plan_cache.hpp"
 
 namespace tsv {
@@ -63,13 +65,32 @@ struct ExecutorConfig {
   int threads_per_gang = 1;
 };
 
+/// Per-gang busy-time accounting: how many tasks this gang ran and how much
+/// wall time it spent inside them. busy / uptime is the gang's utilization;
+/// a skewed tasks distribution across gangs exposes queue imbalance.
+struct GangStats {
+  std::uint64_t tasks = 0;
+  double busy_seconds = 0.0;
+};
+
 struct ExecutorStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  ///< finished successfully
   std::uint64_t failed = 0;     ///< finished by raising into the future
   PlanCacheStats plan_cache;
   WorkspacePool::Stats workspaces;  ///< aggregated over all cached plans
+  std::vector<GangStats> gangs;     ///< one entry per gang, stable order
+  double uptime_seconds = 0.0;      ///< wall time since construction
 };
+
+/// Whole-pool utilization in [0, 1]: the busy fraction of every gang's
+/// uptime, summed. 1.0 means every gang computed the entire time.
+inline double utilization(const ExecutorStats& s) {
+  if (s.gangs.empty() || s.uptime_seconds <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const GangStats& g : s.gangs) busy += g.busy_seconds;
+  return busy / (s.uptime_seconds * static_cast<double>(s.gangs.size()));
+}
 
 class Executor {
  public:
@@ -110,6 +131,13 @@ class Executor {
     return submit(Request{GridRef{&g}, StencilSpec{.kind = kind}, o});
   }
 
+  /// Enqueues an arbitrary closure to run on a gang — the sharded plan's
+  /// wave driver (core/plan.hpp) fans its per-shard fill/exchange/sweep
+  /// tasks out through this. The task runs with the gang's OpenMP pin like
+  /// any request and counts in submitted/completed/failed and the per-gang
+  /// stats; it bypasses the plan cache (the closure brings its own plan).
+  std::future<void> submit_task(std::function<void()> fn);
+
   /// Blocks until every submitted request has finished. (Per-request
   /// completion is the future; this is the whole-batch barrier.)
   void wait_idle();
@@ -123,10 +151,12 @@ class Executor {
   int threads_per_gang() const { return threads_per_gang_; }
 
  private:
-  void worker_loop();
+  void worker_loop(int gang);
+  std::future<void> enqueue(std::packaged_task<void()> task);
 
   PlanCache cache_;
   int threads_per_gang_ = 1;
+  Timer uptime_;  ///< utilization denominator (stats().uptime_seconds)
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue became non-empty / stopping
@@ -138,6 +168,7 @@ class Executor {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::vector<GangStats> gang_stats_;  // guarded by mu_; sized at construction
 
   std::vector<std::thread> workers_;  // last member: joins before the rest
 };

@@ -1,8 +1,11 @@
 #include "tsv/core/plan.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <future>
 #include <string>
 
+#include "tsv/core/executor.hpp"
 #include "tsv/core/workspace.hpp"
 
 namespace tsv {
@@ -39,6 +42,31 @@ namespace detail {
 int runtime_default_threads() {
   static const int threads = omp_get_max_threads();
   return threads;
+}
+
+void run_wave(Executor* ex, std::vector<std::function<void()>>& tasks) {
+  // One task (or no executor) gains nothing from the submit/future round
+  // trip — run inline. Order within a wave is free by construction: every
+  // wave's tasks touch disjoint data (see ShardedPlan).
+  if (ex == nullptr || tasks.size() <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::vector<std::future<void>> done;
+  done.reserve(tasks.size());
+  for (auto& task : tasks) done.push_back(ex->submit_task(task));
+  // The wave is a barrier: drain EVERY future before rethrowing, so no
+  // task is still running (and touching the caller's sharded grid) when
+  // the exception unwinds the stack the tasks reference.
+  std::exception_ptr first;
+  for (auto& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace detail

@@ -1,0 +1,62 @@
+#include "tsv/core/shard.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "tsv/common/cpu.hpp"
+
+namespace tsv {
+
+ShardLayout shard_layout(int rank, index outer, const ShardSpec& spec) {
+  require(rank >= 1 && rank <= 3, "shard_layout: rank must be 1, 2 or 3");
+  require(outer > 0, "shard_layout: outermost extent must be positive");
+  const int outermost = rank - 1;
+  if (spec.axis != -1 && spec.axis != outermost)
+    throw std::invalid_argument(
+        "ShardSpec: only the outermost axis (axis " +
+        std::to_string(outermost) + " for rank " + std::to_string(rank) +
+        ") can be sharded — inner axes would cut unit-stride rows, and the "
+        "vector layout transforms require them intact (got axis " +
+        std::to_string(spec.axis) + ")");
+  if (spec.count < 0)
+    throw std::invalid_argument("ShardSpec: count must be >= 0");
+  int count = spec.count;
+  if (count == 0)
+    count = static_cast<int>(
+        std::min<index>(cpu_info().logical_cores, outer));
+  count = std::max(count, 1);
+  if (static_cast<index>(count) > outer)
+    throw std::invalid_argument(
+        "ShardSpec: " + std::to_string(count) + " shards need at least " +
+        std::to_string(count) + " slabs on the split axis (extent " +
+        std::to_string(outer) + ")");
+
+  ShardLayout layout;
+  layout.axis = outermost;
+  layout.count = count;
+  layout.base.reserve(static_cast<std::size_t>(count));
+  layout.extent.reserve(static_cast<std::size_t>(count));
+  // Even split; the remainder goes to the leading shards, one slab each.
+  const index per = outer / count;
+  const index rem = outer % count;
+  index base = 0;
+  for (int i = 0; i < count; ++i) {
+    const index e = per + (static_cast<index>(i) < rem ? 1 : 0);
+    layout.base.push_back(base);
+    layout.extent.push_back(e);
+    base += e;
+  }
+  return layout;
+}
+
+const char* shard_violation(const ShardLayout& layout, int radius) {
+  for (const index e : layout.extent)
+    if (e < static_cast<index>(radius))
+      return "a shard's split-axis extent is smaller than the stencil "
+             "radius: the ghost exchange copies radius slabs of neighbor "
+             "interior, so every shard needs extent >= radius (use fewer "
+             "shards)";
+  return nullptr;
+}
+
+}  // namespace tsv

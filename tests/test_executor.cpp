@@ -12,9 +12,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -197,6 +199,56 @@ TEST(Executor, StressMixedRequestsBitIdenticalToSerial) {
   EXPECT_EQ(s.workspaces.in_flight, 0u);
   EXPECT_LE(s.workspaces.created, 6u * static_cast<unsigned>(ex.gangs()));
   EXPECT_EQ(s.workspaces.created + s.workspaces.reused, s.submitted);
+  // Per-gang accounting: every completed request is attributed to exactly
+  // one gang, busy time accumulates, and pool utilization is a fraction.
+  ASSERT_EQ(s.gangs.size(), static_cast<std::size_t>(ex.gangs()));
+  std::uint64_t gang_tasks = 0;
+  for (const GangStats& g : s.gangs) {
+    gang_tasks += g.tasks;
+    EXPECT_GE(g.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(gang_tasks, s.completed);
+  EXPECT_GT(s.uptime_seconds, 0.0);
+  EXPECT_GE(utilization(s), 0.0);
+  EXPECT_LE(utilization(s), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Per-gang busy-time counters: submit_task closures (the sharded plan's
+// wave path) are attributed to the gang that ran them, busy time
+// accumulates measurably, and a throwing closure counts as failed without
+// losing its gang attribution.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, GangBusyCountersTrackSubmittedTasks) {
+  Executor ex({.gangs = 2, .threads_per_gang = 1});
+  constexpr std::uint64_t kTasks = 8;
+  std::vector<std::future<void>> futs;
+  for (std::uint64_t i = 0; i < kTasks; ++i)
+    futs.push_back(ex.submit_task(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }));
+  futs.push_back(ex.submit_task([] { throw std::runtime_error("boom"); }));
+  for (std::uint64_t i = 0; i < kTasks; ++i)
+    EXPECT_NO_THROW(futs[static_cast<std::size_t>(i)].get());
+  EXPECT_THROW(futs.back().get(), std::runtime_error);
+  ex.wait_idle();
+
+  const ExecutorStats s = ex.stats();
+  EXPECT_EQ(s.submitted, kTasks + 1);
+  EXPECT_EQ(s.completed, kTasks);
+  EXPECT_EQ(s.failed, 1u);
+  ASSERT_EQ(s.gangs.size(), 2u);
+  std::uint64_t tasks = 0;
+  double busy = 0.0;
+  for (const GangStats& g : s.gangs) {
+    tasks += g.tasks;
+    busy += g.busy_seconds;
+  }
+  EXPECT_EQ(tasks, kTasks + 1);  // the failed task still occupied a gang
+  EXPECT_GE(busy, static_cast<double>(kTasks) * 0.002);
+  EXPECT_GT(s.uptime_seconds, 0.0);
+  EXPECT_GT(utilization(s), 0.0);
+  EXPECT_LE(utilization(s), 1.0);
 }
 
 // ---------------------------------------------------------------------------
