@@ -26,9 +26,13 @@
 
 #include <omp.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -419,6 +423,74 @@ inline tsv::Problem smoke_problem(tsv::Problem p) {
   p.bx = p.by = p.bz = p.bt = 0;
   return p;
 }
+
+/// Open-loop Poisson arrival offsets: seconds from t=0, strictly inside
+/// [0, horizon_s), sorted. Implemented by inverse-CDF over raw mt19937_64
+/// draws instead of std::exponential_distribution, whose algorithm the
+/// standard leaves to the library — the committed baseline and the CI
+/// runners must derive the SAME arrival counts from one seed regardless of
+/// which standard library compiled the bench.
+inline std::vector<double> poisson_arrivals(double rate_hz, double horizon_s,
+                                            std::uint64_t seed) {
+  std::vector<double> t;
+  std::mt19937_64 rng(seed);
+  double now = 0.0;
+  for (;;) {
+    const double u =
+        static_cast<double>(rng() >> 11) * 0x1.0p-53;  // uniform [0, 1)
+    now += -std::log1p(-u) / rate_hz;                  // exponential gap
+    if (now >= horizon_s) break;
+    t.push_back(now);
+  }
+  return t;
+}
+
+/// One mixed-workload request slot (figs. 10 and 12): an independent grid
+/// advancing `steps` under kTranspose. Even ids are 1D (nx elements), odd
+/// ids 2D (nx/64 x 32) — both W^2-conforming for every compiled width/dtype
+/// when nx is a multiple of 4096. reset() refills with an id-dependent
+/// pattern, so distinct ids are distinct INPUTS (no accidental coalescing)
+/// and a reused slot is restored to a known pre-run state.
+struct MixSlot {
+  std::unique_ptr<tsv::Grid1D<double>> g1;
+  std::unique_ptr<tsv::Grid2D<double>> g2;
+  tsv::StencilSpec spec;
+  tsv::Options o;
+  tsv::index points = 0;
+
+  void reset(int id, tsv::index nx, tsv::index steps) {
+    o = {};
+    o.method = tsv::Method::kTranspose;
+    o.steps = steps;
+    o.boundary = g_boundary;
+    o.stream = g_stream;
+    if (id % 2 == 0) {
+      spec.kind = tsv::StencilKind::k1d3p;
+      points = nx;
+      if (!g1) g1 = std::make_unique<tsv::Grid1D<double>>(nx, 1);
+      g1->fill([id](tsv::index x) {
+        return 0.3 + 1e-4 * static_cast<double>((x + 13 * id) % 97);
+      });
+    } else {
+      spec.kind = tsv::StencilKind::k2d5p;
+      const tsv::index ny = 32;
+      points = (nx / 64) * ny;
+      if (!g2) g2 = std::make_unique<tsv::Grid2D<double>>(nx / 64, ny, 1);
+      g2->fill([id](tsv::index x, tsv::index y) {
+        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y + 13 * id) % 97);
+      });
+    }
+  }
+
+  /// The grid of the LAST reset() — a slot reused across parities keeps
+  /// both grids alive, so the spec (not grid presence) picks the one the
+  /// current configuration targets.
+  tsv::Executor::GridRef grid_ref() {
+    return spec.kind == tsv::StencilKind::k1d3p
+               ? tsv::Executor::GridRef{g1.get()}
+               : tsv::Executor::GridRef{g2.get()};
+  }
+};
 
 /// The four multicore contenders of Figs. 8-9 (paper naming).
 struct Contender {

@@ -28,10 +28,14 @@ import sys
 
 # Fields that do NOT identify a configuration: measurements, and the
 # harness-config fields every record now carries (threads vary by runner;
-# resolved blocks vary with tuning).
+# resolved blocks vary with tuning). The fig12 latency fields are
+# measurements too — p99 varies run to run while the configuration
+# (policy, class, gangs) stays the join key.
 NON_IDENTITY = {
     "gflops", "points_per_s", "speedup", "error",
     "threads", "tune", "bx", "by", "bz", "bt", "streaming",
+    "req_per_s", "requests", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+    "deadline_missed", "shed", "shed_rate", "coalesced",
 }
 
 
@@ -40,11 +44,23 @@ def identity(rec):
 
 
 def metric(rec):
+    if "req_per_s" in rec:
+        return float(rec["req_per_s"])
     if "points_per_s" in rec:
         return float(rec["points_per_s"])
     if "gflops" in rec:
         return float(rec["gflops"])
     return None
+
+
+def load_bound(rec):
+    """True for records whose metric is pinned by OFFERED LOAD, not machine
+    speed (fig12's open-loop req_per_s: fixed arrival rate, any machine that
+    keeps up completes the same requests over the same horizon). These are
+    gated on the absolute new/baseline ratio — normalizing them by the
+    machine-speed median would false-fail them on any runner faster than
+    the baseline machine."""
+    return "req_per_s" in rec
 
 
 def load(path):
@@ -84,22 +100,29 @@ def main():
         if m_new is None or m_new <= 0:
             failures.append(f"NO METRIC in new run: {dict(key)}")
             continue
-        joined.append((key, metric(brec), m_new))
+        joined.append((key, metric(brec), m_new, load_bound(brec)))
 
     if not joined:
         print("no joinable records between baseline and new run", file=sys.stderr)
         return 2
 
-    ratios = [m_new / m_base for _, m_base, m_new in joined]
-    med = statistics.median(ratios)
+    # The machine-speed median comes from the machine-bound records only;
+    # with none joined (a latency-only comparison) 1.0 degrades gracefully
+    # to "absolute ratios for everything".
+    machine_ratios = [m_new / m_base
+                      for _, m_base, m_new, lb in joined if not lb]
+    med = statistics.median(machine_ratios) if machine_ratios else 1.0
     floor = args.tolerance * med
     lines.append(f"records joined: {len(joined)}   median new/baseline: "
-                 f"{med:.3f}   floor: {args.tolerance} * median = {floor:.3f}")
+                 f"{med:.3f}   floor: {args.tolerance} * median = {floor:.3f}"
+                 f"   (load-bound records: floor = {args.tolerance})")
 
-    for (key, m_base, m_new), ratio in zip(joined, ratios):
-        norm = ratio / med
-        mark = "FAIL" if ratio < floor else "ok"
-        if ratio < floor:
+    for key, m_base, m_new, lb in joined:
+        ratio = m_new / m_base
+        rec_floor = args.tolerance if lb else floor
+        norm = ratio if lb else ratio / med
+        mark = "FAIL" if ratio < rec_floor else "ok"
+        if ratio < rec_floor:
             failures.append(
                 f"REGRESSION {dict(key)}: {m_new:.3g} vs baseline "
                 f"{m_base:.3g} (normalized {norm:.2f}x < {args.tolerance})")

@@ -55,40 +55,10 @@ Flags parse_extra(int argc, char** argv) {
   return f;
 }
 
-/// One request slot: an independent grid advancing `steps` under `options`.
-/// Half the batch is 1D (nx elements), half 2D (nx/64 x 32) — both
-/// W^2-conforming for every compiled width/dtype (nx is a multiple of 4096).
-struct Slot {
-  std::unique_ptr<tsv::Grid1D<double>> g1;
-  std::unique_ptr<tsv::Grid2D<double>> g2;
-  tsv::StencilSpec spec;
-  tsv::Options o;
-  tsv::index points = 0;
-
-  void reset(int id, tsv::index nx, tsv::index steps) {
-    o = {};
-    o.method = tsv::Method::kTranspose;
-    o.steps = steps;
-    o.boundary = g_boundary;
-    o.stream = g_stream;
-    if (id % 2 == 0) {
-      spec.kind = tsv::StencilKind::k1d3p;
-      points = nx;
-      if (!g1) g1 = std::make_unique<tsv::Grid1D<double>>(nx, 1);
-      g1->fill([id](tsv::index x) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 13 * id) % 97);
-      });
-    } else {
-      spec.kind = tsv::StencilKind::k2d5p;
-      const tsv::index ny = 32;
-      points = (nx / 64) * ny;
-      if (!g2) g2 = std::make_unique<tsv::Grid2D<double>>(nx / 64, ny, 1);
-      g2->fill([id](tsv::index x, tsv::index y) {
-        return 0.3 + 1e-4 * static_cast<double>((x + 3 * y + 13 * id) % 97);
-      });
-    }
-  }
-};
+// The request mix (alternating 1D / 2D heat problems, independent grids)
+// lives in bench_common.hpp as MixSlot — fig12_latency drives the same mix
+// through the Scheduler, and the two benches must stay comparable.
+using Slot = MixSlot;
 
 double elapsed_serial(std::vector<Slot>& slots, tsv::PlanCache& cache) {
   tsv::Timer t;

@@ -1,20 +1,27 @@
-// Multi-tenant service simulation: three tenants with different physics
-// share one batched Executor, each running several independent sessions
-// over multiple rounds — the serving shape the executor subsystem exists
-// for (core/executor.hpp).
+// Multi-tenant service simulation: three tenants with different physics and
+// different SLOs share one deadline-aware Scheduler (core/scheduler.hpp)
+// over multiple rounds — the serving shape the scheduler subsystem exists
+// for, on top of the batched Executor it wraps.
 //
 //   ./service_simulation [rounds]
 //
 //   tenant A  2D heat plate, custom conductivity (StencilSpec coefficients),
-//             zero halo, tessellate+transpose (tiled; may claim a gang team)
-//   tenant B  1D smoothing on a ring (periodic), float, transpose layout
-//   tenant C  3D insulated diffusion (Neumann), compiler-vectorized sweeps
+//             zero halo, tessellate+transpose — INTERACTIVE, 250 ms deadline
+//   tenant B  1D smoothing on a ring (periodic), float, transpose layout —
+//             INTERACTIVE; a dashboard duplicate of session 0 rides along
+//             every round and must coalesce onto the queued original
+//   tenant C  3D insulated diffusion (Neumann), compiler-vectorized — BATCH;
+//             round 0 carries an impossible 1 us deadline, so exactly its
+//             two sessions must complete late and be counted as misses
 //
-// Self-checking: after all rounds every session must match the
-// boundary-aware scalar oracle advanced the same total number of steps
-// (exit nonzero otherwise), every submission must have completed, and the
-// plan cache must show exactly one construction per distinct configuration
-// — rounds beyond the first are pure cache hits reusing pooled workspaces.
+// Each round is built under pause() and released with resume(): admission
+// decisions (coalescing, quota) become deterministic, so the demo can
+// SELF-CHECK the serving layer exactly — coalesced == rounds, deadline
+// misses == 2, nothing shed, per-tenant in-flight never above the quota —
+// on top of the physics: after all rounds every session must match the
+// boundary-aware scalar oracle advanced the same total number of steps,
+// and the plan cache must show exactly one construction per distinct
+// configuration (the coalesced duplicate triggers none).
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,14 +53,23 @@ bool check_session(const G& got, G& oracle, const S& stencil,
   return true;
 }
 
+void drain(std::vector<std::future<tsv::Scheduler::Result>>& futs) {
+  for (auto& f : futs) f.get();  // rethrows ConfigError / OverloadError
+  futs.clear();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
 
-  tsv::Executor ex({.gangs = 4, .threads_per_gang = 2});
-  std::printf("service simulation: %d gangs x %d threads, %d rounds\n\n",
-              ex.gangs(), ex.threads_per_gang(), rounds);
+  tsv::Scheduler sched({.executor = {.gangs = 4, .threads_per_gang = 2},
+                        .queue_capacity = 64,
+                        .max_inflight_per_tenant = 2});
+  std::printf(
+      "service simulation: %d gangs x %d threads, %d rounds, "
+      "tenant quota 2\n\n",
+      sched.executor().gangs(), sched.executor().threads_per_gang(), rounds);
 
   // ---- tenant A: 2D heat plate, runtime conductivity, tiled ---------------
   const tsv::StencilSpec spec_a{.kind = tsv::StencilKind::k2d5p,
@@ -73,7 +89,7 @@ int main(int argc, char** argv) {
 
   // ---- tenant B: 1D periodic smoothing, float -----------------------------
   const tsv::StencilSpec spec_b{.kind = tsv::StencilKind::k1d3p,
-                                .coeffs = {1.0 / 3.0}};
+                                .coeffs = {1.0f / 3.0f}};
   tsv::Options opt_b;
   opt_b.method = tsv::Method::kTranspose;
   opt_b.steps = kStepsB;
@@ -106,39 +122,101 @@ int main(int argc, char** argv) {
   tsv::Grid1D<float> oracle_b = *sessions_b[0];
   tsv::Grid3D<double> oracle_c = *sessions_c[0];
 
-  // ---- rounds: every tenant submits every session, then the batch drains --
+  // ---- rounds -------------------------------------------------------------
+  // pause() -> submit the round -> resume(): every submission of a round is
+  // queued before any dispatches, so the dashboard duplicate ALWAYS finds
+  // tenant B's session 0 still queued and coalesces onto it, every round.
+  bool ok = true;
+  std::vector<std::future<tsv::Scheduler::Result>> futs;
   for (int r = 0; r < rounds; ++r) {
-    std::vector<std::future<void>> futs;
-    for (auto& g : sessions_a) futs.push_back(ex.submit(*g, spec_a, opt_a));
-    for (auto& g : sessions_b) futs.push_back(ex.submit(*g, spec_b, opt_b));
-    for (auto& g : sessions_c) futs.push_back(ex.submit(*g, spec_c, opt_c));
-    for (auto& f : futs) f.get();  // rethrows any ConfigError
+    sched.pause();
+    for (auto& g : sessions_a)
+      futs.push_back(sched.submit(*g, spec_a, opt_a,
+                                  tsv::ServiceClass::kInteractive,
+                                  /*deadline_ms=*/250.0, "tenant-a"));
+    for (auto& g : sessions_b)
+      futs.push_back(sched.submit(*g, spec_b, opt_b,
+                                  tsv::ServiceClass::kInteractive,
+                                  /*deadline_ms=*/0.0, "tenant-b"));
+    // Round 0's batch work carries a deadline that already passed when it
+    // was admitted: it still completes (shedding only happens under queue
+    // pressure), but must be accounted as missed — exactly 2 sessions.
+    const double deadline_c = r == 0 ? 0.001 : 0.0;
+    for (auto& g : sessions_c)
+      futs.push_back(sched.submit(*g, spec_c, opt_c,
+                                  tsv::ServiceClass::kBatch, deadline_c,
+                                  "tenant-c"));
+    // The dashboard duplicate: same stencil, options and CONTENTS as the
+    // queued session 0 of tenant B — served by one execution, fanned out.
+    tsv::Grid1D<float> dup = *sessions_b[0];
+    auto dup_fut = sched.submit(dup, spec_b, opt_b,
+                                tsv::ServiceClass::kInteractive,
+                                /*deadline_ms=*/0.0, "dashboard");
+    sched.resume();
+    drain(futs);
+    const tsv::Scheduler::Result dup_r = dup_fut.get();
+    if (!dup_r.coalesced || tsv::max_abs_diff(dup, *sessions_b[0]) != 0.0f) {
+      std::fprintf(stderr,
+                   "round %d: dashboard duplicate not coalesced "
+                   "bit-identically\n", r);
+      ok = false;
+    }
   }
 
-  const tsv::ExecutorStats st = ex.stats();
-  std::printf("submitted %llu, completed %llu, failed %llu\n",
+  const tsv::SchedulerStats st = sched.stats();
+  std::printf("submitted %llu (coalesced %llu), completed %llu, failed %llu, "
+              "shed %llu, missed %llu\n",
               static_cast<unsigned long long>(st.submitted),
+              static_cast<unsigned long long>(st.coalesced),
               static_cast<unsigned long long>(st.completed),
-              static_cast<unsigned long long>(st.failed));
+              static_cast<unsigned long long>(st.failed),
+              static_cast<unsigned long long>(st.shed + st.rejected),
+              static_cast<unsigned long long>(st.deadline_missed));
+  for (int c = 0; c < tsv::kServiceClasses; ++c) {
+    const auto& h = st.latency[static_cast<std::size_t>(c)];
+    std::printf("  %-12s %llu done, p50 %.2f ms, p99 %.2f ms\n",
+                tsv::service_class_name(static_cast<tsv::ServiceClass>(c)),
+                static_cast<unsigned long long>(h.count()),
+                h.quantile(0.5) * 1e3, h.quantile(0.99) * 1e3);
+  }
   std::printf(
       "plan cache: %llu hits / %llu misses (%zu entries); workspaces: %llu "
       "created, %llu reused\n\n",
-      static_cast<unsigned long long>(st.plan_cache.hits),
-      static_cast<unsigned long long>(st.plan_cache.misses),
-      st.plan_cache.entries, static_cast<unsigned long long>(st.workspaces.created),
-      static_cast<unsigned long long>(st.workspaces.reused));
+      static_cast<unsigned long long>(st.executor.plan_cache.hits),
+      static_cast<unsigned long long>(st.executor.plan_cache.misses),
+      st.executor.plan_cache.entries,
+      static_cast<unsigned long long>(st.executor.workspaces.created),
+      static_cast<unsigned long long>(st.executor.workspaces.reused));
 
-  bool ok = st.failed == 0 && st.completed == st.submitted;
-  // Three distinct configurations => exactly three plan constructions, no
-  // matter how many sessions, rounds or racing workers.
-  if (st.plan_cache.misses != 3) {
-    std::fprintf(stderr, "expected 3 plan-cache misses, saw %llu\n",
-                 static_cast<unsigned long long>(st.plan_cache.misses));
+  // ---- serving-layer self-checks ------------------------------------------
+  ok = ok && st.failed == 0 && st.completed == st.admitted &&
+       st.shed == 0 && st.rejected == 0;
+  if (st.coalesced != static_cast<std::uint64_t>(rounds)) {
+    std::fprintf(stderr, "expected %d coalesced duplicates, saw %llu\n",
+                 rounds, static_cast<unsigned long long>(st.coalesced));
     ok = false;
   }
-  if (st.workspaces.in_flight != 0) {
+  if (st.deadline_missed != 2) {  // tenant C's two round-0 sessions, no more
+    std::fprintf(stderr, "expected 2 deadline misses, saw %llu\n",
+                 static_cast<unsigned long long>(st.deadline_missed));
+    ok = false;
+  }
+  if (st.peak_tenant_inflight > 2) {
+    std::fprintf(stderr, "tenant quota breached: peak in-flight %zu > 2\n",
+                 st.peak_tenant_inflight);
+    ok = false;
+  }
+  // Three distinct configurations => exactly three plan constructions, no
+  // matter how many sessions, rounds or racing workers — and the coalesced
+  // duplicate never probed the cache at all.
+  if (st.executor.plan_cache.misses != 3) {
+    std::fprintf(stderr, "expected 3 plan-cache misses, saw %llu\n",
+                 static_cast<unsigned long long>(st.executor.plan_cache.misses));
+    ok = false;
+  }
+  if (st.executor.workspaces.in_flight != 0) {
     std::fprintf(stderr, "workspace leak: %zu still in flight\n",
-                 st.workspaces.in_flight);
+                 st.executor.workspaces.in_flight);
     ok = false;
   }
 
@@ -146,7 +224,7 @@ int main(int argc, char** argv) {
   ok &= check_session(*sessions_a[0], oracle_a,
                       tsv::make_2d5p(0.6, 0.11, 0.09), total(kStepsA),
                       opt_a.boundary, "A (2D heat, tiled)");
-  ok &= check_session(*sessions_b[0], oracle_b, tsv::make_1d3p<float>(1.0 / 3.0),
+  ok &= check_session(*sessions_b[0], oracle_b, tsv::make_1d3p<float>(1.0f / 3.0f),
                       total(kStepsB), opt_b.boundary, "B (1D periodic, f32)");
   ok &= check_session(*sessions_c[0], oracle_c,
                       tsv::make_3d7p(0.4, 0.1, 0.1, 0.1), total(kStepsC),

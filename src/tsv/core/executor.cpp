@@ -157,6 +157,7 @@ ExecutorStats Executor::stats() const {
     s.submitted = submitted_;
     s.completed = completed_;
     s.failed = failed_;
+    s.queue_depth = queue_.size();
     s.gangs = gang_stats_;
   }
   s.uptime_seconds = uptime_.seconds();

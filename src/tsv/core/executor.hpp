@@ -77,6 +77,7 @@ struct ExecutorStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  ///< finished successfully
   std::uint64_t failed = 0;     ///< finished by raising into the future
+  std::size_t queue_depth = 0;  ///< gauge: tasks waiting for a gang
   PlanCacheStats plan_cache;
   WorkspacePool::Stats workspaces;  ///< aggregated over all cached plans
   std::vector<GangStats> gangs;     ///< one entry per gang, stable order
@@ -149,6 +150,15 @@ class Executor {
 
   int gangs() const { return static_cast<int>(workers_.size()); }
   int threads_per_gang() const { return threads_per_gang_; }
+
+  /// Tasks enqueued but not yet picked up by a gang. The Scheduler
+  /// (core/scheduler.hpp) keeps this at most `gangs()` by construction —
+  /// its admission queue is where requests wait, so dispatch order stays a
+  /// policy decision instead of executor FIFO order.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
 
  private:
   void worker_loop(int gang);

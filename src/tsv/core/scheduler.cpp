@@ -1,0 +1,456 @@
+#include "tsv/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+namespace tsv {
+
+namespace {
+
+using Clock = Scheduler::Clock;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+// ---- grid content digest / fan-out copy -----------------------------------
+//
+// Coalescing identity must cover the INPUT DATA, not just the configuration:
+// two requests with equal (spec, shape, options) but different grid contents
+// produce different results and must never share one execution. The digest
+// is FNV-1a over every logical cell including the halo (Dirichlet halos are
+// inputs too); lead-padding bytes outside the halo are skipped, so two grids
+// that are cell-for-cell equal hash equal regardless of allocator noise.
+// The cost is one O(n) read per submission — the price of content
+// addressing, paid on the submitter's thread, never on a gang.
+
+std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t bytes) {
+  const unsigned char* c = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= c[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t content_digest(const Grid1D<T>& g) {
+  const index h = g.halo();
+  return fnv1a(1469598103934665603ull, &g.at(-h),
+               static_cast<std::size_t>(g.nx() + 2 * h) * sizeof(T));
+}
+
+template <typename T>
+std::uint64_t content_digest(const Grid2D<T>& g) {
+  const index h = g.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(g.nx() + 2 * h) * sizeof(T);
+  std::uint64_t d = 1469598103934665603ull;
+  for (index y = -h; y < g.ny() + h; ++y) d = fnv1a(d, g.row(y) - h, row_bytes);
+  return d;
+}
+
+template <typename T>
+std::uint64_t content_digest(const Grid3D<T>& g) {
+  const index h = g.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(g.nx() + 2 * h) * sizeof(T);
+  std::uint64_t d = 1469598103934665603ull;
+  for (index z = -h; z < g.nz() + h; ++z)
+    for (index y = -h; y < g.ny() + h; ++y)
+      d = fnv1a(d, g.row(y, z) - h, row_bytes);
+  return d;
+}
+
+std::uint64_t content_digest(const Scheduler::GridRef& ref) {
+  return std::visit([](auto* g) { return content_digest(*g); }, ref);
+}
+
+template <typename T>
+void copy_content(Grid1D<T>& dst, const Grid1D<T>& src) {
+  const index h = dst.halo();
+  std::memcpy(&dst.at(-h), &src.at(-h),
+              static_cast<std::size_t>(dst.nx() + 2 * h) * sizeof(T));
+}
+
+template <typename T>
+void copy_content(Grid2D<T>& dst, const Grid2D<T>& src) {
+  const index h = dst.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(dst.nx() + 2 * h) * sizeof(T);
+  for (index y = -h; y < dst.ny() + h; ++y)
+    std::memcpy(dst.row(y) - h, src.row(y) - h, row_bytes);
+}
+
+template <typename T>
+void copy_content(Grid3D<T>& dst, const Grid3D<T>& src) {
+  const index h = dst.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(dst.nx() + 2 * h) * sizeof(T);
+  for (index z = -h; z < dst.nz() + h; ++z)
+    for (index y = -h; y < dst.ny() + h; ++y)
+      std::memcpy(dst.row(y, z) - h, src.row(y, z) - h, row_bytes);
+}
+
+/// Fans a leader's finished grid out to a follower. Same variant
+/// alternative by construction: the coalesce key contains rank and dtype,
+/// so a mismatch is a scheduler bug, not a user error.
+void copy_content(Scheduler::GridRef dst, const Scheduler::GridRef& src) {
+  std::visit(
+      [](auto* d, auto* s) {
+        if constexpr (std::is_same_v<decltype(d), decltype(s)>) {
+          copy_content(*d, *s);
+        } else {
+          require(false, "Scheduler: coalesced grids of different type");
+        }
+      },
+      dst, src);
+}
+
+}  // namespace
+
+const char* service_class_name(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kInteractive: return "interactive";
+    case ServiceClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+void LatencyHistogram::record(double seconds) {
+  ++n_;
+  sum_ += seconds;
+  double v = seconds / kBaseSeconds;
+  int b = 0;
+  while (b < kBuckets - 1 && v >= 2.0) {
+    v *= 0.5;
+    ++b;
+  }
+  ++counts_[static_cast<std::size_t>(b)];
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n_);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Interpolate inside the landing bucket [lo, hi).
+      const double lo = b == 0 ? 0.0 : std::ldexp(kBaseSeconds, b);
+      const double hi = std::ldexp(kBaseSeconds, b + 1);
+      const double frac = std::clamp(
+          (target - static_cast<double>(cum)) / static_cast<double>(c), 0.0,
+          1.0);
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return std::ldexp(kBaseSeconds, kBuckets);  // unreachable
+}
+
+// ---- Scheduler -------------------------------------------------------------
+
+/// One submission's completion endpoint: its promise plus everything the
+/// completion path needs to account it (class, deadline, admission time).
+struct Scheduler::Member {
+  std::promise<Result> promise;
+  Clock::time_point admitted;
+  Clock::time_point deadline = kNoDeadline;
+  ServiceClass cls = ServiceClass::kBatch;
+  GridRef grid;
+  bool follower = false;
+};
+
+/// One admission-queue entry: the leader submission plus every follower
+/// coalesced onto it. The group's class/deadline are the most urgent of its
+/// members, so a follower can PROMOTE a queued batch request into the
+/// interactive lane — the result serves both, so it inherits the stricter
+/// SLO.
+struct Scheduler::Group {
+  StencilSpec spec;
+  Options options;  ///< normalized: dtype from the grid, gang-capped team
+  Shape shape;
+  std::pair<PlanKey, std::uint64_t> key;
+  ServiceClass cls = ServiceClass::kBatch;
+  Clock::time_point deadline = kNoDeadline;
+  std::uint64_t seq = 0;           ///< admission order (tiebreak)
+  std::uint64_t dispatch_seq = 0;  ///< set when handed to the executor
+  std::string tenant;              ///< leader's quota bucket
+  std::vector<Member> members;     ///< members[0] is the leader
+};
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg), ex_(cfg.executor) {
+  cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+}
+
+Scheduler::~Scheduler() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopping_ = true;
+  paused_ = false;  // a paused scheduler still drains on destruction
+  dispatch_locked(lock);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  // After the drain no task can reference this scheduler again; the
+  // executor member's own destructor joins its (now idle) workers.
+}
+
+std::future<Scheduler::Result> Scheduler::submit(Request req) {
+  const Clock::time_point now = Clock::now();
+
+  // Normalize exactly like Executor::submit: the grid is the source of
+  // truth for the dtype, and the gang size caps the team (negative caps
+  // pass through so resolve_options rejects them on the worker).
+  Options o = req.options;
+  std::visit(
+      [&o](auto* g) {
+        using G = std::remove_pointer_t<decltype(g)>;
+        o.dtype = dtype_of<typename detail::grid_value_t<G>>();
+      },
+      req.grid);
+  if (o.max_threads == 0)
+    o.max_threads = ex_.threads_per_gang();
+  else if (o.max_threads > 0)
+    o.max_threads = std::min(o.max_threads, ex_.threads_per_gang());
+
+  const Shape shape = std::visit([](auto* g) { return shape_of(*g); }, req.grid);
+
+  Member m;
+  m.admitted = now;
+  if (req.deadline_ms > 0.0)
+    m.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               req.deadline_ms));
+  m.cls = req.cls;
+  m.grid = req.grid;
+  std::future<Result> fut = m.promise.get_future();
+
+  std::shared_ptr<Group> victim;       // shed group: promises failed post-unlock
+  const char* reject_msg = nullptr;    // set => reject this submission
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.submitted;
+
+    if (stopping_) {
+      ++stats_.rejected;
+      reject_msg = "tsv::Scheduler: shutting down";
+    } else {
+      std::pair<PlanKey, std::uint64_t> key{
+          PlanKey::make(shape, req.stencil, o), 0};
+      if (cfg_.coalesce) {
+        // The digest read races nothing: the caller owns the grid until the
+        // future resolves, and no queued leader with the same key has been
+        // dispatched yet (dispatch closes the group).
+        key.second = content_digest(req.grid);
+        auto it = open_.find(key);
+        if (it != open_.end()) {
+          Group& g = *it->second;
+          m.follower = true;
+          g.cls = std::min(g.cls, req.cls);
+          g.deadline = std::min(g.deadline, m.deadline);
+          g.members.push_back(std::move(m));
+          ++stats_.admitted;
+          ++stats_.coalesced;
+          return fut;  // no queue slot consumed: the work already exists
+        }
+      }
+
+      if (queue_.size() >= cfg_.queue_capacity) {
+        // Full: shed queued work that is already past its deadline —
+        // lowest priority class first, then most overdue, then oldest.
+        // Nothing sheddable means the NEWCOMER is rejected: admitted work
+        // with a live deadline is never dropped for later arrivals.
+        // Victim order: lowest priority class first (batch before
+        // interactive), then most overdue, then oldest.
+        const auto shed_rank = [](const Group& g) {
+          return std::tuple(-static_cast<int>(g.cls), g.deadline, g.seq);
+        };
+        std::size_t best = queue_.size();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          const Group& g = *queue_[i];
+          if (g.deadline == kNoDeadline || g.deadline > now) continue;
+          if (best == queue_.size() || shed_rank(g) < shed_rank(*queue_[best]))
+            best = i;
+        }
+        if (best < queue_.size()) {
+          victim = queue_[best];
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+          if (cfg_.coalesce) open_.erase(victim->key);
+          stats_.shed += victim->members.size();
+        } else {
+          ++stats_.rejected;
+          reject_msg = "tsv::Scheduler: admission queue full";
+        }
+      }
+
+      if (reject_msg == nullptr) {
+        auto g = std::make_shared<Group>();
+        g->spec = std::move(req.stencil);
+        g->options = o;
+        g->shape = shape;
+        g->key = key;
+        g->cls = m.cls;
+        g->deadline = m.deadline;
+        g->seq = seq_++;
+        g->tenant = std::move(req.tenant);
+        g->members.push_back(std::move(m));
+        if (cfg_.coalesce) open_.emplace(g->key, g);
+        queue_.push_back(std::move(g));
+        ++stats_.admitted;
+        dispatch_locked(lock);
+      }
+    }
+  }
+
+  // Promise resolution happens outside the lock: a waiter woken by
+  // set_exception may immediately call stats() and must not self-deadlock.
+  if (victim)
+    for (Member& vm : victim->members)
+      vm.promise.set_exception(std::make_exception_ptr(OverloadError(
+          "tsv::Scheduler: shed past-deadline request (queue full)")));
+  if (reject_msg != nullptr)
+    m.promise.set_exception(
+        std::make_exception_ptr(OverloadError(reject_msg)));
+  return fut;
+}
+
+void Scheduler::dispatch_locked(std::unique_lock<std::mutex>& lock) {
+  // Hand the executor at most `gangs` groups: every dispatched group starts
+  // immediately on an idle gang, so the FIFO inside the executor never
+  // holds more than the work already running — ORDER lives here.
+  (void)lock;  // held by the caller; documents the contract
+  while (!paused_ && inflight_ < static_cast<std::size_t>(ex_.gangs()) &&
+         !queue_.empty()) {
+    std::size_t best = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Group& g = *queue_[i];
+      if (cfg_.max_inflight_per_tenant > 0) {
+        auto it = tenant_inflight_.find(g.tenant);
+        if (it != tenant_inflight_.end() &&
+            it->second >= cfg_.max_inflight_per_tenant)
+          continue;  // tenant at quota: its backlog waits, others overtake
+      }
+      if (best == queue_.size()) {
+        best = i;
+        continue;
+      }
+      const Group& b = *queue_[best];
+      const bool wins =
+          cfg_.policy == SchedPolicy::kFifo
+              ? g.seq < b.seq
+              // Interactive before batch; within a class earliest deadline
+              // first (no deadline = kNoDeadline sorts last); admission
+              // order breaks ties.
+              : std::tuple(static_cast<int>(g.cls), g.deadline, g.seq) <
+                    std::tuple(static_cast<int>(b.cls), b.deadline, b.seq);
+      if (wins) best = i;
+    }
+    if (best == queue_.size()) return;  // everything eligible is at quota
+
+    std::shared_ptr<Group> g = queue_[best];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    if (cfg_.coalesce) open_.erase(g->key);  // group closed: input in use
+    g->dispatch_seq = dispatch_seq_++;
+    ++inflight_;
+    const int t = ++tenant_inflight_[g->tenant];
+    stats_.peak_tenant_inflight =
+        std::max(stats_.peak_tenant_inflight, static_cast<std::size_t>(t));
+
+    // The executor task: the leader computes through the shared plan cache
+    // (one cache probe, one execution per GROUP), followers receive a byte
+    // copy of the leader's result — coalesced waiters are bit-identical by
+    // construction. Errors reach every member's future and still count in
+    // the executor's own failed_ (the rethrow).
+    ex_.submit_task([this, g] {
+      std::exception_ptr err;
+      try {
+        std::shared_ptr<PlanCache::Entry> entry =
+            ex_.plan_cache().get(g->shape, g->spec, g->options);
+        WorkspacePool::Lease ws = entry->workspaces().checkout();
+        std::visit([&](auto* grid) { entry->plan().execute(*grid, *ws); },
+                   g->members.front().grid);
+        for (std::size_t i = 1; i < g->members.size(); ++i)
+          copy_content(g->members[i].grid, g->members.front().grid);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      on_group_done(g, err);
+      if (err) std::rethrow_exception(err);
+    });
+  }
+}
+
+void Scheduler::on_group_done(const std::shared_ptr<Group>& group,
+                              std::exception_ptr error) {
+  const Clock::time_point now = Clock::now();
+  std::vector<Result> results(group->members.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --inflight_;
+    auto it = tenant_inflight_.find(group->tenant);
+    if (it != tenant_inflight_.end() && --it->second <= 0)
+      tenant_inflight_.erase(it);
+    for (std::size_t i = 0; i < group->members.size(); ++i) {
+      const Member& m = group->members[i];
+      if (error) {
+        ++stats_.failed;
+        continue;
+      }
+      Result& r = results[i];
+      r.dispatch_seq = group->dispatch_seq;
+      r.latency_seconds =
+          std::chrono::duration<double>(now - m.admitted).count();
+      r.deadline_missed = m.deadline != kNoDeadline && now > m.deadline;
+      r.coalesced = m.follower;
+      ++stats_.completed;
+      if (r.deadline_missed) ++stats_.deadline_missed;
+      stats_.latency[static_cast<std::size_t>(m.cls)].record(
+          r.latency_seconds);
+    }
+    dispatch_locked(lock);
+    if (queue_.empty() && inflight_ == 0) idle_cv_.notify_all();
+  }
+  // Outside the lock — and touching only the group, never `this`: once the
+  // destructor observed the drain it may already be tearing the scheduler
+  // down while this tail runs.
+  for (std::size_t i = 0; i < group->members.size(); ++i) {
+    if (error)
+      group->members[i].promise.set_exception(error);
+    else
+      group->members[i].promise.set_value(results[i]);
+  }
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Scheduler::resume() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = false;
+  dispatch_locked(lock);
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    s.queued = queue_.size();
+    s.inflight = inflight_;
+  }
+  s.executor = ex_.stats();
+  return s;
+}
+
+}  // namespace tsv
