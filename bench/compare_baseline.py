@@ -35,7 +35,7 @@ NON_IDENTITY = {
     "gflops", "points_per_s", "speedup", "error",
     "threads", "tune", "bx", "by", "bz", "bt", "streaming",
     "req_per_s", "requests", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
-    "deadline_missed", "shed", "shed_rate", "coalesced",
+    "deadline_missed", "shed", "shed_rate", "coalesced", "retries",
 }
 
 

@@ -23,10 +23,12 @@
 // and the plan cache must show exactly one construction per distinct
 // configuration (the coalesced duplicate triggers none).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "tsv/kernels/reference.hpp"
@@ -56,6 +58,138 @@ bool check_session(const G& got, G& oracle, const S& stencil,
 void drain(std::vector<std::future<tsv::Scheduler::Result>>& futs) {
   for (auto& f : futs) f.get();  // rethrows ConfigError / OverloadError
   futs.clear();
+}
+
+// ---- chaos round ----------------------------------------------------------
+// Fault tolerance with EXACT accounting. Three transients are injected with
+// COUNT triggers (fire on the first N passes through the point, independent
+// of the rng seed — so every counter below is a hard assertion on any
+// machine), one session is cancelled while queued, and one is admitted with
+// an already-spent wall-clock budget:
+//
+//   workspace.alloc  count=2 \  each fire surfaces as TransientError and is
+//   executor.dispatch count=1 /  absorbed by the scheduler's retry budget
+//
+// Ledger: 6 submitted = 4 completed + 1 cancelled + 1 timed out; retries
+// exactly 3, budget never exhausted; the two failed sessions' grids stay
+// bit-untouched (both faults strike before execution mutates anything) and
+// the four survivors land bit-identical to a fault-free serial run.
+bool chaos_round() {
+  constexpr int kSessions = 4;
+  constexpr tsv::index kNx = 512, kSteps = 4;
+  std::printf(
+      "chaos round: 3 count-triggered transients, 1 cancel, 1 zero budget\n");
+
+  tsv::FaultInjector& fi = tsv::FaultInjector::instance();
+  fi.reset();
+  fi.arm("workspace.alloc", {.count = 2});   // arm() force-enables injection
+  fi.arm("executor.dispatch", {.count = 1});
+
+  const tsv::StencilSpec spec{.kind = tsv::StencilKind::k1d3p};
+  tsv::Options o;
+  o.method = tsv::Method::kTranspose;
+  o.steps = kSteps;
+  o.max_threads = 1;
+
+  // kSessions survivors + the cancel victim + the timeout victim, all with
+  // distinct contents so nothing coalesces; `inputs` keeps pristine copies
+  // for the untouched checks and the serial baseline.
+  std::vector<std::unique_ptr<tsv::Grid1D<double>>> grids;
+  std::vector<tsv::Grid1D<double>> inputs;
+  for (int s = 0; s < kSessions + 2; ++s) {
+    grids.push_back(std::make_unique<tsv::Grid1D<double>>(kNx, 1));
+    grids.back()->fill([s](tsv::index x) {
+      return 0.25 + 1e-3 * static_cast<double>((13 * x + 7 * s) % 101);
+    });
+    inputs.push_back(*grids.back());
+  }
+
+  bool ok = true;
+  tsv::Scheduler sched({.executor = {.gangs = 2, .threads_per_gang = 1},
+                        .retry_budget = 8,
+                        .retry_backoff_ms = 0.05,
+                        .retry_backoff_max_ms = 0.5});
+  sched.pause();  // queue the whole round, then release: deterministic fate
+  std::vector<std::future<tsv::Scheduler::Result>> futs;
+  for (int s = 0; s < kSessions; ++s)
+    futs.push_back(sched.submit(*grids[s], spec, o,
+                                tsv::ServiceClass::kInteractive,
+                                /*deadline_ms=*/0.0, "chaos"));
+  tsv::CancelToken quit = tsv::CancelToken::make();
+  auto cancel_fut =
+      sched.submit({tsv::Scheduler::GridRef{grids[kSessions].get()}, spec, o,
+                    tsv::ServiceClass::kInteractive, /*deadline_ms=*/0.0,
+                    "chaos", /*timeout_ms=*/0.0, quit});
+  auto timeout_fut =
+      sched.submit({tsv::Scheduler::GridRef{grids[kSessions + 1].get()}, spec,
+                    o, tsv::ServiceClass::kBatch, /*deadline_ms=*/0.0,
+                    "chaos", /*timeout_ms=*/0.001});
+  quit.cancel();  // cancelled while queued: pruned at dispatch, never run
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // budget spent
+  sched.resume();
+
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos: survivor failed: %s\n", e.what());
+      ok = false;
+    }
+  }
+  try {
+    cancel_fut.get();
+    std::fprintf(stderr, "chaos: cancelled session completed\n");
+    ok = false;
+  } catch (const tsv::CancelledError&) {
+  }
+  try {
+    timeout_fut.get();
+    std::fprintf(stderr, "chaos: zero-budget session completed\n");
+    ok = false;
+  } catch (const tsv::TimeoutError&) {
+  }
+
+  const tsv::SchedulerStats st = sched.stats();
+  std::printf(
+      "  submitted %llu: completed %llu, cancelled %llu, timed out %llu "
+      "(retries %llu, exhausted %llu)\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.cancelled),
+      static_cast<unsigned long long>(st.timed_out),
+      static_cast<unsigned long long>(st.retries),
+      static_cast<unsigned long long>(st.retry_exhausted));
+  const bool ledger =
+      st.submitted == kSessions + 2 && st.completed == kSessions &&
+      st.failed == 2 && st.cancelled == 1 && st.timed_out == 1 &&
+      st.retries == 3 && st.retry_exhausted == 0 && st.coalesced == 0 &&
+      st.shed == 0 && st.rejected == 0 &&
+      st.executor.workspaces.in_flight == 0;
+  if (!ledger) {
+    std::fprintf(stderr, "chaos: serving ledger does not balance\n");
+    ok = false;
+  }
+
+  // Disarm, then hold the service to its word: failed sessions untouched,
+  // survivors bit-identical to a fault-free serial run of the same plan.
+  fi.reset();
+  fi.set_enabled(false);
+  for (int s = kSessions; s < kSessions + 2; ++s)
+    if (tsv::max_abs_diff(*grids[static_cast<std::size_t>(s)],
+                          inputs[static_cast<std::size_t>(s)]) != 0.0) {
+      std::fprintf(stderr, "chaos: failed session %d was mutated\n", s);
+      ok = false;
+    }
+  for (int s = 0; s < kSessions; ++s) {
+    tsv::Grid1D<double>& expect = inputs[static_cast<std::size_t>(s)];
+    tsv::make_plan(tsv::shape_of(expect), spec, o).execute(expect);
+    if (tsv::max_abs_diff(*grids[static_cast<std::size_t>(s)], expect) != 0.0) {
+      std::fprintf(stderr, "chaos: survivor %d not bit-identical\n", s);
+      ok = false;
+    }
+  }
+  std::printf("  retried work bit-identical, failed sessions untouched\n\n");
+  return ok;
 }
 
 }  // namespace
@@ -230,6 +364,9 @@ int main(int argc, char** argv) {
                       tsv::make_3d7p(0.4, 0.1, 0.1, 0.1), total(kStepsC),
                       opt_c.boundary, "C (3D Neumann)");
 
-  std::printf("\n%s\n", ok ? "service simulation: OK" : "service simulation: FAILED");
+  std::printf("\n");
+  ok &= chaos_round();
+
+  std::printf("%s\n", ok ? "service simulation: OK" : "service simulation: FAILED");
   return ok ? 0 : 1;
 }

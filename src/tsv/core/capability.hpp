@@ -13,6 +13,7 @@
 #include <string>
 
 #include "tsv/common/cpu.hpp"
+#include "tsv/core/fault.hpp"
 #include "tsv/core/options.hpp"
 
 namespace tsv {
@@ -72,8 +73,10 @@ struct Capability {
 
 /// Structured configuration error thrown at plan creation (and for shape
 /// mismatches at execute). Derives from std::invalid_argument so call sites
-/// written against the seed's stringly-typed throws keep working.
-class ConfigError : public std::invalid_argument {
+/// written against the seed's stringly-typed throws keep working, and from
+/// TsvError (core/fault.hpp) so it slots into the error taxonomy — a config
+/// error is never transient, so the scheduler will not retry it.
+class ConfigError : public std::invalid_argument, public TsvError {
  public:
   ConfigError(Method method, Tiling tiling, int rank, std::string reason)
       : std::invalid_argument(format(method, tiling, rank, reason)),

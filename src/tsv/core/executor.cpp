@@ -3,11 +3,35 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "tsv/common/cpu.hpp"
 
 namespace tsv {
+
+namespace detail {
+
+void execute_request(PlanCache& cache, const Shape& shape,
+                     const StencilSpec& spec, const Options& o,
+                     Executor::GridRef grid, const ExecControl* ctl) {
+  for (;;) {
+    std::shared_ptr<PlanCache::Entry> entry = cache.get(shape, spec, o);
+    WorkspacePool::Lease ws = entry->workspaces().checkout();
+    try {
+      std::visit([&](auto* g) { entry->plan().execute(*g, *ws, ctl); }, grid);
+      return;
+    } catch (const KernelFault&) {
+      // Graceful ISA degradation: kernel faults fire pre-mutation, so the
+      // grid still holds the request's input — pin this configuration one
+      // rung down (AVX-512 -> AVX2 -> scalar) and retry on the rebuilt
+      // plan. Only the bottom rung's fault surfaces to the caller.
+      if (!cache.degrade(shape, spec, o)) throw;
+    }
+  }
+}
+
+}  // namespace detail
 
 Executor::Executor(ExecutorConfig cfg) {
   threads_per_gang_ = std::max(1, cfg.threads_per_gang);
@@ -55,16 +79,30 @@ std::future<void> Executor::submit(Request req) {
   else if (o.max_threads > 0)
     o.max_threads = std::min(o.max_threads, threads_per_gang_);
 
+  // The timeout budget starts at submit (queueing time counts against it),
+  // so the deadline is pinned here and rides into the task by value.
+  ExecControl ctl;
+  if (req.timeout_ms > 0.0)
+    ctl.deadline = ExecControl::Clock::now() +
+                   std::chrono::duration_cast<ExecControl::Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           req.timeout_ms));
+  if (req.cancel.valid())
+    ctl.cancelled = [tok = req.cancel] { return tok.cancelled(); };
+
   std::packaged_task<void()> task(
-      [this, grid = req.grid, spec = std::move(req.stencil), o]() {
+      [this, grid = req.grid, spec = std::move(req.stencil), o,
+       ctl = std::move(ctl)]() {
         try {
+          // Everything that can throw (validation, tuning, execution, the
+          // injected dispatch fault, cancel/timeout delivery) lives inside
+          // the packaged_task, so it raises into the future — a throw can
+          // never strand it.
+          fault_point(FaultSite::kExecutorDispatch);
+          ctl.check();
           const Shape shape =
               std::visit([](auto* g) { return shape_of(*g); }, grid);
-          // Everything that can throw (validation, tuning, execution) lives
-          // inside the packaged_task, so it raises into the future.
-          std::shared_ptr<PlanCache::Entry> entry = cache_.get(shape, spec, o);
-          WorkspacePool::Lease ws = entry->workspaces().checkout();
-          std::visit([&](auto* g) { entry->plan().execute(*g, *ws); }, grid);
+          detail::execute_request(cache_, shape, spec, o, grid, &ctl);
           std::lock_guard<std::mutex> lock(mu_);
           ++completed_;
         } catch (...) {
@@ -99,8 +137,13 @@ std::future<void> Executor::enqueue(std::packaged_task<void()> task) {
   std::future<void> fut = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++submitted_;
+    // Push BEFORE counting: if push_back throws (allocation growing the
+    // deque), the count must not have recorded a task that never queued —
+    // submitted_ would exceed completed_ + failed_ forever and the caller
+    // gets the exception with no future outstanding (the dying task's
+    // promise breaks, it does not strand).
     queue_.push_back(std::move(task));
+    ++submitted_;
   }
   work_cv_.notify_one();
   return fut;

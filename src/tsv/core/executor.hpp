@@ -108,6 +108,13 @@ class Executor {
     GridRef grid;
     StencilSpec stencil;
     Options options;
+    /// Wall-clock budget in ms measured from submit (0 = none). An expired
+    /// request fails with TimeoutError — at dispatch if it never started,
+    /// between time steps if it did (the plan slices steps=1 and polls).
+    double timeout_ms = 0.0;
+    /// Cooperative cancellation handle (default: inert). cancel() makes the
+    /// request fail with CancelledError at the next dispatch/step poll.
+    CancelToken cancel;
   };
 
   explicit Executor(ExecutorConfig cfg = {});
@@ -182,5 +189,19 @@ class Executor {
 
   std::vector<std::thread> workers_;  // last member: joins before the rest
 };
+
+namespace detail {
+
+/// The one execution path every request funnels through (Executor::submit
+/// and the Scheduler's group runner): cache lookup, workspace checkout,
+/// plan execute under @p ctl — with graceful ISA degradation wrapped
+/// around it: a KernelFault fires pre-mutation, so the request retries on a
+/// plan rebuilt one ISA rung down (PlanCache::degrade) until the scalar
+/// rung itself fails. Defined in executor.cpp.
+void execute_request(PlanCache& cache, const Shape& shape,
+                     const StencilSpec& spec, const Options& o,
+                     Executor::GridRef grid, const ExecControl* ctl);
+
+}  // namespace detail
 
 }  // namespace tsv

@@ -1,0 +1,39 @@
+#include "tsv/core/health.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tsv {
+
+const char* health_check_name(HealthCheck h) {
+  switch (h) {
+    case HealthCheck::kOff:
+      return "off";
+    case HealthCheck::kBoundary:
+      return "boundary";
+    case HealthCheck::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+HealthCheck health_check_from_name(const std::string& name) {
+  if (name == "off") return HealthCheck::kOff;
+  if (name == "boundary") return HealthCheck::kBoundary;
+  if (name == "full") return HealthCheck::kFull;
+  throw std::invalid_argument("unknown health_check '" + name +
+                              "' (off|boundary|full)");
+}
+
+namespace detail {
+
+void throw_numerical_error(index linear_index) {
+  throw NumericalError(
+      "health check: non-finite value at interior index " +
+          std::to_string(linear_index),
+      linear_index);
+}
+
+}  // namespace detail
+
+}  // namespace tsv

@@ -107,6 +107,21 @@ const char* boundary_name(Boundary b);
 /// core/tuner.hpp.
 const char* tune_name(Tune t);
 
+/// Output health scan (core/health.hpp): after every execute, check the
+/// result for NaN/Inf and throw NumericalError (with the first bad interior
+/// index) on corruption. kBoundary scans only the outermost interior ring —
+/// O(surface), catches halo/boundary corruption where it shows first;
+/// kFull scans the whole interior — O(volume), catches everything.
+enum class HealthCheck {
+  kOff,       ///< no scan (default)
+  kBoundary,  ///< outermost interior ring only
+  kFull,      ///< entire interior
+};
+
+/// Stable names ("off", "boundary", "full") and the inverse; core/health.cpp.
+const char* health_check_name(HealthCheck h);
+HealthCheck health_check_from_name(const std::string& name);
+
 /// Default x-block target (elements) for tiled plans when Options::bx is 0:
 /// a few thousand elements keeps a tile's working set in L1/L2 while
 /// amortizing tile overheads. Shared by the resolver (plan.cpp) and the
@@ -136,6 +151,9 @@ struct Options {
   /// Per-axis boundary conditions (core/halo.hpp). The default, kDirichlet
   /// on every axis, is the seed behaviour: the halo you fill()ed is frozen.
   BoundarySpec boundary;
+  /// Post-execute NaN/Inf output scan (core/health.hpp). Off by default —
+  /// the scan costs an extra pass over the scanned cells.
+  HealthCheck health_check = HealthCheck::kOff;
 };
 
 }  // namespace tsv

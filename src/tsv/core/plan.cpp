@@ -44,6 +44,19 @@ int runtime_default_threads() {
   return threads;
 }
 
+bool degraded_isa(Isa from, Isa* to) {
+  if (from == Isa::kAvx512) {
+    *to = isa_compiled(Isa::kAvx2) && isa_supported(Isa::kAvx2) ? Isa::kAvx2
+                                                                : Isa::kScalar;
+    return true;
+  }
+  if (from == Isa::kAvx2) {
+    *to = Isa::kScalar;
+    return true;
+  }
+  return false;  // scalar is the bottom rung
+}
+
 void run_wave(Executor* ex, std::vector<std::function<void()>>& tasks) {
   // One task (or no executor) gains nothing from the submit/future round
   // trip — run inline. Order within a wave is free by construction: every
@@ -91,6 +104,7 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
   r.tiling = o.tiling;
   r.steps = o.steps;
   r.tune = o.tune;
+  r.health = o.health_check;
   // Threads resolve to a concrete team size: untiled sweeps are
   // single-threaded by design; tiled runs default to the runtime team
   // captured at first use (see detail::runtime_default_threads above).
@@ -286,8 +300,9 @@ Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
     using G = detail::grid_for_t<decltype(stencil)>;
     using T = typename decltype(stencil)::value_type;
     constexpr bool f32 = std::is_same_v<T, float>;
-    auto fn = [typed = std::move(typed)](G& g, Workspace* ws) {
-      ws != nullptr ? typed.execute(g, *ws) : typed.execute(g);
+    auto fn = [typed = std::move(typed)](G& g, Workspace* ws,
+                                         const ExecControl* ctl) {
+      ws != nullptr ? typed.execute(g, *ws, ctl) : typed.execute(g);
     };
     if constexpr (detail::grid_rank<G> == 1) {
       if constexpr (f32) p.f1f_ = std::move(fn);

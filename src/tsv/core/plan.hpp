@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "tsv/common/timer.hpp"
+#include "tsv/core/fault.hpp"
 #include "tsv/core/halo.hpp"
+#include "tsv/core/health.hpp"
 #include "tsv/core/problems.hpp"
 #include "tsv/core/registry.hpp"
 #include "tsv/core/shard.hpp"
@@ -93,6 +95,9 @@ struct ResolvedOptions {
   /// "resolved-blocking rule" in plan.cpp.
   index split_block = 0;
   int threads = 1;  ///< resolved OpenMP team (1 for untiled sweeps)
+  /// Post-execute NaN/Inf scan scope (core/health.hpp); part of the plan
+  /// identity so cached plans with different scan scopes never collide.
+  HealthCheck health = HealthCheck::kOff;
   /// Non-temporal write-back resolved on: the working set exceeds the LLC
   /// threshold and the schedule has no temporal cache reuse to protect
   /// (untiled sweeps, or tiled with bt == 1). See core/workspace.cpp.
@@ -111,6 +116,15 @@ struct ResolvedOptions {
 /// This is the single validation path; make_plan calls it once.
 ResolvedOptions resolve_options(const Shape& shape, int radius,
                                 const Options& o);
+
+namespace detail {
+
+/// One rung down the graceful-degradation chain AVX-512 -> AVX2 -> scalar,
+/// skipping rungs this binary/machine cannot run. Returns false from the
+/// bottom rung (nothing left to degrade to). Defined in plan.cpp.
+bool degraded_isa(Isa from, Isa* to);
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Rank-generic dispatch table.
@@ -386,25 +400,41 @@ class TypedPlan {
   /// own workspace (core/workspace.hpp's WorkspacePool hands out exactly
   /// that). A workspace reused across executes of the same plan stays
   /// allocation-free after its first use, like the owned one.
-  void execute(G& g, Workspace& ws) const {
+  /// @p ctl (optional) is the cooperative cancellation/timeout control: when
+  /// active, the plan runs step-at-a-time (the same slicing the per-step
+  /// boundaries use — bit-identical results, see below) and polls the
+  /// control between steps, so a cancelled or expired request frees its
+  /// thread within one step. Per-step slicing is bit-identical to the
+  /// blocked schedule because every cell's update at step t is the same FP
+  /// expression over the same step-(t-1) values no matter how the steps are
+  /// grouped — blocking reorders traversal, never arithmetic.
+  void execute(G& g, Workspace& ws, const ExecControl* ctl = nullptr) const {
     if (shape_of(g) != shape_)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
                         "grid does not match the planned shape");
+    // Pre-mutation: an injected kernel fault (or a real one, on the first
+    // instruction of an unsupported path) leaves the grid untouched, so the
+    // caller can rebuild a degraded plan and re-run from the same input.
+    fault_point(FaultSite::kKernelSweep);
+    const bool polled = ctl != nullptr && ctl->active();
+    if (polled) ctl->check();
     if (cfg_.tiling != Tiling::kNone)
       omp_set_num_threads(cfg_.threads);  // per-thread ICV; concrete after
                                           // resolve, so no cross-plan leak
     if (cfg_.steps <= 0) return;
-    if (needs_per_step_fill(cfg_.boundary)) {
+    if (needs_per_step_fill(cfg_.boundary) || polled) {
       ResolvedOptions step = cfg_;
       step.steps = 1;
       for (index t = 0; t < cfg_.steps; ++t) {
+        if (polled && t > 0) ctl->check();
         fill_ghosts(g, cfg_.boundary, S::radius);
         fn_(g, stencil_, step, ws);
       }
-      return;
+    } else {
+      fill_ghosts(g, cfg_.boundary, S::radius);  // no-op unless a kZero axis
+      fn_(g, stencil_, cfg_, ws);
     }
-    fill_ghosts(g, cfg_.boundary, S::radius);  // no-op unless a kZero axis
-    fn_(g, stencil_, cfg_, ws);
+    health_scan(g, cfg_.health);
   }
 
   const Shape& shape() const { return shape_; }
@@ -656,7 +686,7 @@ class ShardedPlan {
   /// never see — is checked against the registry here. Throws ConfigError.
   ShardedPlan(const Shape& shape, const S& stencil, const ShardSpec& spec,
               const Options& o)
-      : shape_(shape), steps_(o.steps) {
+      : shape_(shape), steps_(o.steps), stencil_(stencil) {
     const int rank = shape.rank;
     auto fail = [&](const std::string& reason) -> void {
       throw ConfigError(o.method, o.tiling, rank, reason);
@@ -692,6 +722,7 @@ class ShardedPlan {
       oi.max_threads = o.max_threads > 0
                            ? std::min(o.max_threads, spec.threads_per_shard)
                            : spec.threads_per_shard;
+    oi_ = oi;  // kept for degraded-ISA shard-plan rebuilds (execute_impl)
     plans_.reserve(static_cast<std::size_t>(layout_.count));
     for (int i = 0; i < layout_.count; ++i) {
       const index e = layout_.extent[static_cast<std::size_t>(i)];
@@ -742,13 +773,35 @@ class ShardedPlan {
     for (index t = 0; t < steps_; ++t) {
       for (int i = 0; i < n; ++i)
         wave[static_cast<std::size_t>(i)] = [this, &sg, i] {
-          sg.exchange_shard_ghosts(i, bc_, S::radius);
+          // The exchange only copies neighbor interior edges frozen by the
+          // previous wave into this shard's ghosts — idempotent, so one
+          // in-place retry contains a transient fault inside the wave.
+          try {
+            fault_point(FaultSite::kShardExchange);
+            sg.exchange_shard_ghosts(i, bc_, S::radius);
+          } catch (const TransientError&) {
+            sg.exchange_shard_ghosts(i, bc_, S::radius);
+          }
         };
       detail::run_wave(ex, wave);
       const bool last = t + 1 == steps_;
       for (int i = 0; i < n; ++i)
         wave[static_cast<std::size_t>(i)] = [this, &sg, i, last] {
-          plans_[static_cast<std::size_t>(i)].execute(sg.shard(i));
+          const std::size_t si = static_cast<std::size_t>(i);
+          try {
+            plans_[si].execute(sg.shard(i));
+          } catch (const KernelFault&) {
+            // Per-wave containment: a kernel fault fires pre-mutation, so
+            // this shard's sub-grid is still at step t. Rebuild its plan
+            // one ISA rung down and retry the step before the wave barrier
+            // would rethrow — one faulting shard must not poison an
+            // otherwise-complete wave.
+            Isa down;
+            if (!detail::degraded_isa(plans_[si].config().isa, &down)) throw;
+            Options od = oi_;
+            od.isa = down;
+            make_plan(plans_[si].shape(), stencil_, od).execute(sg.shard(i));
+          }
           if (!last) sg.fill_shard_ghosts(i, bc_, S::radius);
         };
       detail::run_wave(ex, wave);
@@ -757,6 +810,8 @@ class ShardedPlan {
 
   Shape shape_;
   index steps_ = 0;
+  S stencil_;
+  Options oi_;  ///< per-shard options (steps=1, Dirichlet split axis)
   ShardLayout layout_;
   BoundarySpec bc_;
   std::vector<TypedPlan<G, S>> plans_;
@@ -782,19 +837,39 @@ ShardedPlan<detail::grid_for_t<S>, S> make_sharded_plan(
 /// long as each in-flight call brings its own grid and workspace.
 class Plan {
  public:
-  void execute(Grid1D<double>& g) const { dispatch(f1_, g, nullptr); }
-  void execute(Grid2D<double>& g) const { dispatch(f2_, g, nullptr); }
-  void execute(Grid3D<double>& g) const { dispatch(f3_, g, nullptr); }
-  void execute(Grid1D<float>& g) const { dispatch(f1f_, g, nullptr); }
-  void execute(Grid2D<float>& g) const { dispatch(f2f_, g, nullptr); }
-  void execute(Grid3D<float>& g) const { dispatch(f3f_, g, nullptr); }
+  void execute(Grid1D<double>& g) const { dispatch(f1_, g, nullptr, nullptr); }
+  void execute(Grid2D<double>& g) const { dispatch(f2_, g, nullptr, nullptr); }
+  void execute(Grid3D<double>& g) const { dispatch(f3_, g, nullptr, nullptr); }
+  void execute(Grid1D<float>& g) const { dispatch(f1f_, g, nullptr, nullptr); }
+  void execute(Grid2D<float>& g) const { dispatch(f2f_, g, nullptr, nullptr); }
+  void execute(Grid3D<float>& g) const { dispatch(f3f_, g, nullptr, nullptr); }
 
-  void execute(Grid1D<double>& g, Workspace& ws) const { dispatch(f1_, g, &ws); }
-  void execute(Grid2D<double>& g, Workspace& ws) const { dispatch(f2_, g, &ws); }
-  void execute(Grid3D<double>& g, Workspace& ws) const { dispatch(f3_, g, &ws); }
-  void execute(Grid1D<float>& g, Workspace& ws) const { dispatch(f1f_, g, &ws); }
-  void execute(Grid2D<float>& g, Workspace& ws) const { dispatch(f2f_, g, &ws); }
-  void execute(Grid3D<float>& g, Workspace& ws) const { dispatch(f3f_, g, &ws); }
+  /// The @p ctl overloads thread an ExecControl (cancel/timeout polling)
+  /// down to TypedPlan::execute; see its documentation.
+  void execute(Grid1D<double>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f1_, g, &ws, ctl);
+  }
+  void execute(Grid2D<double>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f2_, g, &ws, ctl);
+  }
+  void execute(Grid3D<double>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f3_, g, &ws, ctl);
+  }
+  void execute(Grid1D<float>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f1f_, g, &ws, ctl);
+  }
+  void execute(Grid2D<float>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f2f_, g, &ws, ctl);
+  }
+  void execute(Grid3D<float>& g, Workspace& ws,
+               const ExecControl* ctl = nullptr) const {
+    dispatch(f3f_, g, &ws, ctl);
+  }
 
   int rank() const { return shape_.rank; }
   const Shape& shape() const { return shape_; }
@@ -807,19 +882,19 @@ class Plan {
                         const Options& o);
 
   template <typename F, typename G>
-  void dispatch(const F& f, G& g, Workspace* ws) const {
+  void dispatch(const F& f, G& g, Workspace* ws, const ExecControl* ctl) const {
     if (!f)
       throw ConfigError(cfg_.method, cfg_.tiling, detail::grid_rank<G>,
                         "plan was built for a different grid rank or dtype");
-    f(g, ws);
+    f(g, ws, ctl);
   }
 
-  std::function<void(Grid1D<double>&, Workspace*)> f1_;
-  std::function<void(Grid2D<double>&, Workspace*)> f2_;
-  std::function<void(Grid3D<double>&, Workspace*)> f3_;
-  std::function<void(Grid1D<float>&, Workspace*)> f1f_;
-  std::function<void(Grid2D<float>&, Workspace*)> f2f_;
-  std::function<void(Grid3D<float>&, Workspace*)> f3f_;
+  std::function<void(Grid1D<double>&, Workspace*, const ExecControl*)> f1_;
+  std::function<void(Grid2D<double>&, Workspace*, const ExecControl*)> f2_;
+  std::function<void(Grid3D<double>&, Workspace*, const ExecControl*)> f3_;
+  std::function<void(Grid1D<float>&, Workspace*, const ExecControl*)> f1f_;
+  std::function<void(Grid2D<float>&, Workspace*, const ExecControl*)> f2f_;
+  std::function<void(Grid3D<float>&, Workspace*, const ExecControl*)> f3f_;
   Shape shape_;
   ResolvedOptions cfg_;
 };

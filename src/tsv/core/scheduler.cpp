@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <optional>
+#include <thread>
 #include <tuple>
 #include <utility>
+#include <variant>
 
 namespace tsv {
 
@@ -13,6 +16,36 @@ namespace {
 using Clock = Scheduler::Clock;
 
 constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+// Deterministic backoff jitter: a splitmix64 stream seeded from the group's
+// admission seq, so a replayed fault schedule replays its backoff schedule
+// too (no global rng, no cross-request coupling).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+// Which taxonomy class a member's failure belongs to, for the
+// cancelled/timed_out counters (subsets of failed).
+enum class ErrKind { kOther, kCancelled, kTimeout };
+
+ErrKind err_kind(const std::exception_ptr& e) noexcept {
+  try {
+    std::rethrow_exception(e);
+  } catch (const CancelledError&) {
+    return ErrKind::kCancelled;
+  } catch (const TimeoutError&) {
+    return ErrKind::kTimeout;
+  } catch (...) {
+    return ErrKind::kOther;
+  }
+}
 
 // ---- grid content digest / fan-out copy -----------------------------------
 //
@@ -108,6 +141,33 @@ void copy_content(Scheduler::GridRef dst, const Scheduler::GridRef& src) {
       dst, src);
 }
 
+// Retry snapshot: an owned deep copy of the group's input grid, taken
+// before the first attempt and copied back before each re-execution. Every
+// fault point fires pre-mutation, so for INJECTED faults the restore is a
+// no-op by construction — the snapshot is what makes the retry guarantee
+// hold for real faults too (a bad_alloc or partial failure mid-execution
+// leaves whatever state it leaves; the restore erases it).
+using GridCopy =
+    std::variant<Grid1D<double>, Grid2D<double>, Grid3D<double>,
+                 Grid1D<float>, Grid2D<float>, Grid3D<float>>;
+
+GridCopy snapshot_content(const Scheduler::GridRef& src) {
+  return std::visit([](auto* g) { return GridCopy{*g}; }, src);
+}
+
+void restore_content(Scheduler::GridRef dst, const GridCopy& src) {
+  std::visit(
+      [](auto* d, const auto& s) {
+        if constexpr (std::is_same_v<std::remove_pointer_t<decltype(d)>,
+                                     std::decay_t<decltype(s)>>) {
+          copy_content(*d, s);
+        } else {
+          require(false, "Scheduler: snapshot/grid type mismatch");
+        }
+      },
+      dst, src);
+}
+
 }  // namespace
 
 const char* service_class_name(ServiceClass c) {
@@ -161,9 +221,11 @@ double LatencyHistogram::quantile(double q) const {
 struct Scheduler::Member {
   std::promise<Result> promise;
   Clock::time_point admitted;
-  Clock::time_point deadline = kNoDeadline;
+  Clock::time_point deadline = kNoDeadline;       ///< soft SLO (tracked)
+  Clock::time_point exec_deadline = kNoDeadline;  ///< hard timeout (enforced)
   ServiceClass cls = ServiceClass::kBatch;
   GridRef grid;
+  CancelToken cancel;
   bool follower = false;
 };
 
@@ -183,6 +245,12 @@ struct Scheduler::Group {
   std::uint64_t dispatch_seq = 0;  ///< set when handed to the executor
   std::string tenant;              ///< leader's quota bucket
   std::vector<Member> members;     ///< members[0] is the leader
+
+  // Written by run_group on the gang (single-threaded there), read by
+  // on_group_done on the same thread — no synchronization needed.
+  std::vector<std::exception_ptr> member_errors;  ///< per-member overrides
+  std::uint64_t retries_used = 0;
+  bool retry_exhausted = false;
 };
 
 Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg), ex_(cfg.executor) {
@@ -190,13 +258,18 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg), ex_(cfg.executor) {
 }
 
 Scheduler::~Scheduler() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stopping_ = true;
-  paused_ = false;  // a paused scheduler still drains on destruction
-  dispatch_locked(lock);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;  // a paused scheduler still drains on destruction
+    dispatch_locked(lock);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  }
   // After the drain no task can reference this scheduler again; the
-  // executor member's own destructor joins its (now idle) workers.
+  // executor member's own destructor joins its (now idle) workers. Any
+  // group whose handoff threw during the final dispatch still owes its
+  // futures an answer.
+  flush_failed_dispatches();
 }
 
 std::future<Scheduler::Result> Scheduler::submit(Request req) {
@@ -225,8 +298,14 @@ std::future<Scheduler::Result> Scheduler::submit(Request req) {
     m.deadline = now + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                req.deadline_ms));
+  // The timeout budget starts at submit — queueing counts against it.
+  if (req.timeout_ms > 0.0)
+    m.exec_deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    req.timeout_ms));
   m.cls = req.cls;
   m.grid = req.grid;
+  m.cancel = req.cancel;
   std::future<Result> fut = m.promise.get_future();
 
   std::shared_ptr<Group> victim;       // shed group: promises failed post-unlock
@@ -315,6 +394,7 @@ std::future<Scheduler::Result> Scheduler::submit(Request req) {
   if (reject_msg != nullptr)
     m.promise.set_exception(
         std::make_exception_ptr(OverloadError(reject_msg)));
+  flush_failed_dispatches();
   return fut;
 }
 
@@ -355,49 +435,168 @@ void Scheduler::dispatch_locked(std::unique_lock<std::mutex>& lock) {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
     if (cfg_.coalesce) open_.erase(g->key);  // group closed: input in use
     g->dispatch_seq = dispatch_seq_++;
+
+    // The handoff itself can throw (std::bad_alloc growing the executor's
+    // queue, std::system_error from a dead pool). If it does, the group is
+    // already off the queue and its task will never run — without this
+    // catch every member's future would stay unfulfilled forever. The
+    // group parks in failed_dispatch_; the promises are resolved by
+    // flush_failed_dispatches() OUTSIDE mu_. Counted before the inflight
+    // bump, so nothing needs undoing.
+    try {
+      ex_.submit_task([this, g] { run_group(g); });
+    } catch (...) {
+      stats_.failed += g->members.size();
+      failed_dispatch_.emplace_back(g, std::current_exception());
+      continue;
+    }
     ++inflight_;
     const int t = ++tenant_inflight_[g->tenant];
     stats_.peak_tenant_inflight =
         std::max(stats_.peak_tenant_inflight, static_cast<std::size_t>(t));
-
-    // The executor task: the leader computes through the shared plan cache
-    // (one cache probe, one execution per GROUP), followers receive a byte
-    // copy of the leader's result — coalesced waiters are bit-identical by
-    // construction. Errors reach every member's future and still count in
-    // the executor's own failed_ (the rethrow).
-    ex_.submit_task([this, g] {
-      std::exception_ptr err;
-      try {
-        std::shared_ptr<PlanCache::Entry> entry =
-            ex_.plan_cache().get(g->shape, g->spec, g->options);
-        WorkspacePool::Lease ws = entry->workspaces().checkout();
-        std::visit([&](auto* grid) { entry->plan().execute(*grid, *ws); },
-                   g->members.front().grid);
-        for (std::size_t i = 1; i < g->members.size(); ++i)
-          copy_content(g->members[i].grid, g->members.front().grid);
-      } catch (...) {
-        err = std::current_exception();
-      }
-      on_group_done(g, err);
-      if (err) std::rethrow_exception(err);
-    });
   }
+}
+
+void Scheduler::flush_failed_dispatches() {
+  std::vector<std::pair<std::shared_ptr<Group>, std::exception_ptr>> failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed.swap(failed_dispatch_);
+  }
+  for (auto& [g, e] : failed)
+    for (Member& m : g->members) m.promise.set_exception(e);
+}
+
+/// The executor task for one dispatched group. The first live member
+/// computes through the shared plan cache (one cache probe, one execution
+/// per GROUP) under the group's ExecControl; the other live members receive
+/// a byte copy of that result — coalesced waiters are bit-identical by
+/// construction. Transient failures re-execute from a snapshot of the input
+/// under the retry budget; members already cancelled or timed out at
+/// dispatch are pruned up front and fail individually without costing an
+/// execution. Errors reach every member's future and still count in the
+/// executor's own failed_ (the rethrow).
+void Scheduler::run_group(const std::shared_ptr<Group>& g) {
+  std::exception_ptr err;
+  try {
+    const Clock::time_point now = Clock::now();
+
+    // Prune members that are dead on arrival: a cancelled member fails with
+    // CancelledError, an expired one with TimeoutError — and neither blocks
+    // the live members' execution. Cancel wins when both apply (an explicit
+    // cancel is the caller's word).
+    g->member_errors.assign(g->members.size(), nullptr);
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < g->members.size(); ++i) {
+      const Member& m = g->members[i];
+      if (m.cancel.cancelled()) {
+        g->member_errors[i] = std::make_exception_ptr(CancelledError(
+            "tsv::Scheduler: request cancelled before dispatch"));
+      } else if (m.exec_deadline != kNoDeadline && now >= m.exec_deadline) {
+        g->member_errors[i] = std::make_exception_ptr(TimeoutError(
+            "tsv::Scheduler: timeout expired before dispatch"));
+      } else {
+        live.push_back(i);
+      }
+    }
+
+    if (!live.empty()) {
+      // Group-level execution control. The cancel predicate fires only when
+      // EVERY live member cancelled (one waiter's cancel must not take the
+      // shared result from the rest). The deadline is finite only when
+      // every live member has one, and then it is the LATEST: the hard
+      // abort exists to reclaim the gang once NO member's budget can still
+      // use the result — a member whose own budget expires mid-run still
+      // receives the completed result (the work was done; enforcement
+      // never destroys usable output).
+      ExecControl ctl;
+      ctl.cancelled = [g, live] {
+        for (std::size_t i : live) {
+          const Member& m = g->members[i];
+          if (!m.cancel.valid() || !m.cancel.cancelled()) return false;
+        }
+        return true;
+      };
+      bool all_dated = true;
+      Clock::time_point latest = Clock::time_point::min();
+      for (std::size_t i : live) {
+        if (g->members[i].exec_deadline == kNoDeadline) {
+          all_dated = false;
+          break;
+        }
+        latest = std::max(latest, g->members[i].exec_deadline);
+      }
+      if (all_dated) ctl.deadline = latest;
+
+      GridRef exec_grid = g->members[live.front()].grid;
+      std::optional<GridCopy> snap;
+      if (cfg_.retry_budget > 0) snap = snapshot_content(exec_grid);
+      std::uint64_t jitter_state = g->seq;
+
+      for (int attempt = 0;; ++attempt) {
+        try {
+          fault_point(FaultSite::kExecutorDispatch);
+          ctl.check();
+          detail::execute_request(ex_.plan_cache(), g->shape, g->spec,
+                                  g->options, exec_grid, &ctl);
+          break;
+        } catch (...) {
+          std::exception_ptr e = std::current_exception();
+          if (!is_transient_error(e)) throw;
+          if (attempt >= cfg_.retry_budget) {
+            g->retry_exhausted = true;
+            throw;
+          }
+          ++g->retries_used;
+          if (snap) restore_content(exec_grid, *snap);
+          double backoff_ms =
+              std::min(cfg_.retry_backoff_ms * std::ldexp(1.0, attempt),
+                       cfg_.retry_backoff_max_ms);
+          backoff_ms *= 0.5 + 0.5 * uniform01(jitter_state);
+          if (backoff_ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+        }
+      }
+      for (std::size_t k = 1; k < live.size(); ++k)
+        copy_content(g->members[live[k]].grid, exec_grid);
+    }
+  } catch (...) {
+    err = std::current_exception();
+  }
+  on_group_done(g, err);
+  if (err) std::rethrow_exception(err);
 }
 
 void Scheduler::on_group_done(const std::shared_ptr<Group>& group,
                               std::exception_ptr error) {
   const Clock::time_point now = Clock::now();
+  // A member's outcome is its OWN error when run_group pruned it (cancelled
+  // or expired before dispatch), otherwise the group's shared outcome.
+  const auto member_error = [&](std::size_t i) {
+    return i < group->member_errors.size() && group->member_errors[i]
+               ? group->member_errors[i]
+               : error;
+  };
   std::vector<Result> results(group->members.size());
+  std::vector<std::pair<std::shared_ptr<Group>, std::exception_ptr>> failed;
   {
     std::unique_lock<std::mutex> lock(mu_);
     --inflight_;
     auto it = tenant_inflight_.find(group->tenant);
     if (it != tenant_inflight_.end() && --it->second <= 0)
       tenant_inflight_.erase(it);
+    stats_.retries += group->retries_used;
+    if (group->retry_exhausted) ++stats_.retry_exhausted;
     for (std::size_t i = 0; i < group->members.size(); ++i) {
       const Member& m = group->members[i];
-      if (error) {
+      if (std::exception_ptr e = member_error(i)) {
         ++stats_.failed;
+        switch (err_kind(e)) {
+          case ErrKind::kCancelled: ++stats_.cancelled; break;
+          case ErrKind::kTimeout: ++stats_.timed_out; break;
+          case ErrKind::kOther: break;
+        }
         continue;
       }
       Result& r = results[i];
@@ -412,14 +611,18 @@ void Scheduler::on_group_done(const std::shared_ptr<Group>& group,
           r.latency_seconds);
     }
     dispatch_locked(lock);
+    failed.swap(failed_dispatch_);
     if (queue_.empty() && inflight_ == 0) idle_cv_.notify_all();
   }
-  // Outside the lock — and touching only the group, never `this`: once the
+  // Outside the lock — and touching only groups, never `this`: once the
   // destructor observed the drain it may already be tearing the scheduler
-  // down while this tail runs.
+  // down while this tail runs. (That is also why the failed-dispatch flush
+  // is inlined here instead of calling flush_failed_dispatches().)
+  for (auto& [fg, fe] : failed)
+    for (Member& fm : fg->members) fm.promise.set_exception(fe);
   for (std::size_t i = 0; i < group->members.size(); ++i) {
-    if (error)
-      group->members[i].promise.set_exception(error);
+    if (std::exception_ptr e = member_error(i))
+      group->members[i].promise.set_exception(e);
     else
       group->members[i].promise.set_value(results[i]);
   }
@@ -431,9 +634,12 @@ void Scheduler::pause() {
 }
 
 void Scheduler::resume() {
-  std::unique_lock<std::mutex> lock(mu_);
-  paused_ = false;
-  dispatch_locked(lock);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+    dispatch_locked(lock);
+  }
+  flush_failed_dispatches();
 }
 
 void Scheduler::wait_idle() {

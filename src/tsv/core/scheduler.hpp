@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "tsv/core/executor.hpp"
+#include "tsv/core/fault.hpp"
 
 namespace tsv {
 
@@ -79,8 +80,10 @@ const char* service_class_name(ServiceClass c);
 
 /// Raised through the future of a submission the scheduler could not serve:
 /// rejected at admission (queue full, nothing sheddable) or shed from the
-/// queue to make room for newer work. The request never executed.
-class OverloadError : public std::runtime_error {
+/// queue to make room for newer work. The request never executed. Part of
+/// the TsvError taxonomy (core/fault.hpp); not transient — resubmitting the
+/// same request into the same overload cannot help.
+class OverloadError : public std::runtime_error, public TsvError {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -119,6 +122,19 @@ struct SchedulerConfig {
   int max_inflight_per_tenant = 0;    ///< 0 = unlimited
   SchedPolicy policy = SchedPolicy::kDeadline;
   bool coalesce = true;          ///< single-flight identical submissions
+  /// Transparent re-executions per dispatched group on a TRANSIENT failure
+  /// (TransientError, KernelFault, std::bad_alloc — see
+  /// is_transient_error). Every fault point fires before its step mutates
+  /// anything and the group's input is snapshotted before the first
+  /// attempt, so a retried request is bit-identical to a fault-free run.
+  /// Coalesced followers ride their leader's retries: one budget per group,
+  /// one shared outcome. 0 disables retry (transients surface immediately).
+  int retry_budget = 0;
+  /// First retry's backoff in ms; doubles per retry up to
+  /// retry_backoff_max_ms, scaled by a deterministic jitter in [0.5, 1.0]
+  /// derived from the group's admission seq (no global rng, replayable).
+  double retry_backoff_ms = 1.0;
+  double retry_backoff_max_ms = 50.0;  ///< cap on the exponential backoff
 };
 
 /// Cumulative serving counters plus the per-class latency distributions.
@@ -135,6 +151,15 @@ struct SchedulerStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;     ///< raised into the future (e.g. ConfigError)
   std::uint64_t deadline_missed = 0;
+  /// Transient-failure re-executions performed (one group retry serves the
+  /// whole coalesce group but counts once).
+  std::uint64_t retries = 0;
+  /// Groups whose transient error surfaced to the callers — the retry
+  /// budget (possibly 0) was spent without a success. A healthy service
+  /// under injected transient faults keeps this at 0.
+  std::uint64_t retry_exhausted = 0;
+  std::uint64_t cancelled = 0;  ///< failed with CancelledError (subset of failed)
+  std::uint64_t timed_out = 0;  ///< failed with TimeoutError (subset of failed)
   std::size_t queued = 0;           ///< gauge: coalesce groups waiting
   std::size_t inflight = 0;         ///< gauge: groups handed to the executor
   std::size_t peak_tenant_inflight = 0;  ///< max concurrent in-flight of one tenant
@@ -167,6 +192,17 @@ class Scheduler {
     /// Quota bucket. Followers coalesced onto another tenant's leader ride
     /// that leader's quota — the work is charged to whoever computes it.
     std::string tenant;
+    /// Hard wall-clock budget in ms from submission (0 = none). Where
+    /// deadline_ms is the soft SLO (tracked in deadline_missed, never
+    /// enforced), timeout_ms is ENFORCED: an expired request fails with
+    /// TimeoutError — at dispatch if it never started, between time steps
+    /// if it did. Queueing time counts against the budget.
+    double timeout_ms = 0.0;
+    /// Cooperative cancellation handle (default: inert). cancel() fails the
+    /// request with CancelledError at the next dispatch/step poll. A
+    /// coalesced group aborts mid-run only when EVERY member cancelled —
+    /// one waiter's cancel must not take the shared result from the rest.
+    CancelToken cancel;
   };
 
   /// What a completed submission observed (future<Result>::get()).
@@ -221,8 +257,10 @@ class Scheduler {
   struct Group;   // one queue entry: a leader plus coalesced followers
 
   void dispatch_locked(std::unique_lock<std::mutex>& lock);
+  void run_group(const std::shared_ptr<Group>& group);
   void on_group_done(const std::shared_ptr<Group>& group,
                      std::exception_ptr error);
+  void flush_failed_dispatches();
 
   SchedulerConfig cfg_;
   Executor ex_;
@@ -233,6 +271,12 @@ class Scheduler {
   /// Coalesce index over QUEUED groups: (plan key, content digest) -> group.
   std::map<std::pair<PlanKey, std::uint64_t>, std::shared_ptr<Group>> open_;
   std::map<std::string, int> tenant_inflight_;
+  /// Groups whose executor handoff itself threw (dispatch_locked catches
+  /// it): accounting is undone under mu_, the promises are fulfilled here
+  /// OUTSIDE mu_ — a waiter woken by set_exception may immediately call
+  /// stats() and must not self-deadlock.
+  std::vector<std::pair<std::shared_ptr<Group>, std::exception_ptr>>
+      failed_dispatch_;
   std::size_t inflight_ = 0;
   bool paused_ = false;
   bool stopping_ = false;

@@ -1,6 +1,7 @@
 #include "tsv/core/workspace.hpp"
 
 #include "tsv/common/cpu.hpp"
+#include "tsv/core/fault.hpp"
 
 namespace tsv {
 
@@ -26,6 +27,10 @@ index streaming_threshold_bytes(double factor) {
 }
 
 WorkspacePool::Lease WorkspacePool::checkout() {
+  // Before any allocation or counter touches: an injected fault here models
+  // OOM pressure at the point the request first claims resources, so a
+  // throw is trivially retry-safe (no state to unwind).
+  fault_point(FaultSite::kWorkspaceAlloc);
   std::unique_ptr<Workspace> ws;
   {
     std::lock_guard<std::mutex> lock(mu_);

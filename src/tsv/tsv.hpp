@@ -31,7 +31,9 @@
 #include "tsv/common/timer.hpp"      // IWYU pragma: export
 #include "tsv/core/capability.hpp"   // IWYU pragma: export
 #include "tsv/core/executor.hpp"     // IWYU pragma: export
+#include "tsv/core/fault.hpp"        // IWYU pragma: export
 #include "tsv/core/halo.hpp"         // IWYU pragma: export
+#include "tsv/core/health.hpp"       // IWYU pragma: export
 #include "tsv/core/options.hpp"      // IWYU pragma: export
 #include "tsv/core/plan.hpp"         // IWYU pragma: export
 #include "tsv/core/plan_cache.hpp"   // IWYU pragma: export
