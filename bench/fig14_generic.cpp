@@ -1,0 +1,166 @@
+// Figure 14 — generic-interpreter overhead (tentpole of the generic-stencil
+// subsystem, not a paper figure).
+//
+// Re-expresses every Table-1 stencil kind as a runtime GenericStencil
+// (core/generic_stencil.hpp, factory-default weights) and runs it through
+// the register-blocked interpreter (Method::kGeneric), next to the same
+// problem on a precompiled specialized kernel (multiload — the structural
+// twin the interpreter mirrors: one unaligned load per shifted vector).
+// Single thread, no tiling, so the ratio isolates interpretation overhead:
+// the runtime row loop, the zero-skip branches, and the loss of
+// shape-specialized scheduling.
+//
+// Expected shape: within ~10-30% of multiload on the star kinds (few rows,
+// the compile-time tap unroll and register blocking do the work), wider on
+// the 27-point box where the interpreter's padded 2R+1 tap span visits
+// dead lanes a specialized kernel never emits.
+
+#include "bench_common.hpp"
+
+#include <memory>
+
+namespace {
+
+using namespace bench;
+
+/// Times one interpreter execution of @p prob re-expressed as a
+/// GenericStencil; returns GFLOP/s over the SAME flops_per_point as the
+/// precompiled kind, so the two columns are directly comparable.
+template <typename T>
+double time_generic_t(const tsv::Problem& prob, const tsv::Options& o,
+                      tsv::index* flops_out, tsv::ResolvedOptions* cfg_out) {
+  tsv::StencilSpec spec;
+  spec.generic = std::make_shared<const tsv::GenericStencil>(
+      tsv::generic_from_kind(prob.kind));
+  const int radius = spec.generic->effective_radius();
+  const tsv::index flops =
+      2 * static_cast<tsv::index>(spec.generic->taps.size()) - 1;
+  if (flops_out != nullptr) *flops_out = flops;
+  auto fill1 = [](tsv::index x) {
+    return T(0.3 + 1e-4 * static_cast<double>(x % 97));
+  };
+  auto fill2 = [](tsv::index x, tsv::index y) {
+    return T(0.3 + 1e-4 * static_cast<double>((x + 3 * y) % 97));
+  };
+  auto fill3 = [](tsv::index x, tsv::index y, tsv::index z) {
+    return T(0.3 + 1e-4 * static_cast<double>((x + 3 * y + 7 * z) % 97));
+  };
+  const int rank = tsv::stencil_kind_rank(prob.kind);
+  tsv::index points = prob.nx;
+  tsv::Timer t;
+  double sec = 0;
+  if (rank == 1) {
+    tsv::Grid1D<T> g(prob.nx, radius);
+    g.fill(fill1);
+    const auto plan = tsv::make_plan(tsv::shape_of(g), spec, o);
+    if (cfg_out != nullptr) *cfg_out = plan.config();
+    t = tsv::Timer();
+    plan.execute(g);
+    sec = t.seconds();
+  } else if (rank == 2) {
+    points = prob.nx * prob.ny;
+    tsv::Grid2D<T> g(prob.nx, prob.ny, radius);
+    g.fill(fill2);
+    const auto plan = tsv::make_plan(tsv::shape_of(g), spec, o);
+    if (cfg_out != nullptr) *cfg_out = plan.config();
+    t = tsv::Timer();
+    plan.execute(g);
+    sec = t.seconds();
+  } else {
+    points = prob.nx * prob.ny * prob.nz;
+    tsv::Grid3D<T> g(prob.nx, prob.ny, prob.nz, radius);
+    g.fill(fill3);
+    const auto plan = tsv::make_plan(tsv::shape_of(g), spec, o);
+    if (cfg_out != nullptr) *cfg_out = plan.config();
+    t = tsv::Timer();
+    plan.execute(g);
+    sec = t.seconds();
+  }
+  return 1e-9 * static_cast<double>(points) * static_cast<double>(o.steps) *
+         static_cast<double>(flops) / sec;
+}
+
+bool sweep(const Config& cfg, CsvSink& csv, JsonSink& json) {
+  bool ok = true;
+  std::printf("%-6s %-5s | %12s %12s %9s\n", "kind", "dtype", "multiload",
+              "generic", "ratio");
+  for (const tsv::Problem& preset : tsv::table1_problems(cfg.paper_scale)) {
+    const tsv::Problem p = cfg.smoke ? smoke_problem(preset) : preset;
+    for (tsv::Dtype dt : cfg.dtypes) {
+      try {
+        // Precompiled comparator: the specialized multiload kernel, best of
+        // a few reps (smoke timings feed the CI gate; see fig7).
+        const int reps = cfg.smoke ? 3 : 1;
+        tsv::ResolvedOptions pre_rc;
+        const double pre =
+            run_problem_best(p, tsv::Method::kMultiLoad, tsv::Tiling::kNone,
+                             cfg.isa, 1, reps, 0, dt, cfg.tune, &pre_rc);
+
+        tsv::Options o;
+        o.method = tsv::Method::kGeneric;
+        o.isa = cfg.isa;
+        o.dtype = dt;
+        o.steps = p.steps;
+        o.threads = 1;
+        o.tune = cfg.tune;
+        o.stream = g_stream;
+        o.boundary = g_boundary;
+        tsv::index flops = 0;
+        tsv::ResolvedOptions gen_rc;
+        double gen = dt == tsv::Dtype::kF32
+                         ? time_generic_t<float>(p, o, &flops, &gen_rc)
+                         : time_generic_t<double>(p, o, &flops, &gen_rc);
+        for (int rep = 1; rep < reps; ++rep)
+          gen = std::max(gen, dt == tsv::Dtype::kF32
+                                  ? time_generic_t<float>(p, o, &flops, &gen_rc)
+                                  : time_generic_t<double>(p, o, &flops,
+                                                           &gen_rc));
+
+        std::printf("%-6s %-5s | %12.2f %12.2f %8.2fx\n",
+                    tsv::stencil_kind_name(p.kind), tsv::dtype_name(dt), pre,
+                    gen, gen / pre);
+        std::fflush(stdout);
+        csv.row("14,%s,%s,%.3f,%.3f", tsv::stencil_kind_name(p.kind),
+                tsv::dtype_name(dt), pre, gen);
+        const char* isa = tsv::isa_name(
+            cfg.isa == tsv::Isa::kAuto ? tsv::best_isa() : cfg.isa);
+        json.record(
+            "{\"bench\":\"fig14\",\"kind\":\"%s\",\"method\":\"multiload\","
+            "\"isa\":\"%s\",\"dtype\":\"%s\",\"boundary\":\"%s\","
+            "\"steps\":%td,\"gflops\":%.3f,\"points_per_s\":%.0f%s}",
+            tsv::stencil_kind_name(p.kind), isa, tsv::dtype_name(dt),
+            boundary_field_name(), p.steps, pre,
+            points_per_sec(pre, flops), json_cfg_fields(pre_rc).c_str());
+        json.record(
+            "{\"bench\":\"fig14\",\"kind\":\"%s\",\"method\":\"generic\","
+            "\"isa\":\"%s\",\"dtype\":\"%s\",\"boundary\":\"%s\","
+            "\"steps\":%td,\"gflops\":%.3f,\"points_per_s\":%.0f%s}",
+            tsv::stencil_kind_name(p.kind), isa, tsv::dtype_name(dt),
+            boundary_field_name(), p.steps, gen,
+            points_per_sec(gen, flops), json_cfg_fields(gen_rc).c_str());
+      } catch (const std::exception& e) {
+        ok = false;
+        std::fprintf(stderr, "fig14 %s/%s failed: %s\n",
+                     tsv::stencil_kind_name(p.kind), tsv::dtype_name(dt),
+                     e.what());
+        json.record(
+            "{\"bench\":\"fig14\",\"kind\":\"%s\",\"dtype\":\"%s\","
+            "\"error\":true}",
+            tsv::stencil_kind_name(p.kind), tsv::dtype_name(dt));
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::setup_omp();
+  const Config cfg = Config::parse(argc, argv);
+  print_header(
+      "Figure 14: generic-interpreter overhead vs precompiled kernels");
+  CsvSink csv(cfg.csv_path, "fig,kind,dtype,multiload_gflops,generic_gflops");
+  JsonSink json(cfg.json_path);
+  return sweep(cfg, csv, json) ? 0 : 1;
+}

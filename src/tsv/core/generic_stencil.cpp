@@ -1,0 +1,168 @@
+#include "tsv/core/generic_stencil.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tsv {
+
+int GenericStencil::derived_radius() const {
+  int r = 0;
+  for (const GenericTap& t : taps)
+    r = std::max({r, std::abs(t.dx), std::abs(t.dy), std::abs(t.dz)});
+  return r;
+}
+
+int GenericStencil::effective_radius() const {
+  return radius != 0 ? radius : std::max(derived_radius(), 1);
+}
+
+const char* generic_violation(const GenericStencil& gs) {
+  if (gs.rank < 1 || gs.rank > 3)
+    return "generic stencil rank must be 1, 2 or 3";
+  if (gs.taps.empty()) return "generic stencil has no taps";
+  if (gs.radius < 0) return "generic stencil radius must be >= 0";
+  if (gs.radius > kMaxGenericRadius)
+    return "generic stencil radius exceeds kMaxGenericRadius";
+  if (gs.derived_radius() > kMaxGenericRadius)
+    return "generic stencil tap offsets exceed kMaxGenericRadius";
+  const int r = gs.effective_radius();
+  for (const GenericTap& t : gs.taps) {
+    if (std::abs(t.dx) > r || std::abs(t.dy) > r || std::abs(t.dz) > r)
+      return "generic stencil tap offset beyond the declared radius";
+    if (gs.rank < 2 && t.dy != 0)
+      return "generic stencil tap uses the y axis beyond its rank";
+    if (gs.rank < 3 && t.dz != 0)
+      return "generic stencil tap uses the z axis beyond its rank";
+    if (!std::isfinite(t.weight))
+      return "generic stencil tap weight is not finite";
+  }
+  for (std::size_t i = 0; i < gs.taps.size(); ++i)
+    for (std::size_t j = i + 1; j < gs.taps.size(); ++j)
+      if (gs.taps[i].dx == gs.taps[j].dx && gs.taps[i].dy == gs.taps[j].dy &&
+          gs.taps[i].dz == gs.taps[j].dz)
+        return "generic stencil has duplicate tap offsets";
+  if (!gs.scale.empty()) {
+    if (gs.scale_nx <= 0 || gs.scale_ny <= 0 || gs.scale_nz <= 0)
+      return "generic scale field extents must be positive";
+    const index cells = gs.scale_nx * gs.scale_ny * gs.scale_nz;
+    if (cells != static_cast<index>(gs.scale.size()))
+      return "generic scale field extents do not match scale.size()";
+  }
+  return nullptr;
+}
+
+namespace {
+
+void check_built(const GenericStencil& gs) {
+  if (const char* why = generic_violation(gs))
+    throw std::invalid_argument(std::string("generic stencil builder: ") +
+                                why);
+}
+
+}  // namespace
+
+GenericStencil generic_star(int rank, int radius, double center, double arm) {
+  GenericStencil gs;
+  gs.rank = rank;
+  gs.radius = radius;
+  gs.taps.push_back({0, 0, 0, center});
+  for (int axis = 0; axis < rank; ++axis)
+    for (int d = 1; d <= radius; ++d)
+      for (int sign : {-1, 1}) {
+        GenericTap t;
+        t.weight = arm;
+        (axis == 0 ? t.dx : axis == 1 ? t.dy : t.dz) = sign * d;
+        gs.taps.push_back(t);
+      }
+  check_built(gs);
+  return gs;
+}
+
+GenericStencil generic_box(int rank, int radius, double center, double other) {
+  GenericStencil gs;
+  gs.rank = rank;
+  gs.radius = radius;
+  const int ylim = rank >= 2 ? radius : 0;
+  const int zlim = rank >= 3 ? radius : 0;
+  for (int dz = -zlim; dz <= zlim; ++dz)
+    for (int dy = -ylim; dy <= ylim; ++dy)
+      for (int dx = -radius; dx <= radius; ++dx)
+        gs.taps.push_back(
+            {dx, dy, dz,
+             (dx == 0 && dy == 0 && dz == 0) ? center : other});
+  check_built(gs);
+  return gs;
+}
+
+GenericStencil generic_from_kind(StencilKind kind,
+                                 const std::vector<double>& coeffs) {
+  if (!coeffs.empty() && coeffs.size() != stencil_kind_coeff_count(kind))
+    throw std::invalid_argument(
+        "generic_from_kind: coeffs must be empty or exactly "
+        "stencil_kind_coeff_count(kind) values");
+  auto c = [&](std::size_t i, double dflt) {
+    return coeffs.empty() ? dflt : coeffs[i];
+  };
+  GenericStencil gs;
+  gs.rank = stencil_kind_rank(kind);
+  gs.radius = stencil_kind_radius(kind);
+  switch (kind) {
+    case StencilKind::k1d3p: {
+      const double a = c(0, 1.0 / 3.0);
+      gs.taps = {{-1, 0, 0, a}, {0, 0, 0, a}, {1, 0, 0, a}};
+      break;
+    }
+    case StencilKind::k1d5p: {
+      const double w2 = c(0, 0.05), w1 = c(1, 0.15), wc = c(2, 0.6);
+      gs.taps = {{-2, 0, 0, w2},
+                 {-1, 0, 0, w1},
+                 {0, 0, 0, wc},
+                 {1, 0, 0, w1},
+                 {2, 0, 0, w2}};
+      break;
+    }
+    case StencilKind::k2d5p: {
+      const double wc = c(0, 0.5), wx = c(1, 0.125), wy = c(2, 0.125);
+      gs.taps = {{0, -1, 0, wy},
+                 {-1, 0, 0, wx},
+                 {0, 0, 0, wc},
+                 {1, 0, 0, wx},
+                 {0, 1, 0, wy}};
+      break;
+    }
+    case StencilKind::k2d9p: {
+      const double wc = c(0, 0.2), edge = c(1, 0.125), corner = c(2, 0.075);
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int d = std::abs(dx) + std::abs(dy);
+          gs.taps.push_back({dx, dy, 0, d == 0 ? wc : d == 1 ? edge : corner});
+        }
+      break;
+    }
+    case StencilKind::k3d7p: {
+      const double wc = c(0, 0.4), wx = c(1, 0.1), wy = c(2, 0.1),
+                   wz = c(3, 0.1);
+      gs.taps = {{0, 0, -1, wz}, {0, -1, 0, wy}, {-1, 0, 0, wx},
+                 {0, 0, 0, wc},  {1, 0, 0, wx},  {0, 1, 0, wy},
+                 {0, 0, 1, wz}};
+      break;
+    }
+    case StencilKind::k3d27p: {
+      const double wc = c(0, 0.1);
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int d = std::abs(dx) + std::abs(dy) + std::abs(dz);
+            gs.taps.push_back(
+                {dx, dy, dz, d == 0 ? wc : wc / (2.0 * d + 1.0)});
+          }
+      break;
+    }
+  }
+  check_built(gs);
+  return gs;
+}
+
+}  // namespace tsv

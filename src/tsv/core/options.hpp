@@ -18,6 +18,8 @@ enum class Method {
   kDlt,          ///< dimension-lifting transpose (Henretty; paper §2.2)
   kTranspose,    ///< register-block transpose layout (paper §3.2) — "Our"
   kTransposeUJ,  ///< + time unroll-and-jam, k=2 (paper §3.3) — "Our (2 steps)"
+  kGeneric,      ///< register-blocked interpreter over runtime tap lists
+                 ///< (core/generic_stencil.hpp); also runs the compiled kinds
 };
 
 /// Tiling frameworks.

@@ -274,6 +274,7 @@ ResolvedOptions resolve_options(const Shape& shape, int radius,
 }
 
 Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
+  if (spec.generic != nullptr) return make_plan(shape, *spec.generic, o);
   // Spec validation: the kind's shape (rank, radius, tap structure) is
   // compile-time; only the weights are runtime data. A radius of 0 means
   // "the kind's own"; anything else is a cross-check.
@@ -294,27 +295,7 @@ Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
 
   Plan p;
   p.shape_ = shape;
-  auto bind = [&](auto stencil) {
-    auto typed = make_plan(shape, stencil, o);
-    p.cfg_ = typed.config();
-    using G = detail::grid_for_t<decltype(stencil)>;
-    using T = typename decltype(stencil)::value_type;
-    constexpr bool f32 = std::is_same_v<T, float>;
-    auto fn = [typed = std::move(typed)](G& g, Workspace* ws,
-                                         const ExecControl* ctl) {
-      ws != nullptr ? typed.execute(g, *ws, ctl) : typed.execute(g);
-    };
-    if constexpr (detail::grid_rank<G> == 1) {
-      if constexpr (f32) p.f1f_ = std::move(fn);
-      else p.f1_ = std::move(fn);
-    } else if constexpr (detail::grid_rank<G> == 2) {
-      if constexpr (f32) p.f2f_ = std::move(fn);
-      else p.f2_ = std::move(fn);
-    } else {
-      if constexpr (f32) p.f3f_ = std::move(fn);
-      else p.f3_ = std::move(fn);
-    }
-  };
+  auto bind = [&](auto stencil) { Plan::bind_typed(p, shape, stencil, o); };
   // The Options dtype selects which instantiation of the Table-1 stencil the
   // plan binds; the grid handed to execute() must match it. User
   // coefficients ride through the factories in their parameter order.
@@ -354,6 +335,61 @@ Plan make_plan(const Shape& shape, const StencilSpec& spec, const Options& o) {
 
 Plan make_plan(const Shape& shape, StencilKind kind, const Options& o) {
   return make_plan(shape, StencilSpec{.kind = kind}, o);
+}
+
+Plan make_plan(const Shape& shape, const GenericStencil& gs,
+               const Options& o) {
+  auto fail = [&](const std::string& reason) -> void {
+    throw ConfigError(o.method, o.tiling, shape.rank, reason);
+  };
+  if (const char* why = generic_violation(gs)) fail(why);
+  if (o.method != Method::kGeneric)
+    fail(std::string("a GenericStencil executes through method generic "
+                     "(options request method ") +
+         method_name(o.method) + ")");
+  if (shape.rank != gs.rank)
+    fail("shape rank " + std::to_string(shape.rank) +
+         " does not match the generic stencil's rank " +
+         std::to_string(gs.rank));
+
+  Plan p;
+  p.shape_ = shape;
+  auto bind = [&](auto stencil) { Plan::bind_typed(p, shape, stencil, o); };
+  // The lowering is a rank x radius x dtype dispatch: the interpreter is
+  // templated on the radius (its tap unroll) and the element type, so each
+  // cell below instantiates one lowered descriptor type. The effective
+  // radius is validated <= kMaxGenericRadius above.
+  const int radius = gs.effective_radius();
+  auto bind_generic = [&]<typename T>() {
+    switch (shape.rank) {
+      case 1:
+        switch (radius) {
+          case 1: bind(detail::lower_generic_1d<1, T>(gs)); break;
+          case 2: bind(detail::lower_generic_1d<2, T>(gs)); break;
+          default: bind(detail::lower_generic_1d<3, T>(gs)); break;
+        }
+        break;
+      case 2:
+        switch (radius) {
+          case 1: bind(detail::lower_generic_2d<1, T>(gs)); break;
+          case 2: bind(detail::lower_generic_2d<2, T>(gs)); break;
+          default: bind(detail::lower_generic_2d<3, T>(gs)); break;
+        }
+        break;
+      default:
+        switch (radius) {
+          case 1: bind(detail::lower_generic_3d<1, T>(gs)); break;
+          case 2: bind(detail::lower_generic_3d<2, T>(gs)); break;
+          default: bind(detail::lower_generic_3d<3, T>(gs)); break;
+        }
+        break;
+    }
+  };
+  if (o.dtype == Dtype::kF32)
+    bind_generic.template operator()<float>();
+  else
+    bind_generic.template operator()<double>();
+  return p;
 }
 
 }  // namespace tsv

@@ -41,6 +41,7 @@
 #include "tsv/core/workspace.hpp"
 #include "tsv/kernels/reference.hpp"
 #include "tsv/tiling/tiled.hpp"
+#include "tsv/vectorize/generic.hpp"
 
 namespace tsv {
 
@@ -271,6 +272,21 @@ struct Exec {
                         Workspace& ws) {
     sdsl_run<V>(g, s, r.steps, r.split_block, r.bt, ws, r.streaming);
   }
+
+  // -- generic interpreter (any row-based S, compiled or lowered) -----------
+  static void generic(G& g, const S& s, const ResolvedOptions& r,
+                      Workspace& ws) {
+    generic_run<V>(g, s, r.steps, ws);
+  }
+  static void tess_generic(G& g, const S& s, const ResolvedOptions& r,
+                           Workspace& ws) {
+    if constexpr (rank == 1)
+      tess_generic_run<V>(g, s, r.steps, r.bx, r.bt, ws);
+    else if constexpr (rank == 2)
+      tess_generic_run<V>(g, s, r.steps, r.bx, r.by, r.bt, ws);
+    else
+      tess_generic_run<V>(g, s, r.steps, r.bx, r.by, r.bz, r.bt, ws);
+  }
 };
 
 /// Enum -> kernel adapter for one vector width. The one and only
@@ -279,32 +295,48 @@ struct Exec {
 template <typename V, typename G, typename S>
 ExecFn<G, S> exec_for(Method m, Tiling t) {
   using E = Exec<V, G, S>;
-  switch (t) {
-    case Tiling::kNone:
-      switch (m) {
-        case Method::kScalar: return &E::scalar;
-        case Method::kAutoVec: return &E::autovec;
-        case Method::kMultiLoad: return &E::multiload;
-        case Method::kReorg: return &E::reorg;
-        case Method::kDlt: return &E::dlt;
-        case Method::kTranspose: return &E::transpose;
-        case Method::kTransposeUJ: return &E::transpose_uj;
-      }
-      return nullptr;
-    case Tiling::kTessellate:
-      switch (m) {
-        case Method::kAutoVec: return &E::tess_autovec;
-        case Method::kMultiLoad:
-          return E::rank == 1 ? &E::tess_multiload : nullptr;
-        case Method::kReorg: return E::rank == 1 ? &E::tess_reorg : nullptr;
-        case Method::kTranspose: return &E::tess_transpose;
-        case Method::kTransposeUJ: return &E::tess_transpose_uj;
-        default: return nullptr;
-      }
-    case Tiling::kSplit:
-      return m == Method::kDlt ? &E::split_dlt : nullptr;
+  // Runtime-row descriptors (lowered GenericStencils) execute ONLY through
+  // the generic interpreter. The branch below is `if constexpr` on purpose:
+  // taking a specialized adapter's address instantiates its body, and those
+  // bodies require a compile-time row count — they would not compile
+  // against a vector-of-rows type even though they could never be called.
+  if constexpr (is_generic_stencil_v<S>) {
+    if (m != Method::kGeneric) return nullptr;
+    return t == Tiling::kNone        ? &E::generic
+           : t == Tiling::kTessellate ? &E::tess_generic
+                                       : nullptr;
+  } else {
+    switch (t) {
+      case Tiling::kNone:
+        switch (m) {
+          case Method::kScalar: return &E::scalar;
+          case Method::kAutoVec: return &E::autovec;
+          case Method::kMultiLoad: return &E::multiload;
+          case Method::kReorg: return &E::reorg;
+          case Method::kDlt: return &E::dlt;
+          case Method::kTranspose: return &E::transpose;
+          case Method::kTransposeUJ: return &E::transpose_uj;
+          // The interpreter also runs the compiled descriptors — that is
+          // what the fig14 overhead bench and the registry sweep measure.
+          case Method::kGeneric: return &E::generic;
+        }
+        return nullptr;
+      case Tiling::kTessellate:
+        switch (m) {
+          case Method::kAutoVec: return &E::tess_autovec;
+          case Method::kMultiLoad:
+            return E::rank == 1 ? &E::tess_multiload : nullptr;
+          case Method::kReorg: return E::rank == 1 ? &E::tess_reorg : nullptr;
+          case Method::kTranspose: return &E::tess_transpose;
+          case Method::kTransposeUJ: return &E::tess_transpose_uj;
+          case Method::kGeneric: return &E::tess_generic;
+          default: return nullptr;
+        }
+      case Tiling::kSplit:
+        return m == Method::kDlt ? &E::split_dlt : nullptr;
+    }
+    return nullptr;
   }
-  return nullptr;
 }
 
 template <typename G, typename S>
@@ -422,15 +454,9 @@ class TypedPlan {
       omp_set_num_threads(cfg_.threads);  // per-thread ICV; concrete after
                                           // resolve, so no cross-plan leak
     if (cfg_.steps <= 0) return;
-    if (needs_per_step_fill(cfg_.boundary) || polled) {
-      ResolvedOptions step = cfg_;
-      step.steps = 1;
-      for (index t = 0; t < cfg_.steps; ++t) {
-        if (polled && t > 0) ctl->check();
-        fill_ghosts(g, cfg_.boundary, S::radius);
-        fn_(g, stencil_, step, ws);
-      }
-    } else {
+    if (needs_per_step_fill(cfg_.boundary) || polled)
+      step_loop(g, ws, polled ? ctl : nullptr);
+    else {
       fill_ghosts(g, cfg_.boundary, S::radius);  // no-op unless a kZero axis
       fn_(g, stencil_, cfg_, ws);
     }
@@ -444,6 +470,23 @@ class TypedPlan {
   Workspace& workspace() const { return *ws_; }
 
  private:
+  /// The steps=1 slicing driver shared by the per-step-boundary path (ghost
+  /// refresh between steps) and the cancel/timeout-poll path. One loop for
+  /// both means the two compose by construction: a cancellation delivered
+  /// at step t leaves the grid at an exact t-step prefix whose ghosts were
+  /// refreshed before every completed step. @p ctl may be null (no polling);
+  /// the poll comes BEFORE the step's ghost fill, so an aborted run never
+  /// half-updates anything.
+  void step_loop(G& g, Workspace& ws, const ExecControl* ctl) const {
+    ResolvedOptions step = cfg_;
+    step.steps = 1;
+    for (index t = 0; t < cfg_.steps; ++t) {
+      if (ctl != nullptr && t > 0) ctl->check();
+      fill_ghosts(g, cfg_.boundary, S::radius);
+      fn_(g, stencil_, step, ws);
+    }
+  }
+
   Shape shape_;
   S stencil_;
   ResolvedOptions cfg_;
@@ -628,6 +671,18 @@ TypedPlan<detail::grid_for_t<S>, S> make_plan(const Shape& shape,
   if (shape.rank != S::dim)
     throw ConfigError(o.method, o.tiling, shape.rank,
                       "shape rank does not match the stencil's rank");
+  // Descriptors bound to concrete grid extents (a lowered GenericStencil
+  // carrying a per-cell scale field) veto mismatched shapes here — this is
+  // what rejects sharding a whole-domain coefficient field across shards
+  // whose extents differ from the field's.
+  if constexpr (requires {
+                  stencil.check_shape(shape.rank, shape.nx, shape.ny,
+                                      shape.nz);
+                }) {
+    if (const char* why =
+            stencil.check_shape(shape.rank, shape.nx, shape.ny, shape.nz))
+      throw ConfigError(o.method, o.tiling, shape.rank, why);
+  }
   Options oo = o;
   oo.dtype = dtype_of<typename S::value_type>();
   if (oo.tune != Tune::kOff && oo.tiling != Tiling::kNone)
@@ -880,6 +935,35 @@ class Plan {
                         const Options& o);
   friend Plan make_plan(const Shape& shape, const StencilSpec& spec,
                         const Options& o);
+  friend Plan make_plan(const Shape& shape, const GenericStencil& gs,
+                        const Options& o);
+
+  /// Builds the typed plan for @p stencil and stores its execute closure in
+  /// the rank/dtype slot it belongs to — the one lowering step every
+  /// rank-erased binder (kind, spec, generic) shares. Private; reachable
+  /// only through the friended make_plan overloads.
+  template <typename S>
+  static void bind_typed(Plan& p, const Shape& shape, const S& stencil,
+                         const Options& o) {
+    auto typed = make_plan(shape, stencil, o);
+    p.cfg_ = typed.config();
+    using G = detail::grid_for_t<S>;
+    constexpr bool f32 = std::is_same_v<typename S::value_type, float>;
+    auto fn = [typed = std::move(typed)](G& g, Workspace* ws,
+                                         const ExecControl* ctl) {
+      ws != nullptr ? typed.execute(g, *ws, ctl) : typed.execute(g);
+    };
+    if constexpr (detail::grid_rank<G> == 1) {
+      if constexpr (f32) p.f1f_ = std::move(fn);
+      else p.f1_ = std::move(fn);
+    } else if constexpr (detail::grid_rank<G> == 2) {
+      if constexpr (f32) p.f2f_ = std::move(fn);
+      else p.f2_ = std::move(fn);
+    } else {
+      if constexpr (f32) p.f3f_ = std::move(fn);
+      else p.f3_ = std::move(fn);
+    }
+  }
 
   template <typename F, typename G>
   void dispatch(const F& f, G& g, Workspace* ws, const ExecControl* ctl) const {
@@ -906,8 +990,20 @@ Plan make_plan(const Shape& shape, StencilKind kind, const Options& o = {});
 /// Builds a rank-erased plan from a runtime StencilSpec — one of the
 /// compiled stencil shapes carrying user coefficients (and an optional
 /// radius cross-check); see core/problems.hpp. Throws ConfigError on a
-/// radius mismatch or a wrong coefficient count. Defined in plan.cpp.
+/// radius mismatch or a wrong coefficient count. When spec.generic is set,
+/// forwards to the GenericStencil overload below. Defined in plan.cpp.
 Plan make_plan(const Shape& shape, const StencilSpec& spec,
+               const Options& o = {});
+
+/// Builds a rank-erased plan from a runtime GenericStencil
+/// (core/generic_stencil.hpp): validates the shape (generic_violation),
+/// requires Options::method == Method::kGeneric (the interpreter is the one
+/// kernel able to run an arbitrary tap set — demanding the explicit opt-in
+/// beats silently ignoring the requested method), lowers the taps at the
+/// shape's effective radius in the Options dtype, and binds the
+/// register-blocked interpreter. Throws ConfigError on any violation.
+/// Defined in plan.cpp.
+Plan make_plan(const Shape& shape, const GenericStencil& gs,
                const Options& o = {});
 
 }  // namespace tsv

@@ -4,6 +4,8 @@
 #include <bit>
 #include <tuple>
 
+#include "tsv/core/generic_stencil.hpp"
+
 namespace tsv {
 
 namespace {
@@ -12,7 +14,8 @@ namespace {
 // this one tuple, so a future field added to PlanKey (and PlanKey::make)
 // only needs one more entry here to participate in all three consistently.
 auto key_tie(const PlanKey& k) {
-  return std::tie(k.kind, k.radius, k.coeff_bits, k.rank, k.nx, k.ny, k.nz,
+  return std::tie(k.kind, k.radius, k.coeff_bits, k.generic_bits, k.rank,
+                  k.nx, k.ny, k.nz,
                   k.halo, k.method, k.tiling, k.isa, k.dtype, k.steps, k.bx,
                   k.by, k.bz, k.bt, k.threads, k.max_threads, k.tune,
                   k.stream, k.stream_threshold_bits, k.boundary.x,
@@ -55,6 +58,40 @@ PlanKey PlanKey::make(const Shape& shape, const StencilSpec& spec,
   k.coeff_bits.reserve(spec.coeffs.size());
   for (double c : spec.coeffs)
     k.coeff_bits.push_back(std::bit_cast<std::uint64_t>(c));
+  if (spec.generic != nullptr) {
+    // A runtime-programmable spec ignores kind/radius/coeffs (make_plan
+    // routes on the GenericStencil alone), so the key must carry the full
+    // tap set instead: rank, count, and per tap the packed offset plus the
+    // weight's bit pattern (same NaN-safe reasoning as coeff_bits). The
+    // radius slot reuses the shape's effective radius — the structural fact
+    // lowering dispatches on.
+    const GenericStencil& gs = *spec.generic;
+    k.radius = gs.effective_radius();
+    k.generic_bits.reserve(2 + 2 * gs.taps.size() + 2);
+    k.generic_bits.push_back(static_cast<std::uint64_t>(gs.rank));
+    k.generic_bits.push_back(gs.taps.size());
+    for (const GenericTap& t : gs.taps) {
+      const auto off = static_cast<std::uint64_t>(t.dx + 128) |
+                       (static_cast<std::uint64_t>(t.dy + 128) << 8) |
+                       (static_cast<std::uint64_t>(t.dz + 128) << 16);
+      k.generic_bits.push_back(off);
+      k.generic_bits.push_back(std::bit_cast<std::uint64_t>(t.weight));
+    }
+    if (!gs.scale.empty()) {
+      // Scale fields are grid-sized; digest rather than copy. FNV-1a over
+      // the value bit patterns keeps distinct fields (overwhelmingly)
+      // distinct entries without retaining megabytes per key.
+      k.generic_bits.push_back(static_cast<std::uint64_t>(gs.scale_nx) |
+                               (static_cast<std::uint64_t>(gs.scale_ny) << 21) |
+                               (static_cast<std::uint64_t>(gs.scale_nz) << 42));
+      std::uint64_t digest = 1469598103934665603ull;
+      for (double v : gs.scale) {
+        digest ^= std::bit_cast<std::uint64_t>(v);
+        digest *= 1099511628211ull;
+      }
+      k.generic_bits.push_back(digest);
+    }
+  }
   k.rank = shape.rank;
   k.nx = shape.nx;
   k.ny = shape.ny;

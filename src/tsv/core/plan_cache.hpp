@@ -57,6 +57,13 @@ struct PlanKey {
   StencilKind kind{};
   int radius = 0;
   std::vector<std::uint64_t> coeff_bits;
+  /// Runtime-programmable stencils (StencilSpec::generic): rank, tap count,
+  /// every tap's packed offset and weight bit pattern, and — when a per-cell
+  /// coefficient field is present — its extents plus an FNV-1a digest of the
+  /// field values. Empty for the compiled kinds, so the field is free for
+  /// the common case; distinct tap sets (or scale fields) can never alias
+  /// one cached plan.
+  std::vector<std::uint64_t> generic_bits;
   // Grid geometry.
   int rank = 0;
   index nx = 0, ny = 1, nz = 1;

@@ -2,6 +2,7 @@
 // Named problem presets (paper Table 1).
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -40,10 +41,20 @@ std::size_t stencil_kind_coeff_count(StencilKind k);
 /// `radius` is a cross-check: 0 means "the kind's own radius"; any other
 /// value must match stencil_kind_radius(kind) or make_plan throws
 /// ConfigError.
+struct GenericStencil;  // core/generic_stencil.hpp
+
 struct StencilSpec {
   StencilKind kind = StencilKind::k2d5p;
   int radius = 0;               ///< 0 = kind's radius; else must match it
   std::vector<double> coeffs;   ///< empty = Table-1 defaults
+  /// When set, the spec describes a runtime-programmable stencil
+  /// (core/generic_stencil.hpp) and the fields above are ignored: rank and
+  /// radius come from the GenericStencil, and the plan must be built with
+  /// Options::method = Method::kGeneric (the interpreter is the only kernel
+  /// that can run an arbitrary tap set). shared_ptr because specs are
+  /// copied into plan-cache keys and executor requests; the shape itself is
+  /// immutable once planned.
+  std::shared_ptr<const GenericStencil> generic;
 };
 
 struct Problem {

@@ -52,6 +52,13 @@ const std::vector<Capability>& table() {
       {Method::kTransposeUJ, Tiling::kTessellate, kAllRanks, kAllDtypes, kAllBoundaries,
        XRule::kWidth2, true, false,
        "pair-granular tessellation of the 2-step unroll&jam scheme"},
+      // -- generic interpreter (runtime tap lists; core/generic_stencil.hpp)
+      {Method::kGeneric, Tiling::kNone, kAllRanks, kAllDtypes, kAllBoundaries,
+       XRule::kNone, false, false,
+       "register-blocked interpreter over runtime tap lists"},
+      {Method::kGeneric, Tiling::kTessellate, kAllRanks, kAllDtypes,
+       kAllBoundaries, XRule::kNone, false, false,
+       "tessellate tiling over the generic interpreter"},
       // -- split tiling over the DLT layout (SDSL baseline) ----------------
       {Method::kDlt, Tiling::kSplit, kAllRanks, kAllDtypes, kAllBoundaries, XRule::kWidth,
        false, true,
@@ -71,6 +78,7 @@ const char* method_name(Method m) {
     case Method::kDlt: return "dlt";
     case Method::kTranspose: return "transpose";
     case Method::kTransposeUJ: return "transpose-uj2";
+    case Method::kGeneric: return "generic";
   }
   return "?";
 }
@@ -130,7 +138,7 @@ const std::vector<Method>& all_methods() {
   static const std::vector<Method> v = {
       Method::kScalar,    Method::kAutoVec,   Method::kMultiLoad,
       Method::kReorg,     Method::kDlt,       Method::kTranspose,
-      Method::kTransposeUJ};
+      Method::kTransposeUJ, Method::kGeneric};
   return v;
 }
 

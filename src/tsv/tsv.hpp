@@ -32,6 +32,7 @@
 #include "tsv/core/capability.hpp"   // IWYU pragma: export
 #include "tsv/core/executor.hpp"     // IWYU pragma: export
 #include "tsv/core/fault.hpp"        // IWYU pragma: export
+#include "tsv/core/generic_stencil.hpp"  // IWYU pragma: export
 #include "tsv/core/halo.hpp"         // IWYU pragma: export
 #include "tsv/core/health.hpp"       // IWYU pragma: export
 #include "tsv/core/options.hpp"      // IWYU pragma: export

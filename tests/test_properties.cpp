@@ -9,16 +9,22 @@
 //   * determinism (bitwise-identical repeated runs),
 //   * halo immutability.
 //
-// The file ends with a seeded randomized DIFFERENTIAL FUZZER: random
-// (method, tiling, rank, dtype, boundary, shape, blocks, steps, coeffs)
-// tuples drawn from the capability registry, each executed through the
-// rank-erased plan path and checked against the boundary-aware scalar
-// oracle. The seed is deterministic (override with TSV_FUZZ_SEED) and is
+// The file ends with two seeded randomized DIFFERENTIAL FUZZERS: the first
+// draws (method, tiling, rank, dtype, boundary, shape, blocks, steps,
+// coeffs) tuples from the capability registry for the compiled Table-1
+// kinds; the second draws the stencil SHAPE itself — random GenericStencil
+// tap sets (star, box, asymmetric; radius <= 3; random weights; optional
+// per-cell coefficient field) — and runs them through the register-blocked
+// interpreter (Method::kGeneric). Each tuple executes through the
+// rank-erased plan path and is checked against the boundary-aware scalar
+// oracle. The seed is deterministic (override with TSV_FUZZ_SEED; the
+// nightly job also raises the tuple budget with TSV_FUZZ_TUPLES) and is
 // printed with every failure, so any found divergence replays exactly.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -482,10 +488,14 @@ TEST(RandomizedDifferential, SampledTuplesMatchOracle) {
     seed = std::strtoull(env, nullptr, 10);
   fuzz::Rng rng(seed);
 
-  constexpr int kTuples = 32;     // executed tuples required
-  constexpr int kMaxDraws = 400;  // resample budget across the whole run
+  // 32 executed tuples per smoke run; the nightly job raises the budget via
+  // TSV_FUZZ_TUPLES (an absolute executed-tuple count for both fuzzers).
+  int tuples = 32;
+  if (const char* env = std::getenv("TSV_FUZZ_TUPLES"))
+    tuples = std::atoi(env);
+  const int max_draws = tuples * 13;  // resample budget across the whole run
   int executed = 0, draws = 0;
-  while (executed < kTuples && draws < kMaxDraws) {
+  while (executed < tuples && draws < max_draws) {
     ++draws;
     const auto& caps = capabilities();
     const Capability& cap = caps[rng() % caps.size()];
@@ -546,8 +556,236 @@ TEST(RandomizedDifferential, SampledTuplesMatchOracle) {
     }
   }
   // A fuzzer that rejects (or exhausts) its way to a pass proves nothing.
-  EXPECT_GE(executed, kTuples)
+  EXPECT_GE(executed, tuples)
       << "only " << executed << " tuples executed in " << draws
+      << " draws (seed=" << seed << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Generic-shape differential fuzzer.
+//
+// Where the fuzzer above randomizes everything AROUND six fixed stencil
+// shapes, this one draws the shape itself: a random GenericStencil — rank,
+// radius <= kMaxGenericRadius, a star / box / asymmetric tap set with random
+// weights (normalized so sum |w| ~ 0.95, keeping an O(1) field O(1) over the
+// <= 5 fuzzed steps so the absolute tolerance stays meaningful), and with
+// probability ~1/4 a per-cell coefficient field — then executes it through
+// every plan stage the registry claims for Method::kGeneric (both tilings,
+// runnable ISAs, both dtypes, all boundaries) and diffs against the
+// runtime-tap oracle generic_reference_run. Tolerances are dtype-aware and
+// widened by the tap count: a 27+ tap box reassociates proportionally more
+// partial products per output than the 3-tap kinds kTolSlack was sized for.
+// ---------------------------------------------------------------------------
+
+namespace fuzz {
+
+/// A random generic stencil shape. Half the draws declare `radius`
+/// explicitly, half leave it 0 (derived) — both spellings must plan.
+GenericStencil draw_generic(Rng& rng, int rank, int radius) {
+  GenericStencil gs;
+  gs.rank = rank;
+  if (rng() % 2) gs.radius = radius;
+  auto has = [&](int dx, int dy, int dz) {
+    for (const GenericTap& t : gs.taps)
+      if (t.dx == dx && t.dy == dy && t.dz == dz) return true;
+    return false;
+  };
+  auto add = [&](int dx, int dy, int dz) {
+    if (!has(dx, dy, dz)) gs.taps.push_back({dx, dy, dz, 0.0});
+  };
+  switch (rng() % 3) {
+    case 0:  // star: center plus axis arms out to the radius
+      add(0, 0, 0);
+      for (int d = 1; d <= radius; ++d) {
+        add(+d, 0, 0);
+        add(-d, 0, 0);
+        if (rank >= 2) add(0, +d, 0), add(0, -d, 0);
+        if (rank >= 3) add(0, 0, +d), add(0, 0, -d);
+      }
+      break;
+    case 1:  // box: the full Chebyshev ball
+      for (int dz = rank >= 3 ? -radius : 0; dz <= (rank >= 3 ? radius : 0);
+           ++dz)
+        for (int dy = rank >= 2 ? -radius : 0;
+             dy <= (rank >= 2 ? radius : 0); ++dy)
+          for (int dx = -radius; dx <= radius; ++dx) add(dx, dy, dz);
+      break;
+    default: {  // asymmetric: a random sparse subset, no symmetry at all
+      const int want = 1 + static_cast<int>(rng() % 12);
+      auto draw_off = [&] {
+        return static_cast<int>(rng() % (2 * radius + 1)) - radius;
+      };
+      for (int i = 0; i < want; ++i)
+        add(draw_off(), rank >= 2 ? draw_off() : 0,
+            rank >= 3 ? draw_off() : 0);
+      break;
+    }
+  }
+  std::uniform_real_distribution<double> wd(-1.0, 1.0);
+  double sum = 0.0;
+  for (GenericTap& t : gs.taps) {
+    t.weight = wd(rng);
+    sum += std::abs(t.weight);
+  }
+  if (sum < 1e-3) {
+    gs.taps.front().weight = 0.5;
+    sum = 0.0;
+    for (const GenericTap& t : gs.taps) sum += std::abs(t.weight);
+  }
+  for (GenericTap& t : gs.taps) t.weight *= 0.95 / sum;
+  return gs;
+}
+
+std::string describe_generic(const GenericStencil& gs, const Shape& shape,
+                             const Options& o, std::uint64_t seed, int iter) {
+  std::ostringstream os;
+  os << "seed=" << seed << " iter=" << iter << " generic rank=" << gs.rank
+     << " radius=" << gs.effective_radius() << " taps=" << gs.taps.size()
+     << (gs.scale.empty() ? "" : " +scale")
+     << " tiling=" << tiling_name(o.tiling) << " isa=" << isa_name(o.isa)
+     << " dtype=" << dtype_name(o.dtype) << " shape=" << shape.nx << "x"
+     << shape.ny << "x" << shape.nz << " halo=" << shape.halo
+     << " steps=" << o.steps << " bt=" << o.bt << " threads=" << o.threads
+     << " bc=" << boundary_name(o.boundary.x) << "/"
+     << boundary_name(o.boundary.y) << "/" << boundary_name(o.boundary.z)
+     << "  (replay: TSV_FUZZ_SEED=" << seed << ")";
+  return os.str();
+}
+
+/// Executes one sampled generic tuple against the runtime-tap oracle.
+/// Returns false when the resolver rejected the tuple (caller resamples).
+template <typename T, typename G>
+bool run_generic_tuple(const std::shared_ptr<const GenericStencil>& gs,
+                       const Shape& shape, const Options& o,
+                       const std::string& label, index salt) {
+  auto init = [&](index lin) {
+    return static_cast<T>(
+        0.2 + 1e-3 * static_cast<double>((salt * 17 + lin * 5) % 97));
+  };
+  G got = [&] {
+    if constexpr (detail::grid_rank<G> == 1)
+      return G(shape.nx, shape.halo);
+    else if constexpr (detail::grid_rank<G> == 2)
+      return G(shape.nx, shape.ny, shape.halo);
+    else
+      return G(shape.nx, shape.ny, shape.nz, shape.halo);
+  }();
+  if constexpr (detail::grid_rank<G> == 1)
+    got.fill([&](index x) { return init(x); });
+  else if constexpr (detail::grid_rank<G> == 2)
+    got.fill([&](index x, index y) { return init(x + 131 * y); });
+  else
+    got.fill([&](index x, index y, index z) {
+      return init(x + 131 * y + 1031 * z);
+    });
+  G ref = got;
+
+  StencilSpec spec;
+  spec.generic = gs;
+  Plan plan;
+  try {
+    plan = make_plan(shape, spec, o);
+  } catch (const ConfigError&) {
+    return false;  // legitimately rejected tuple: resample
+  }
+  plan.execute(got);
+  generic_reference_run(ref, *gs, o.steps, plan.config().boundary);
+  const double tol =
+      accuracy_tolerance<T>(o.steps) *
+      std::max(1.0, static_cast<double>(gs->taps.size()) / 8.0);
+  EXPECT_LE(static_cast<double>(max_abs_diff(ref, got)), tol) << label;
+  return true;
+}
+
+template <typename T>
+bool run_generic_rank(const std::shared_ptr<const GenericStencil>& gs,
+                      const Shape& shape, const Options& o,
+                      const std::string& label, index salt) {
+  switch (shape.rank) {
+    case 1:
+      return run_generic_tuple<T, Grid1D<T>>(gs, shape, o, label, salt);
+    case 2:
+      return run_generic_tuple<T, Grid2D<T>>(gs, shape, o, label, salt);
+    default:
+      return run_generic_tuple<T, Grid3D<T>>(gs, shape, o, label, salt);
+  }
+}
+
+}  // namespace fuzz
+
+TEST(RandomizedDifferential, GenericShapesMatchOracle) {
+  std::uint64_t seed = 20260728;
+  if (const char* env = std::getenv("TSV_FUZZ_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fuzz::Rng rng(seed);
+
+  // 64 executed tuples per smoke run; the nightly job raises this ~20x via
+  // TSV_FUZZ_TUPLES (an absolute executed-tuple count, not a multiplier).
+  int tuples = 64;
+  if (const char* env = std::getenv("TSV_FUZZ_TUPLES"))
+    tuples = std::atoi(env);
+  const int max_draws = tuples * 12;  // resample budget
+  int executed = 0, draws = 0;
+  while (executed < tuples && draws < max_draws) {
+    ++draws;
+    const int rank = 1 + static_cast<int>(rng() % 3);
+    const int radius = 1 + static_cast<int>(rng() % kMaxGenericRadius);
+    auto gs = std::make_shared<GenericStencil>(
+        fuzz::draw_generic(rng, rank, radius));
+
+    Options o;
+    o.method = Method::kGeneric;
+    o.tiling = rng() % 2 ? Tiling::kTessellate : Tiling::kNone;
+    const auto isas = runnable_isas();
+    o.isa = isas[rng() % isas.size()];
+    o.dtype = rng() % 2 ? Dtype::kF32 : Dtype::kF64;
+    o.steps = static_cast<index>(rng() % 6);  // 0..5, incl. identity runs
+    o.threads = 1 + static_cast<int>(rng() % 3);
+    o.boundary = {fuzz::draw_boundary(rng),
+                  rank >= 2 ? fuzz::draw_boundary(rng) : Boundary::kDirichlet,
+                  rank >= 3 ? fuzz::draw_boundary(rng) : Boundary::kDirichlet};
+    if (o.tiling != Tiling::kNone && rng() % 3 == 0)
+      o.bt = fuzz::pick(rng, {1, 2, 4});
+
+    Shape shape;
+    shape.rank = rank;
+    shape.halo = gs->effective_radius();
+    // The generic rows claim XRule::kNone, so odd/unaligned extents are
+    // always legal; rank-3 boxes get smaller grids to bound the sweep cost.
+    shape.nx = rank >= 3 ? fuzz::pick(rng, {33, 57, 96})
+                         : fuzz::pick(rng, {33, 57, 96, 130, 255, 256, 384});
+    shape.ny = rank >= 2 ? fuzz::pick(rng, {3, 5, 8, 13, 17}) : 1;
+    shape.nz = rank >= 3 ? fuzz::pick(rng, {3, 4, 7, 10}) : 1;
+    if (shape.nx < 2 * shape.halo) continue;
+
+    // ~1/4 of tuples carry a per-cell coefficient field sized to the
+    // interior; values in [0.5, 1] keep the damping contraction intact.
+    if (rng() % 4 == 0) {
+      GenericStencil with_scale = *gs;
+      with_scale.scale_nx = shape.nx;
+      with_scale.scale_ny = shape.ny;
+      with_scale.scale_nz = shape.nz;
+      std::uniform_real_distribution<double> sd(0.5, 1.0);
+      with_scale.scale.resize(
+          static_cast<std::size_t>(shape.nx * shape.ny * shape.nz));
+      for (double& v : with_scale.scale) v = sd(rng);
+      gs = std::make_shared<GenericStencil>(std::move(with_scale));
+    }
+
+    const std::string label =
+        fuzz::describe_generic(*gs, shape, o, seed, executed);
+    const bool ran =
+        o.dtype == Dtype::kF32
+            ? fuzz::run_generic_rank<float>(gs, shape, o, label, draws)
+            : fuzz::run_generic_rank<double>(gs, shape, o, label, draws);
+    if (ran) ++executed;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "fuzzer stopped at first divergence; " << label;
+      break;
+    }
+  }
+  EXPECT_GE(executed, tuples)
+      << "only " << executed << " generic tuples executed in " << draws
       << " draws (seed=" << seed << ")";
 }
 

@@ -202,11 +202,11 @@ TEST(Registry, KnownUnsupportedCombos) {
 
 TEST(Registry, SupportedMethodsEnumerates) {
   const auto untiled_1d = supported_methods(Tiling::kNone, 1);
-  EXPECT_EQ(untiled_1d.size(), 7u);  // all methods sweep untiled
+  EXPECT_EQ(untiled_1d.size(), 8u);  // all methods sweep untiled
   const auto tess_2d = supported_methods(Tiling::kTessellate, 2);
   for (Method m : tess_2d)
     EXPECT_TRUE(m == Method::kAutoVec || m == Method::kTranspose ||
-                m == Method::kTransposeUJ)
+                m == Method::kTransposeUJ || m == Method::kGeneric)
         << method_name(m);
   const auto split_3d = supported_methods(Tiling::kSplit, 3);
   ASSERT_EQ(split_3d.size(), 1u);
