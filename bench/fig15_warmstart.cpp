@@ -1,0 +1,238 @@
+// Fig. 15 (companion experiment): tune-database warm start.
+//
+// A fleet restart with Tune::kCached re-pays every timed trial race the
+// process had already won. core/tunedb.hpp persists the tuner's memo cache;
+// this bench quantifies the payoff and GATES the two promises that make the
+// db trustworthy:
+//
+//   1. Zero timed trials on warm start — counter-asserted via
+//      TuneCounters::trial_executions / trial_searches staying at 0 across
+//      the whole warm planning pass (not inferred from timing).
+//   2. Bit-identical numerics — a warm-planned execute must reproduce the
+//      cold-planned execute exactly (max_abs_diff == 0): the db hands back
+//      the SAME blocks, and blocks never change results.
+//   3. --min-speedup S — warm total plan time must beat cold total plan
+//      time by at least S (default 1.0: warm is at least no slower).
+//
+// Output: one JSON record per phase (cold/warm) with plans-per-second as
+// the points_per_s metric, so bench/compare_baseline.py joins and gates it
+// like every other bench. All machine-varying fields are NON_IDENTITY
+// (points_per_s, mean_ms, requests, speedup).
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Flags {
+  double min_speedup = 1.0;
+  std::string db_path;
+  bool keep_db = false;  ///< --db PATH is user-managed: left on disk so a
+                         ///< later process can exercise a cross-run reload
+};
+
+Flags parse_extra(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
+      f.min_speedup = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--db") && i + 1 < argc)
+      f.db_path = argv[++i];
+  }
+  f.keep_db = !f.db_path.empty();
+  if (f.db_path.empty())
+    f.db_path = "/tmp/tsv_fig15_tunedb." +
+                std::to_string(static_cast<long>(::getpid())) + ".json";
+  return f;
+}
+
+/// One tuned configuration: a distinct nx is a distinct TuneKey, so K sizes
+/// exercise K independent trial races cold and K db-served lookups warm.
+struct Key {
+  tsv::index nx;
+  tsv::Grid1D<double> grid;
+  explicit Key(tsv::index n) : nx(n), grid(n, 1) { refill(); }
+  void refill() {
+    grid.fill([](tsv::index x) {
+      return 0.3 + 1e-4 * static_cast<double>(x % 97);
+    });
+  }
+};
+
+struct PhaseResult {
+  double plan_seconds = 0;          ///< total make_plan wall time, all keys
+  std::uint64_t trial_execs = 0;    ///< timed trial executions in the phase
+  std::vector<tsv::Grid1D<double>> out;  ///< post-execute grids (bit compare)
+};
+
+/// Plans every key @p reps times (timed), executes each key once (untimed —
+/// the executes only exist to pin the bit-identical-numerics gate).
+/// plan_seconds is the PER-SWEEP total: a warm lookup is microseconds, so
+/// the warm phase amortizes over many sweeps to keep the CI regression gate
+/// out of clock-granularity jitter; cold must use reps == 1 because only
+/// the first sweep pays trials — the rest would hit the memo.
+PhaseResult plan_and_run(std::vector<Key>& keys, const tsv::Options& base,
+                         int reps) {
+  PhaseResult r;
+  const auto spec = tsv::make_1d3p<double>(1.0 / 3.0);
+  double total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Key& k : keys) {
+      if (rep == 0) k.refill();
+      tsv::Timer t;
+      const auto plan = tsv::make_plan(tsv::shape_of(k.grid), spec, base);
+      total += t.seconds();
+      if (rep == 0) {
+        plan.execute(k.grid);
+        r.out.push_back(k.grid);
+      }
+    }
+  }
+  r.plan_seconds = total / reps;
+  r.trial_execs = tsv::tune_counters().trial_executions;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::setup_omp();
+  bench::Config cfg = bench::Config::parse(argc, argv);
+  const Flags flags = parse_extra(argc, argv);
+  bench::print_header("Fig. 15 companion: tune-db warm start (plan time)");
+
+  bench::JsonSink json(cfg.json_path);
+  bench::CsvSink csv(cfg.csv_path, "phase,keys,plan_ms,plans_per_s,trials");
+  const char* level = cfg.smoke ? "smoke" : "full";
+
+  // Distinct sizes (multiples of 4096: legal at every compiled width/dtype)
+  // = distinct TuneKeys. Smoke keeps the cold trial races in the
+  // tens-of-milliseconds range per key.
+  std::vector<tsv::index> sizes =
+      cfg.smoke ? std::vector<tsv::index>{4096, 8192, 12288, 16384}
+                : std::vector<tsv::index>{4096,  8192,  16384, 32768,
+                                          65536, 131072, 262144, 524288};
+  std::vector<Key> keys;
+  keys.reserve(sizes.size());
+  for (tsv::index n : sizes) keys.emplace_back(n);
+
+  tsv::Options o;
+  o.method = tsv::Method::kTranspose;
+  o.tiling = tsv::Tiling::kTessellate;
+  o.isa = cfg.isa;
+  o.steps = cfg.smoke ? 12 : 32;
+  o.threads = cfg.threads;
+  o.tune = tsv::Tune::kCached;
+  o.stream = bench::g_stream;
+  o.boundary = bench::g_boundary;
+
+  bool ok = true;
+
+  // ---- Cold: empty memo cache, every key pays its timed trial race. ----
+  tsv::tune_cache_clear();
+  tsv::tune_counters_reset();
+  const PhaseResult cold = plan_and_run(keys, o, 1);
+  if (cold.trial_execs == 0) {
+    std::fprintf(stderr,
+                 "FAIL: cold pass ran no timed trials — Tune::kCached did "
+                 "not tune, warm comparison is meaningless\n");
+    ok = false;
+  }
+
+  std::string err;
+  if (!tsv::tune_db_save(flags.db_path, &err)) {
+    std::fprintf(stderr, "FAIL: tune_db_save(%s): %s\n", flags.db_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  // ---- Warm: fresh cache, then load the db we just saved. ----
+  tsv::tune_cache_clear();
+  tsv::tune_counters_reset();
+  const tsv::TuneDbLoadResult load = tsv::tune_db_load(flags.db_path);
+  if (!load.loaded() || load.entries < keys.size()) {
+    std::fprintf(stderr, "FAIL: tune_db_load: %s (%zu entries, want >= %zu)\n",
+                 tsv::tune_db_status_name(load.status), load.entries,
+                 keys.size());
+    ok = false;
+  }
+  const PhaseResult warm = plan_and_run(keys, o, 256);
+  const tsv::TuneCounters wc = tsv::tune_counters();
+  if (wc.trial_executions != 0 || wc.trial_searches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm start ran timed trials (executions=%llu "
+                 "searches=%llu) — the db did not serve the memo cache\n",
+                 static_cast<unsigned long long>(wc.trial_executions),
+                 static_cast<unsigned long long>(wc.trial_searches));
+    ok = false;
+  }
+  if (wc.db_warm_hits < keys.size()) {
+    std::fprintf(stderr, "FAIL: db_warm_hits=%llu, want >= %zu\n",
+                 static_cast<unsigned long long>(wc.db_warm_hits),
+                 keys.size());
+    ok = false;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double diff = tsv::max_abs_diff(cold.out[i], warm.out[i]);
+    if (diff != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: warm plan changed numerics at nx=%td "
+                   "(max_abs_diff=%g)\n",
+                   sizes[i], diff);
+      ok = false;
+    }
+  }
+
+  const double speedup = cold.plan_seconds / warm.plan_seconds;
+  const std::size_t k = keys.size();
+  std::printf("%-6s %4s %12s %12s %8s\n", "phase", "keys", "plan_ms",
+              "plans/s", "trials");
+  std::printf("%-6s %4zu %12.3f %12.1f %8llu\n", "cold", k,
+              1e3 * cold.plan_seconds,
+              static_cast<double>(k) / cold.plan_seconds,
+              static_cast<unsigned long long>(cold.trial_execs));
+  std::printf("%-6s %4zu %12.3f %12.1f %8llu\n", "warm", k,
+              1e3 * warm.plan_seconds,
+              static_cast<double>(k) / warm.plan_seconds,
+              static_cast<unsigned long long>(wc.trial_executions));
+  std::printf("\nwarm-start plan-time speedup: %.1fx (gate: >= %.2fx)\n",
+              speedup, flags.min_speedup);
+  if (speedup < flags.min_speedup) {
+    std::fprintf(stderr, "FAIL: warm-start speedup %.2fx < --min-speedup %.2fx\n",
+                 speedup, flags.min_speedup);
+    ok = false;
+  }
+
+  // points_per_s carries plans-per-second so compare_baseline.py picks it up
+  // with its normalized (machine-speed-corrected) gate; every varying field
+  // is in its NON_IDENTITY set.
+  json.record(
+      "{\"bench\":\"fig15\",\"kind\":\"warmstart\",\"phase\":\"cold\","
+      "\"level\":\"%s\",\"keys\":%zu,\"method\":\"transpose\","
+      "\"dtype\":\"f64\",\"boundary\":\"%s\",\"points_per_s\":%.6g,"
+      "\"mean_ms\":%.6g,\"requests\":%llu}",
+      level, k, bench::boundary_field_name(),
+      static_cast<double>(k) / cold.plan_seconds,
+      1e3 * cold.plan_seconds / static_cast<double>(k),
+      static_cast<unsigned long long>(cold.trial_execs));
+  json.record(
+      "{\"bench\":\"fig15\",\"kind\":\"warmstart\",\"phase\":\"warm\","
+      "\"level\":\"%s\",\"keys\":%zu,\"method\":\"transpose\","
+      "\"dtype\":\"f64\",\"boundary\":\"%s\",\"points_per_s\":%.6g,"
+      "\"mean_ms\":%.6g,\"requests\":%llu,\"speedup\":%.3f}",
+      level, k, bench::boundary_field_name(),
+      static_cast<double>(k) / warm.plan_seconds,
+      1e3 * warm.plan_seconds / static_cast<double>(k),
+      static_cast<unsigned long long>(wc.trial_executions), speedup);
+  csv.row("cold,%zu,%.3f,%.1f,%llu", k, 1e3 * cold.plan_seconds,
+          static_cast<double>(k) / cold.plan_seconds,
+          static_cast<unsigned long long>(cold.trial_execs));
+  csv.row("warm,%zu,%.3f,%.1f,%llu", k, 1e3 * warm.plan_seconds,
+          static_cast<double>(k) / warm.plan_seconds,
+          static_cast<unsigned long long>(wc.trial_executions));
+
+  if (!flags.keep_db) std::remove(flags.db_path.c_str());
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -22,6 +22,11 @@
 // boundary-aware scalar oracle advanced the same total number of steps,
 // and the plan cache must show exactly one construction per distinct
 // configuration (the coalesced duplicate triggers none).
+//
+// The run ends with one observability scrape (core/metrics.hpp): the final
+// Prometheus exposition is printed, three conservation invariants are
+// spot-checked by hand, and the full metrics_check_invariants audit must
+// come back empty — docs/OBSERVABILITY.md documents every exported family.
 
 #include <chrono>
 #include <cstdio>
@@ -351,6 +356,45 @@ int main(int argc, char** argv) {
   if (st.executor.workspaces.in_flight != 0) {
     std::fprintf(stderr, "workspace leak: %zu still in flight\n",
                  st.executor.workspaces.in_flight);
+    ok = false;
+  }
+
+  // ---- observability: one scrape of the whole serving stack ---------------
+  // Idle invariants span BOTH layers: the scheduler's completion hook runs
+  // inside the executor task body, so quiesce the scheduler AND its executor
+  // before asserting the strict identities.
+  sched.wait_idle();
+  sched.executor().wait_idle();
+  tsv::MetricsRegistry reg;
+  reg.attach(&sched);
+  const tsv::MetricsSnapshot m = reg.snapshot();
+  std::printf("---- final Prometheus scrape ----\n%s----\n",
+              tsv::metrics_to_prometheus(m).c_str());
+
+  // Three spot-checked conservation invariants, by hand so the example shows
+  // WHAT an operator should alert on...
+  const tsv::SchedulerStats& ms = m.scheduler;
+  std::uint64_t latency_n = 0;
+  for (const auto& h : ms.latency) latency_n += h.count();
+  struct {
+    const char* what;
+    bool holds;
+  } invariants[] = {
+      {"admission balances: admitted + rejected == submitted",
+       ms.admitted + ms.rejected == ms.submitted},
+      {"every completion is timed: sum(latency counts) == completed",
+       latency_n == ms.completed},
+      {"executor drained: completed + failed == submitted, 0 in flight",
+       ms.executor.completed + ms.executor.failed == ms.executor.submitted &&
+           ms.executor.workspaces.in_flight == 0},
+  };
+  for (const auto& inv : invariants) {
+    std::printf("invariant: %-60s %s\n", inv.what, inv.holds ? "OK" : "VIOLATED");
+    ok &= inv.holds;
+  }
+  // ...then the full audit: every always-true AND idle-only identity.
+  for (const std::string& v : tsv::metrics_check_invariants(m, /*idle=*/true)) {
+    std::fprintf(stderr, "metrics invariant violated: %s\n", v.c_str());
     ok = false;
   }
 

@@ -630,6 +630,7 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
   G trial = make_trial_grid<G>(shape);
   double best_score = -1.0;
   TunedBlocks best{o.bx, o.by, o.bz, o.bt};
+  std::uint64_t trial_execs = 0;  // timed executes, for TuneCounters
   for (Candidate& c : runnable) {
     c.opts.steps = trial_steps;
     double score = -1.0;
@@ -640,6 +641,7 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
       for (int rep = 0; rep < 2; ++rep) {  // best-of-2 absorbs warmup noise
         Timer t;
         p.execute(trial);
+        ++trial_execs;
         secs = std::min(secs, t.seconds());
       }
       score = static_cast<double>(points) *
@@ -652,6 +654,7 @@ Options tuned_options(const Shape& shape, const S& stencil, const Options& o) {
       best = c.blocks;
     }
   }
+  detail::tune_note_trials(1, trial_execs);
   tune_cache_store(key, best);
   return apply(best);
 }

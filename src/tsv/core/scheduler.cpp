@@ -192,6 +192,10 @@ void LatencyHistogram::record(double seconds) {
   ++counts_[static_cast<std::size_t>(b)];
 }
 
+double LatencyHistogram::bucket_upper_seconds(int b) {
+  return std::ldexp(kBaseSeconds, b + 1);
+}
+
 double LatencyHistogram::quantile(double q) const {
   if (n_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -251,10 +255,17 @@ struct Scheduler::Group {
   std::vector<std::exception_ptr> member_errors;  ///< per-member overrides
   std::uint64_t retries_used = 0;
   bool retry_exhausted = false;
+
+  // Trace timestamps. `dispatched` is written under mu_ (dispatch_locked);
+  // `sweep_start` is written by run_group on the gang and read by
+  // on_group_done on the same thread, like member_errors above.
+  Clock::time_point dispatched{};
+  Clock::time_point sweep_start{};
 };
 
 Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg), ex_(cfg.executor) {
   cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+  trace_ring_.reserve(cfg_.trace_capacity);
 }
 
 Scheduler::~Scheduler() {
@@ -435,6 +446,7 @@ void Scheduler::dispatch_locked(std::unique_lock<std::mutex>& lock) {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
     if (cfg_.coalesce) open_.erase(g->key);  // group closed: input in use
     g->dispatch_seq = dispatch_seq_++;
+    g->dispatched = Clock::now();
 
     // The handoff itself can throw (std::bad_alloc growing the executor's
     // queue, std::system_error from a dead pool). If it does, the group is
@@ -477,9 +489,10 @@ void Scheduler::flush_failed_dispatches() {
 /// execution. Errors reach every member's future and still count in the
 /// executor's own failed_ (the rethrow).
 void Scheduler::run_group(const std::shared_ptr<Group>& g) {
+  g->sweep_start = Clock::now();
   std::exception_ptr err;
   try {
-    const Clock::time_point now = Clock::now();
+    const Clock::time_point now = g->sweep_start;
 
     // Prune members that are dead on arrival: a cancelled member fails with
     // CancelledError, an expired one with TimeoutError — and neither blocks
@@ -588,27 +601,45 @@ void Scheduler::on_group_done(const std::shared_ptr<Group>& group,
       tenant_inflight_.erase(it);
     stats_.retries += group->retries_used;
     if (group->retry_exhausted) ++stats_.retry_exhausted;
+    const auto rel = [this](Clock::time_point t) {
+      return std::chrono::duration<double>(t - epoch_).count();
+    };
     for (std::size_t i = 0; i < group->members.size(); ++i) {
       const Member& m = group->members[i];
+      char outcome = 'C';
       if (std::exception_ptr e = member_error(i)) {
         ++stats_.failed;
+        outcome = 'F';
         switch (err_kind(e)) {
-          case ErrKind::kCancelled: ++stats_.cancelled; break;
-          case ErrKind::kTimeout: ++stats_.timed_out; break;
+          case ErrKind::kCancelled: ++stats_.cancelled; outcome = 'X'; break;
+          case ErrKind::kTimeout: ++stats_.timed_out; outcome = 'T'; break;
           case ErrKind::kOther: break;
         }
-        continue;
+      } else {
+        Result& r = results[i];
+        r.dispatch_seq = group->dispatch_seq;
+        r.latency_seconds =
+            std::chrono::duration<double>(now - m.admitted).count();
+        r.deadline_missed = m.deadline != kNoDeadline && now > m.deadline;
+        r.coalesced = m.follower;
+        ++stats_.completed;
+        if (r.deadline_missed) ++stats_.deadline_missed;
+        stats_.latency[static_cast<std::size_t>(m.cls)].record(
+            r.latency_seconds);
       }
-      Result& r = results[i];
-      r.dispatch_seq = group->dispatch_seq;
-      r.latency_seconds =
-          std::chrono::duration<double>(now - m.admitted).count();
-      r.deadline_missed = m.deadline != kNoDeadline && now > m.deadline;
-      r.coalesced = m.follower;
-      ++stats_.completed;
-      if (r.deadline_missed) ++stats_.deadline_missed;
-      stats_.latency[static_cast<std::size_t>(m.cls)].record(
-          r.latency_seconds);
+      if (cfg_.trace_capacity > 0) {
+        TraceSpan ts;
+        ts.seq = group->seq;
+        ts.dispatch_seq = group->dispatch_seq;
+        ts.cls = m.cls;
+        ts.coalesced = m.follower;
+        ts.outcome = outcome;
+        ts.submit_s = rel(m.admitted);
+        ts.dispatch_s = rel(group->dispatched);
+        ts.sweep_s = rel(group->sweep_start);
+        ts.complete_s = rel(now);
+        push_trace_locked(ts);
+      }
     }
     dispatch_locked(lock);
     failed.swap(failed_dispatch_);
@@ -626,6 +657,15 @@ void Scheduler::on_group_done(const std::shared_ptr<Group>& group,
     else
       group->members[i].promise.set_value(results[i]);
   }
+}
+
+void Scheduler::push_trace_locked(const TraceSpan& ts) {
+  if (trace_ring_.size() < cfg_.trace_capacity) {
+    trace_ring_.push_back(ts);
+    return;
+  }
+  trace_ring_[trace_pos_] = ts;
+  trace_pos_ = (trace_pos_ + 1) % cfg_.trace_capacity;
 }
 
 void Scheduler::pause() {
@@ -654,6 +694,12 @@ SchedulerStats Scheduler::stats() const {
     s = stats_;
     s.queued = queue_.size();
     s.inflight = inflight_;
+    // Oldest-first: the ring overwrites at trace_pos_, so chronological
+    // order is [trace_pos_, end) then [0, trace_pos_).
+    s.traces.reserve(trace_ring_.size());
+    for (std::size_t i = 0; i < trace_ring_.size(); ++i)
+      s.traces.push_back(
+          trace_ring_[(trace_pos_ + i) % trace_ring_.size()]);
   }
   s.executor = ex_.stats();
   return s;

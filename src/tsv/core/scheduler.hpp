@@ -101,14 +101,44 @@ class LatencyHistogram {
   void record(double seconds);
 
   std::uint64_t count() const { return n_; }
+  double sum_seconds() const { return sum_; }
   double mean_seconds() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
   /// Latency (seconds) at quantile @p q in [0, 1]; 0 when empty.
   double quantile(double q) const;
+
+  /// Raw bucket count for @p b in [0, kBuckets): the Prometheus exposition
+  /// (core/metrics.hpp) emits cumulative `le` buckets from these.
+  std::uint64_t bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)];
+  }
+  /// Upper bound (seconds) of bucket @p b — bucket b spans
+  /// [2^b µs, 2^(b+1) µs), with bucket 0 reaching down to 0.
+  static double bucket_upper_seconds(int b);
 
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
+};
+
+/// One request's lifecycle timeline, recorded when SchedulerConfig::
+/// trace_capacity is non-zero. Timestamps are seconds since the scheduler's
+/// construction (steady clock), so span arithmetic needs no epoch plumbing:
+/// queue time = dispatch_s - submit_s, gang wait = sweep_s - dispatch_s,
+/// service time = complete_s - sweep_s. Spans cover requests that reached a
+/// gang (completed or failed there); rejected and shed submissions never
+/// dispatch and are visible in the counters instead.
+struct TraceSpan {
+  std::uint64_t seq = 0;           ///< group admission order
+  std::uint64_t dispatch_seq = 0;  ///< group dispatch order
+  ServiceClass cls = ServiceClass::kBatch;
+  bool coalesced = false;  ///< this member rode another request's execution
+  /// Outcome: 'C' completed, 'F' failed, 'X' cancelled, 'T' timed out.
+  char outcome = 'C';
+  double submit_s = 0.0;    ///< admitted into the queue
+  double dispatch_s = 0.0;  ///< handed to the executor (queueing ends)
+  double sweep_s = 0.0;     ///< execution began on a gang
+  double complete_s = 0.0;  ///< outcome recorded (future fulfilled next)
 };
 
 /// Dispatch-order policy. kDeadline is the scheduler's reason to exist;
@@ -135,6 +165,10 @@ struct SchedulerConfig {
   /// derived from the group's admission seq (no global rng, replayable).
   double retry_backoff_ms = 1.0;
   double retry_backoff_max_ms = 50.0;  ///< cap on the exponential backoff
+  /// Per-request trace spans: 0 (default) records nothing; N keeps the most
+  /// recent N spans in a fixed ring (no allocation after construction,
+  /// oldest overwritten) surfaced through SchedulerStats::traces.
+  std::size_t trace_capacity = 0;
 };
 
 /// Cumulative serving counters plus the per-class latency distributions.
@@ -166,6 +200,9 @@ struct SchedulerStats {
   /// Completion latency (admission -> future ready), indexed by
   /// ServiceClass; successful completions only.
   std::array<LatencyHistogram, kServiceClasses> latency;
+  /// The most recent trace spans, oldest first (empty unless
+  /// SchedulerConfig::trace_capacity opted in).
+  std::vector<TraceSpan> traces;
   ExecutorStats executor;  ///< the wrapped pool's own accounting
 
   const LatencyHistogram& latency_of(ServiceClass c) const {
@@ -285,6 +322,13 @@ class Scheduler {
   std::uint64_t dispatch_seq_ = 0;  // dispatch order (Result::dispatch_seq)
   SchedulerStats stats_;            // counters + histograms (executor field
                                     // filled per stats() call)
+
+  /// Trace ring (guarded by mu_): fixed capacity, oldest overwritten.
+  /// trace_pos_ is the next overwrite slot once the ring is full.
+  const Clock::time_point epoch_ = Clock::now();
+  std::vector<TraceSpan> trace_ring_;
+  std::size_t trace_pos_ = 0;
+  void push_trace_locked(const TraceSpan& ts);
 };
 
 }  // namespace tsv

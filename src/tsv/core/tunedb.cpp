@@ -1,0 +1,353 @@
+#include "tsv/core/tunedb.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "tsv/common/cpu.hpp"
+
+namespace tsv {
+
+const char* tune_db_status_name(TuneDbStatus s) {
+  switch (s) {
+    case TuneDbStatus::kLoaded: return "loaded";
+    case TuneDbStatus::kMissing: return "missing";
+    case TuneDbStatus::kCorrupt: return "corrupt";
+    case TuneDbStatus::kSchemaMismatch: return "schema-mismatch";
+    case TuneDbStatus::kFingerprintMismatch: return "fingerprint-mismatch";
+  }
+  return "?";
+}
+
+TuneDbFingerprint TuneDbFingerprint::current() {
+  TuneDbFingerprint fp;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (!isa_compiled(isa) || !isa_supported(isa)) continue;
+    if (!fp.isas.empty()) fp.isas += "+";
+    fp.isas += isa_name(isa);
+  }
+  const CpuInfo& cpu = cpu_info();
+  fp.cores = cpu.logical_cores;
+  fp.l1_bytes = cpu.l1_bytes;
+  fp.l2_bytes = cpu.l2_bytes;
+  fp.l3_bytes = cpu.l3_bytes;
+  fp.f32_bytes = dtype_size(Dtype::kF32);
+  fp.f64_bytes = dtype_size(Dtype::kF64);
+  return fp;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Envelope scanning. Same philosophy as the tuner's entry parser: accept
+// exactly what we emit (plus whitespace), reject everything else loudly —
+// except that here "loudly" means a status, never an escaped exception.
+// ---------------------------------------------------------------------------
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool at_end() {
+    skip_ws();
+    return i_ >= s_.size();
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') out += s_[i_++];
+    expect('"');
+    return out;
+  }
+
+  long long number_value() {
+    skip_ws();
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    const std::size_t digits = i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+    if (i_ == digits) fail("expected a number");
+    try {
+      return std::stoll(s_.substr(start, i_ - start));
+    } catch (const std::out_of_range&) {
+      fail("number out of range");
+    }
+  }
+
+  void expect_key(const char* name) {
+    if (string_value() != name)
+      fail(std::string("expected key \"") + name + "\"");
+    expect(':');
+  }
+
+  /// Consumes a complete [...] array and returns its text. The payload is
+  /// the tuner's flat entry array — its strings are enum names and never
+  /// contain brackets, so bracket depth alone finds the end; anything that
+  /// defeats this heuristic fails the entry parser right after and lands in
+  /// kCorrupt like every other malformation.
+  std::string array_text() {
+    skip_ws();
+    if (i_ >= s_.size() || s_[i_] != '[') fail("expected '['");
+    const std::size_t start = i_;
+    int depth = 0;
+    while (i_ < s_.size()) {
+      if (s_[i_] == '[') ++depth;
+      if (s_[i_] == ']' && --depth == 0) {
+        ++i_;
+        return s_.substr(start, i_ - start);
+      }
+      ++i_;
+    }
+    fail("unterminated array");
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("tune db: " + what + " at offset " +
+                                std::to_string(i_));
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+struct Envelope {
+  long long schema = -1;
+  TuneDbFingerprint fp;
+  std::vector<std::pair<TuneKey, TunedBlocks>> entries;
+};
+
+std::string fingerprint_json(const TuneDbFingerprint& fp) {
+  std::ostringstream os;
+  os << "{\"isas\":\"" << fp.isas << "\",\"cores\":" << fp.cores
+     << ",\"l1\":" << fp.l1_bytes << ",\"l2\":" << fp.l2_bytes
+     << ",\"l3\":" << fp.l3_bytes << ",\"f32\":" << fp.f32_bytes
+     << ",\"f64\":" << fp.f64_bytes << "}";
+  return os.str();
+}
+
+std::string envelope_json(
+    const TuneDbFingerprint& fp,
+    const std::vector<std::pair<TuneKey, TunedBlocks>>& entries) {
+  std::string payload = tune_entries_to_json(entries);
+  while (!payload.empty() &&
+         std::isspace(static_cast<unsigned char>(payload.back())))
+    payload.pop_back();
+  std::ostringstream os;
+  os << "{\n \"schema\": " << kTuneDbSchemaVersion << ",\n \"fingerprint\": "
+     << fingerprint_json(fp) << ",\n \"entries\": " << payload << "\n}\n";
+  return os.str();
+}
+
+/// Parses the envelope. Throws std::invalid_argument on malformed content.
+/// An unknown schema version returns early with only `schema` set — the
+/// rest of a future format is by definition unreadable here, and the caller
+/// must preserve the file, not call it corrupt.
+Envelope parse_envelope(const std::string& text) {
+  Envelope env;
+  Scanner sc(text);
+  sc.expect('{');
+  sc.expect_key("schema");
+  env.schema = sc.number_value();
+  if (env.schema != kTuneDbSchemaVersion) return env;
+  sc.expect(',');
+  sc.expect_key("fingerprint");
+  sc.expect('{');
+  sc.expect_key("isas");
+  env.fp.isas = sc.string_value();
+  sc.expect(',');
+  sc.expect_key("cores");
+  env.fp.cores = static_cast<index>(sc.number_value());
+  sc.expect(',');
+  sc.expect_key("l1");
+  env.fp.l1_bytes = static_cast<index>(sc.number_value());
+  sc.expect(',');
+  sc.expect_key("l2");
+  env.fp.l2_bytes = static_cast<index>(sc.number_value());
+  sc.expect(',');
+  sc.expect_key("l3");
+  env.fp.l3_bytes = static_cast<index>(sc.number_value());
+  sc.expect(',');
+  sc.expect_key("f32");
+  env.fp.f32_bytes = static_cast<index>(sc.number_value());
+  sc.expect(',');
+  sc.expect_key("f64");
+  env.fp.f64_bytes = static_cast<index>(sc.number_value());
+  sc.expect('}');
+  sc.expect(',');
+  sc.expect_key("entries");
+  env.entries = tune_entries_from_json(sc.array_text());
+  sc.expect('}');
+  if (!sc.at_end()) sc.fail("trailing content");
+  return env;
+}
+
+/// Reads the whole file; nullopt when it cannot be opened.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TuneDbLoadResult tune_db_load(const std::string& path) {
+  TuneDbLoadResult r;
+  const std::optional<std::string> text = slurp(path);
+  if (!text) {
+    r.status = TuneDbStatus::kMissing;
+    r.detail = "no tune db at " + path;
+    return r;
+  }
+  Envelope env;
+  try {
+    env = parse_envelope(*text);
+  } catch (const std::invalid_argument& e) {
+    r.status = TuneDbStatus::kCorrupt;
+    r.detail = e.what();
+    detail::tune_note_db_reject();
+    std::fprintf(stderr, "tsv: tune db %s ignored (%s)\n", path.c_str(),
+                 e.what());
+    return r;
+  }
+  if (env.schema != kTuneDbSchemaVersion) {
+    r.status = TuneDbStatus::kSchemaMismatch;
+    r.detail = "schema version " + std::to_string(env.schema) +
+               " (this build reads " + std::to_string(kTuneDbSchemaVersion) +
+               "); file preserved";
+    detail::tune_note_db_reject();
+    std::fprintf(stderr, "tsv: tune db %s ignored (%s)\n", path.c_str(),
+                 r.detail.c_str());
+    return r;
+  }
+  if (!(env.fp == TuneDbFingerprint::current())) {
+    r.status = TuneDbStatus::kFingerprintMismatch;
+    r.detail = "fingerprint mismatch: db is for another machine";
+    detail::tune_note_db_reject();
+    std::fprintf(stderr, "tsv: tune db %s ignored (%s)\n", path.c_str(),
+                 r.detail.c_str());
+    return r;
+  }
+  for (const auto& [k, b] : env.entries) tune_cache_store_from_db(k, b);
+  detail::tune_note_db_load(env.entries.size());
+  r.status = TuneDbStatus::kLoaded;
+  r.entries = env.entries.size();
+  return r;
+}
+
+bool tune_db_save(const std::string& path, std::string* error) {
+  const auto set_err = [&](std::string m) {
+    if (error) *error = std::move(m);
+  };
+  const TuneDbFingerprint fp = TuneDbFingerprint::current();
+
+  // Merge base: the file's current same-fingerprint entries. This process's
+  // snapshot overwrites conflicting keys below (last writer wins); a
+  // corrupt or foreign-fingerprint file contributes nothing and is
+  // replaced; an unknown schema version is preserved — this build cannot
+  // read what it would destroy.
+  std::map<TuneKey, TunedBlocks> merged;
+  if (const std::optional<std::string> text = slurp(path)) {
+    try {
+      Envelope env = parse_envelope(*text);
+      if (env.schema != kTuneDbSchemaVersion) {
+        set_err("existing db has unknown schema version " +
+                std::to_string(env.schema) + "; preserved");
+        return false;
+      }
+      if (env.fp == fp)
+        for (const auto& [k, b] : env.entries) merged[k] = b;
+    } catch (const std::invalid_argument&) {
+      // Unreadable content: replaced by the fresh write below.
+    }
+  }
+  for (const auto& [k, b] : tune_cache_snapshot()) merged[k] = b;
+
+  const std::string body = envelope_json(
+      fp, std::vector<std::pair<TuneKey, TunedBlocks>>(merged.begin(),
+                                                       merged.end()));
+
+  // Atomic replace: a unique temp file (pid + per-process counter, so
+  // concurrent threads never share one) renamed over the target. Readers
+  // and racing writers only ever observe complete files.
+  static std::atomic<unsigned> temp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(temp_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      set_err("cannot write " + tmp);
+      return false;
+    }
+    out << body;
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      set_err("short write to " + tmp);
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    set_err("rename " + tmp + " -> " + path + " failed");
+    return false;
+  }
+  detail::tune_note_db_save();
+  return true;
+}
+
+std::optional<std::string> tune_db_env_path() {
+  const char* p = std::getenv(kTuneDbEnvVar);
+  if (p == nullptr || *p == '\0') return std::nullopt;
+  return std::string(p);
+}
+
+TuneDbLoadResult tune_db_load_env() {
+  if (const auto p = tune_db_env_path()) return tune_db_load(*p);
+  return {};
+}
+
+bool tune_db_save_env() {
+  if (const auto p = tune_db_env_path()) return tune_db_save(*p);
+  return false;
+}
+
+TuneDbSession::~TuneDbSession() {
+  if (path_.empty()) return;
+  std::string err;
+  if (!tune_db_save(path_, &err))
+    std::fprintf(stderr, "tsv: tune db save to %s failed (%s)\n",
+                 path_.c_str(), err.c_str());
+}
+
+}  // namespace tsv

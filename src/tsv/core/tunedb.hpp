@@ -1,0 +1,151 @@
+#pragma once
+// Persistent tune database: the autotuner's memo cache (core/tuner.hpp) on
+// disk, so a fleet restart does not re-pay thousands of timed trial races
+// for configurations the machine already tuned.
+//
+//   // load-on-start / merge-on-exit around a process lifetime:
+//   tsv::TuneDbSession db;             // path from $TSV_TUNE_DB (inert if unset)
+//   ... make_plan with Options::tune = Tune::kCached ...
+//   // ~TuneDbSession merges the memo cache back into the file.
+//
+//   // or explicitly:
+//   tsv::TuneDbLoadResult r = tsv::tune_db_load("tuned.tsvdb.json");
+//   ...
+//   tsv::tune_db_save("tuned.tsvdb.json");
+//
+// File format: a versioned JSON envelope wrapping the tuner's existing flat
+// entry array (docs/OBSERVABILITY.md documents every field):
+//
+//   {
+//    "schema": 1,
+//    "fingerprint": {"isas":"scalar+avx2","cores":16,"l1":32768,
+//                    "l2":1048576,"l3":33554432,"f32":4,"f64":8},
+//    "entries": [ {"method":"transpose", ... ,"bt":8}, ... ]
+//   }
+//
+// Contracts — each one exists because its violation is a silent perf or
+// correctness bug (tests/test_tunedb.cpp pins all of them):
+//
+//  * Hardware fingerprint. Tuned blocks are machine decisions: the winning
+//    candidate depends on the ISA set, the core count and the cache ladder
+//    that seeded it. A db written on one machine is REJECTED on another
+//    (status kFingerprintMismatch, nothing merged) — a stale wrong-machine
+//    entry would silently serve mistuned blocks forever.
+//  * Schema version, reject-and-preserve. A file with an unknown (newer)
+//    schema is never merged AND never overwritten: tune_db_save fails
+//    loudly instead of clobbering data this build cannot read.
+//  * Corruption tolerance. A truncated, garbage or empty file is logged and
+//    ignored on load — never a crash, never a poisoned memo cache (parsing
+//    is all-or-nothing before the first entry is merged). Save replaces a
+//    corrupt file (its content is unreadable; preserving it helps no one).
+//  * Atomic save, last-writer-wins. Save snapshots the memo cache, merges
+//    the file's current same-fingerprint entries under it (this process
+//    wins conflicting keys), writes a temp file and renames it into place —
+//    a reader or racing writer always sees a complete, parseable db, and
+//    the race's loser loses whole-file, not half-file.
+//
+// Entries loaded from a db are marked in the memo cache: a lookup they
+// serve counts in TuneCounters::db_warm_hits, and the warm-start guarantee
+// — zero timed trials for previously tuned keys — is counter-asserted via
+// TuneCounters::trial_executions staying flat.
+
+#include <optional>
+#include <string>
+
+#include "tsv/core/tuner.hpp"
+
+namespace tsv {
+
+/// Version of the on-disk envelope this build reads and writes.
+inline constexpr int kTuneDbSchemaVersion = 1;
+
+/// Environment variable naming the db file for the env-driven entry points.
+inline constexpr const char* kTuneDbEnvVar = "TSV_TUNE_DB";
+
+/// Identity of the machine a tune database speaks for. Every field feeds
+/// the tuner's candidate generation or legality rules, so two machines that
+/// differ in any of them can disagree on the optimum.
+struct TuneDbFingerprint {
+  std::string isas;         ///< "+"-joined compiled-and-runnable ISA names
+  index cores = 0;          ///< logical core count (threads default)
+  index l1_bytes = 0;       ///< per-core L1d capacity (candidate seeding)
+  index l2_bytes = 0;       ///< per-core L2 capacity (candidate seeding)
+  index l3_bytes = 0;       ///< shared LLC (streaming-store threshold)
+  index f32_bytes = 4;      ///< dtype widths: frozen today, but the layout
+  index f64_bytes = 8;      ///< rules are width-derived, so they are identity
+
+  /// The running machine's fingerprint (cpu_info + compiled ISA set).
+  static TuneDbFingerprint current();
+
+  friend bool operator==(const TuneDbFingerprint&,
+                         const TuneDbFingerprint&) = default;
+};
+
+enum class TuneDbStatus {
+  kLoaded,               ///< entries merged into the memo cache
+  kMissing,              ///< no file at the path (normal cold start)
+  kCorrupt,              ///< unparseable content, logged and ignored
+  kSchemaMismatch,       ///< unknown schema version, preserved untouched
+  kFingerprintMismatch,  ///< another machine's db, nothing merged
+};
+
+const char* tune_db_status_name(TuneDbStatus s);
+
+struct TuneDbLoadResult {
+  TuneDbStatus status = TuneDbStatus::kMissing;
+  std::size_t entries = 0;  ///< entries merged (kLoaded only)
+  std::string detail;       ///< human-readable reason for non-kLoaded
+
+  bool loaded() const { return status == TuneDbStatus::kLoaded; }
+};
+
+/// Load-on-start: merges @p path's entries into the memo cache as
+/// db-originated (imported entries win over nothing — the cache is usually
+/// empty at start; on key conflict the db entry overwrites). NEVER throws
+/// for a bad file: every failure mode maps to a TuneDbStatus, non-kLoaded
+/// outcomes other than kMissing are logged to stderr, and the memo cache is
+/// untouched unless the whole file parsed.
+TuneDbLoadResult tune_db_load(const std::string& path);
+
+/// Merge-on-exit: writes the memo cache to @p path under the current
+/// fingerprint. An existing same-fingerprint db at the path is merged
+/// underneath (its keys survive; conflicting keys take THIS process's value
+/// — last writer wins); a corrupt or foreign-fingerprint file is replaced;
+/// a file with an unknown schema version is preserved and the save fails.
+/// The write is atomic (temp file + rename): concurrent savers race whole
+/// files, never interleave. Returns false on failure; @p error (optional)
+/// receives the reason.
+bool tune_db_save(const std::string& path, std::string* error = nullptr);
+
+/// The $TSV_TUNE_DB path, or nullopt when unset/empty.
+std::optional<std::string> tune_db_env_path();
+
+/// tune_db_load / tune_db_save against $TSV_TUNE_DB. No-ops (kMissing /
+/// false) when the variable is unset.
+TuneDbLoadResult tune_db_load_env();
+bool tune_db_save_env();
+
+/// RAII load-on-start / merge-on-exit. Constructed with an explicit path,
+/// or from $TSV_TUNE_DB (inert when unset — a process that never opted in
+/// pays nothing). The destructor saves only when the path is set; save
+/// failures are logged, never thrown (destructors must not throw).
+class TuneDbSession {
+ public:
+  TuneDbSession() : TuneDbSession(tune_db_env_path().value_or("")) {}
+  explicit TuneDbSession(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) load_ = tune_db_load(path_);
+  }
+  TuneDbSession(const TuneDbSession&) = delete;
+  TuneDbSession& operator=(const TuneDbSession&) = delete;
+  ~TuneDbSession();
+
+  const std::string& path() const { return path_; }
+  bool active() const { return !path_.empty(); }
+  const TuneDbLoadResult& load_result() const { return load_; }
+
+ private:
+  std::string path_;
+  TuneDbLoadResult load_;
+};
+
+}  // namespace tsv

@@ -1,6 +1,7 @@
 #include "tsv/core/tuner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <fstream>
 #include <map>
@@ -45,8 +46,37 @@ std::mutex& cache_mutex() {
   return m;
 }
 
-std::map<TuneKey, TunedBlocks>& cache() {
-  static std::map<TuneKey, TunedBlocks> c;
+/// Cache slot: the tuned blocks plus where they came from. The origin mark
+/// is what distinguishes a db WARM hit from an ordinary memo hit in the
+/// counters; a fresh trial result overwrites the mark (the entry is then
+/// this process's own measurement, not inherited state).
+struct Slot {
+  TunedBlocks blocks;
+  bool from_db = false;
+};
+
+std::map<TuneKey, Slot>& cache() {
+  static std::map<TuneKey, Slot> c;
+  return c;
+}
+
+/// Monotone counters. Individually atomic (relaxed): readers take a
+/// snapshot, not a transaction — same contract as every stats() in the
+/// library.
+struct Counters {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> db_warm_hits{0};
+  std::atomic<std::uint64_t> trial_searches{0};
+  std::atomic<std::uint64_t> trial_executions{0};
+  std::atomic<std::uint64_t> db_loads{0};
+  std::atomic<std::uint64_t> db_entries_loaded{0};
+  std::atomic<std::uint64_t> db_load_rejects{0};
+  std::atomic<std::uint64_t> db_saves{0};
+};
+
+Counters& counters() {
+  static Counters c;
   return c;
 }
 
@@ -56,16 +86,76 @@ bool operator<(const TuneKey& a, const TuneKey& b) {
   return key_tie(a) < key_tie(b);
 }
 
+TuneCounters tune_counters() {
+  const Counters& c = counters();
+  TuneCounters out;
+  out.lookups = c.lookups.load(std::memory_order_relaxed);
+  out.memo_hits = c.memo_hits.load(std::memory_order_relaxed);
+  out.db_warm_hits = c.db_warm_hits.load(std::memory_order_relaxed);
+  out.trial_searches = c.trial_searches.load(std::memory_order_relaxed);
+  out.trial_executions = c.trial_executions.load(std::memory_order_relaxed);
+  out.db_loads = c.db_loads.load(std::memory_order_relaxed);
+  out.db_entries_loaded = c.db_entries_loaded.load(std::memory_order_relaxed);
+  out.db_load_rejects = c.db_load_rejects.load(std::memory_order_relaxed);
+  out.db_saves = c.db_saves.load(std::memory_order_relaxed);
+  return out;
+}
+
+void tune_counters_reset() {
+  Counters& c = counters();
+  c.lookups.store(0, std::memory_order_relaxed);
+  c.memo_hits.store(0, std::memory_order_relaxed);
+  c.db_warm_hits.store(0, std::memory_order_relaxed);
+  c.trial_searches.store(0, std::memory_order_relaxed);
+  c.trial_executions.store(0, std::memory_order_relaxed);
+  c.db_loads.store(0, std::memory_order_relaxed);
+  c.db_entries_loaded.store(0, std::memory_order_relaxed);
+  c.db_load_rejects.store(0, std::memory_order_relaxed);
+  c.db_saves.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void tune_note_trials(std::uint64_t searches, std::uint64_t executions) {
+  counters().trial_searches.fetch_add(searches, std::memory_order_relaxed);
+  counters().trial_executions.fetch_add(executions,
+                                        std::memory_order_relaxed);
+}
+
+void tune_note_db_load(std::uint64_t entries) {
+  counters().db_loads.fetch_add(1, std::memory_order_relaxed);
+  counters().db_entries_loaded.fetch_add(entries, std::memory_order_relaxed);
+}
+
+void tune_note_db_reject() {
+  counters().db_load_rejects.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tune_note_db_save() {
+  counters().db_saves.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 std::optional<TunedBlocks> tune_cache_lookup(const TuneKey& key) {
+  counters().lookups.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(cache_mutex());
   auto it = cache().find(key);
   if (it == cache().end()) return std::nullopt;
-  return it->second;
+  counters().memo_hits.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.from_db)
+    counters().db_warm_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.blocks;
 }
 
 void tune_cache_store(const TuneKey& key, const TunedBlocks& blocks) {
   std::lock_guard<std::mutex> lock(cache_mutex());
-  cache()[key] = blocks;
+  cache()[key] = Slot{blocks, false};
+}
+
+void tune_cache_store_from_db(const TuneKey& key, const TunedBlocks& blocks) {
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  cache()[key] = Slot{blocks, true};
 }
 
 void tune_cache_clear() {
@@ -76,6 +166,14 @@ void tune_cache_clear() {
 std::size_t tune_cache_size() {
   std::lock_guard<std::mutex> lock(cache_mutex());
   return cache().size();
+}
+
+std::vector<std::pair<TuneKey, TunedBlocks>> tune_cache_snapshot() {
+  std::vector<std::pair<TuneKey, TunedBlocks>> out;
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  out.reserve(cache().size());
+  for (const auto& [k, s] : cache()) out.emplace_back(k, s.blocks);
+  return out;
 }
 
 std::mutex& tune_trial_mutex() {
@@ -90,16 +188,12 @@ std::mutex& tune_trial_mutex() {
 // anything else loudly — a silently skipped entry would un-pin a config.
 // ---------------------------------------------------------------------------
 
-std::string tune_cache_to_json() {
-  std::map<TuneKey, TunedBlocks> snapshot;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex());
-    snapshot = cache();
-  }
+std::string tune_entries_to_json(
+    const std::vector<std::pair<TuneKey, TunedBlocks>>& entries) {
   std::ostringstream os;
   os << "[";
   bool first = true;
-  for (const auto& [k, b] : snapshot) {
+  for (const auto& [k, b] : entries) {
     os << (first ? "\n" : ",\n");
     first = false;
     os << " {\"method\":\"" << method_name(k.method) << "\""
@@ -120,6 +214,10 @@ std::string tune_cache_to_json() {
   }
   os << "\n]\n";
   return os.str();
+}
+
+std::string tune_cache_to_json() {
+  return tune_entries_to_json(tune_cache_snapshot());
 }
 
 namespace {
@@ -187,7 +285,8 @@ class JsonScanner {
 
 }  // namespace
 
-std::size_t tune_cache_from_json(const std::string& json) {
+std::vector<std::pair<TuneKey, TunedBlocks>> tune_entries_from_json(
+    const std::string& json) {
   JsonScanner sc(json);
   sc.expect('[');
   // Parse the WHOLE document before touching the cache: a malformed later
@@ -296,6 +395,11 @@ std::size_t tune_cache_from_json(const std::string& json) {
     sc.expect(']');
   }
   if (!sc.at_end()) sc.fail("trailing content");
+  return parsed;
+}
+
+std::size_t tune_cache_from_json(const std::string& json) {
+  const auto parsed = tune_entries_from_json(json);
   for (const auto& [k, b] : parsed) tune_cache_store(k, b);
   return parsed.size();
 }

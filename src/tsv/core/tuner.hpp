@@ -22,9 +22,11 @@
 // capped so one make_plan spends milliseconds-to-seconds, not minutes, even
 // on LLC-exceeding grids.
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tsv/core/options.hpp"
@@ -72,12 +74,50 @@ struct TuneKey {
 /// The inverse of tune_name(); nullopt for unknown spellings.
 std::optional<Tune> tune_from_name(std::string_view name);
 
+/// Cumulative tuner accounting (process-wide, monotone except for
+/// tune_counters_reset). The load-bearing invariants, exported through
+/// core/metrics.hpp and pinned by tests/test_tunedb.cpp:
+///
+///   * memo_hits <= lookups; misses are lookups - memo_hits.
+///   * db_warm_hits <= memo_hits: a warm hit is a memo hit whose entry came
+///     from a tune database load (core/tunedb.hpp) rather than a trial.
+///   * trial_executions == 0 across a plan whose key was warm-loaded — the
+///     "zero timed trials on warm start" guarantee is THIS counter staying
+///     flat, not an absence of log lines.
+struct TuneCounters {
+  std::uint64_t lookups = 0;           ///< tune_cache_lookup calls
+  std::uint64_t memo_hits = 0;         ///< lookups that found an entry
+  std::uint64_t db_warm_hits = 0;      ///< memo hits served by a db entry
+  std::uint64_t trial_searches = 0;    ///< timed candidate races run
+  std::uint64_t trial_executions = 0;  ///< timed trial executes (2 per cand.)
+  std::uint64_t db_loads = 0;          ///< successful tune_db_load calls
+  std::uint64_t db_entries_loaded = 0; ///< entries merged by those loads
+  std::uint64_t db_load_rejects = 0;   ///< loads ignored (corrupt/mismatch)
+  std::uint64_t db_saves = 0;          ///< successful tune_db_save calls
+};
+
+/// Snapshot of the process-wide counters (each field individually atomic:
+/// cross-field identities are exact only at quiesce, like every other stats
+/// snapshot in this library).
+TuneCounters tune_counters();
+void tune_counters_reset();
+
 // ---- process-wide memo cache (thread-safe) ---------------------------------
 
 std::optional<TunedBlocks> tune_cache_lookup(const TuneKey& key);
 void tune_cache_store(const TuneKey& key, const TunedBlocks& blocks);
+/// Store an entry loaded from a persistent tune database. Identical to
+/// tune_cache_store except the entry is marked as db-originated, so lookups
+/// that it serves count in TuneCounters::db_warm_hits. A later trial result
+/// for the same key (tune_cache_store) clears the mark — the entry is then
+/// this process's own work.
+void tune_cache_store_from_db(const TuneKey& key, const TunedBlocks& blocks);
 void tune_cache_clear();
 std::size_t tune_cache_size();
+
+/// Ordered copy of the whole cache (db-origin marks dropped: persistence
+/// does not care who produced an entry, only what it says).
+std::vector<std::pair<TuneKey, TunedBlocks>> tune_cache_snapshot();
 
 /// Process-wide single-flight lock for plan-time tuning TRIALS (the memo
 /// cache itself has its own internal mutex). Concurrent make_plan calls
@@ -90,6 +130,19 @@ std::size_t tune_cache_size();
 std::mutex& tune_trial_mutex();
 
 // ---- JSON pinning ----------------------------------------------------------
+
+/// Serializes @p entries as the tuner's JSON array of flat objects (stable
+/// key order is the caller's responsibility; tune_cache_snapshot is already
+/// ordered). This is the entry payload core/tunedb.hpp wraps in its
+/// versioned envelope.
+std::string tune_entries_to_json(
+    const std::vector<std::pair<TuneKey, TunedBlocks>>& entries);
+
+/// Parses a tuner JSON array without touching the cache. All-or-nothing:
+/// throws std::invalid_argument on malformed input or unknown enum names,
+/// returning nothing rather than a prefix.
+std::vector<std::pair<TuneKey, TunedBlocks>> tune_entries_from_json(
+    const std::string& json);
 
 /// Serializes the whole cache as a JSON array of flat objects (stable key
 /// order, one entry per line).
@@ -127,5 +180,16 @@ std::vector<TunedBlocks> tune_candidates(int rank, index nx, index ny,
 /// on LLC-exceeding grids stay short. Never exceeds @p steps (the real run
 /// length) when that is smaller.
 index tune_trial_steps(index points, index bt, index steps);
+
+namespace detail {
+
+/// Accounting hooks for the plan layer (core/plan.hpp) and the tune
+/// database (core/tunedb.cpp). Not user API.
+void tune_note_trials(std::uint64_t searches, std::uint64_t executions);
+void tune_note_db_load(std::uint64_t entries);
+void tune_note_db_reject();
+void tune_note_db_save();
+
+}  // namespace detail
 
 }  // namespace tsv

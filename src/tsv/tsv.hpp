@@ -35,6 +35,7 @@
 #include "tsv/core/generic_stencil.hpp"  // IWYU pragma: export
 #include "tsv/core/halo.hpp"         // IWYU pragma: export
 #include "tsv/core/health.hpp"       // IWYU pragma: export
+#include "tsv/core/metrics.hpp"      // IWYU pragma: export
 #include "tsv/core/options.hpp"      // IWYU pragma: export
 #include "tsv/core/plan.hpp"         // IWYU pragma: export
 #include "tsv/core/plan_cache.hpp"   // IWYU pragma: export
@@ -43,6 +44,7 @@
 #include "tsv/core/run.hpp"          // IWYU pragma: export
 #include "tsv/core/scheduler.hpp"    // IWYU pragma: export
 #include "tsv/core/shard.hpp"        // IWYU pragma: export
+#include "tsv/core/tunedb.hpp"       // IWYU pragma: export
 #include "tsv/core/tuner.hpp"        // IWYU pragma: export
 #include "tsv/core/workspace.hpp"    // IWYU pragma: export
 #include "tsv/kernels/stencil.hpp"   // IWYU pragma: export

@@ -756,5 +756,129 @@ TEST_F(FaultTest, RacingSubmittersKeepCountersConsistentUnderFaults) {
   EXPECT_EQ(s.executor.workspaces.in_flight, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos-stats property: under seed-replayed injection, the observability
+// snapshot's ledgers (core/metrics.hpp) must equal an INDEPENDENTLY
+// computed ground truth — outcomes tallied from the futures themselves,
+// and the cross-ledger conservation law tying the injector's pass/fire
+// counts to the scheduler's retry ledger. Two runs under the same seed
+// must produce identical ledgers (the injection schedule replays exactly).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ChaosStatsSnapshotMatchesGroundTruthAndReplays) {
+  struct Ledger {
+    std::uint64_t completed = 0, cancelled = 0, retries = 0;
+    std::uint64_t passes = 0, fires = 0;
+    std::uint64_t traces_c = 0, traces_x = 0;
+
+    bool operator==(const Ledger&) const = default;
+  };
+
+  constexpr int kN = 30;
+  // Fault-free serial baselines, computed BEFORE anything is armed: the
+  // baseline executions must not contribute passes to the injector ledger.
+  std::vector<Grid1D<double>> expected;
+  for (int i = 0; i < kN; ++i) expected.push_back(serial_expected(i, kRun, 1));
+
+  const auto run_once = [&](std::uint64_t seed) {
+    FaultInjector& fi = FaultInjector::instance();
+    fi.seed(seed);  // rewinds the streams AND clears per-point stats
+    // One armed site keeps the conservation law exact: every execution
+    // attempt passes workspace.alloc exactly once, every fire costs one
+    // retry (the budget is deep enough that exhaustion is ~0.2^9 unlikely).
+    fi.arm("workspace.alloc", {.probability = 0.2});
+
+    Scheduler sched({.executor = {.gangs = 1, .threads_per_gang = 1},
+                     .retry_budget = 8,
+                     .retry_backoff_ms = 0.05,
+                     .retry_backoff_max_ms = 0.2,
+                     .trace_capacity = kN});
+    MetricsRegistry reg;
+    reg.attach(&sched);
+
+    // Independent ground truth: tally what the FUTURES report. Sequential
+    // submit -> get keeps the injector's pass order deterministic (one
+    // gang, one request in flight), so the schedule replays under a seed.
+    std::uint64_t got_completed = 0, got_cancelled = 0;
+    for (int i = 0; i < kN; ++i) {
+      Req r(i);
+      Scheduler::Request req{Scheduler::GridRef{r.grid.get()}, kSpec, kRun,
+                             i % 2 ? ServiceClass::kBatch
+                                   : ServiceClass::kInteractive};
+      const bool doomed = i % 5 == 4;  // every 5th cancelled pre-submit
+      if (doomed) {
+        CancelToken tok = CancelToken::make();
+        tok.cancel();
+        req.cancel = tok;
+      }
+      std::future<Scheduler::Result> fut = sched.submit(std::move(req));
+      try {
+        fut.get();
+        ++got_completed;
+      } catch (const CancelledError&) {
+        ++got_cancelled;
+      }
+      if (!doomed) {
+        // Every live request must match the fault-free serial baseline
+        // bit-for-bit (retried attempts replay on pristine input).
+        EXPECT_EQ(
+            max_abs_diff(expected[static_cast<std::size_t>(i)], *r.grid), 0.0)
+            << "request " << i << " diverged under injected faults";
+      }
+    }
+    sched.wait_idle();
+    sched.executor().wait_idle();  // idle invariants span both layers
+
+    // Snapshot ledgers vs the ground truth.
+    const MetricsSnapshot m = reg.snapshot();
+    for (const std::string& v : metrics_check_invariants(m, /*idle=*/true))
+      ADD_FAILURE() << "seed " << seed << ": " << v;
+    EXPECT_EQ(m.scheduler.submitted, static_cast<std::uint64_t>(kN));
+    EXPECT_EQ(m.scheduler.completed, got_completed);
+    EXPECT_EQ(m.scheduler.failed, got_cancelled);
+    EXPECT_EQ(m.scheduler.cancelled, got_cancelled);
+    EXPECT_EQ(m.scheduler.timed_out, 0u);
+    EXPECT_EQ(m.scheduler.retry_exhausted, 0u);
+    EXPECT_EQ(got_completed + got_cancelled, static_cast<std::uint64_t>(kN));
+
+    // Cross-ledger conservation: the injector's site counters and the
+    // scheduler's retry ledger describe the SAME events.
+    //   passes == executions == completed + retries   (cancelled: pruned,
+    //   zero passes; no exhaustion, so every fire bought one retry)
+    //   fires  == retries
+    Ledger led;
+    for (const FaultSiteStats& fs : m.faults)
+      if (fs.site == "workspace.alloc") {
+        led.passes = fs.stats.passes;
+        led.fires = fs.stats.fires;
+      }
+    EXPECT_EQ(led.passes, m.scheduler.completed + m.scheduler.retries);
+    EXPECT_EQ(led.fires, m.scheduler.retries);
+
+    // The trace ring saw every dispatched group; its outcome tallies are a
+    // third independent ledger.
+    EXPECT_EQ(m.scheduler.traces.size(), static_cast<std::size_t>(kN));
+    for (const TraceSpan& t : m.scheduler.traces) {
+      if (t.outcome == 'C') ++led.traces_c;
+      if (t.outcome == 'X') ++led.traces_x;
+    }
+    EXPECT_EQ(led.traces_c, got_completed);
+    EXPECT_EQ(led.traces_x, got_cancelled);
+
+    led.completed = m.scheduler.completed;
+    led.cancelled = m.scheduler.cancelled;
+    led.retries = m.scheduler.retries;
+    return led;
+  };
+
+  const Ledger a = run_once(0x5eed);
+  EXPECT_GT(a.fires, 0u) << "p=0.2 over dozens of passes must fire";
+  const Ledger b = run_once(0x5eed);
+  EXPECT_TRUE(a == b) << "same seed must replay the same ledgers";
+  const Ledger c = run_once(20220530);
+  EXPECT_EQ(c.completed, a.completed);  // outcomes are seed-independent...
+  EXPECT_EQ(c.cancelled, a.cancelled);
+}
+
 }  // namespace
 }  // namespace tsv

@@ -1,0 +1,336 @@
+// Persistent tune database tests: warm-start round trip with the
+// zero-timed-trials counter assertion, fingerprint and schema rejection,
+// corruption tolerance (truncated/garbage/empty files), pin survival across
+// a reload, merge semantics (union of keys, last writer wins) and atomicity
+// under racing writers. Every contract in core/tunedb.hpp is pinned here.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tsv/tsv.hpp"
+
+namespace tsv {
+namespace {
+
+/// Fresh path under the gtest temp dir; any pre-existing file removed.
+std::string db_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "tsv_tunedb_" + name + ".json";
+  std::remove(p.c_str());
+  return p;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+}
+
+TuneKey sample_key(index nx = 4096, int threads = 2) {
+  TuneKey key;
+  key.method = Method::kTranspose;
+  key.tiling = Tiling::kTessellate;
+  key.rank = 1;
+  key.isa = Isa::kScalar;
+  key.dtype = Dtype::kF64;
+  key.nx = nx;
+  key.radius = 1;
+  key.threads = threads;
+  key.steps = 100;
+  return key;
+}
+
+class TuneDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tune_cache_clear();
+    tune_counters_reset();
+  }
+  void TearDown() override { tune_cache_clear(); }
+};
+
+TEST_F(TuneDbTest, StatusNamesAreDistinct) {
+  EXPECT_STREQ(tune_db_status_name(TuneDbStatus::kLoaded), "loaded");
+  EXPECT_STREQ(tune_db_status_name(TuneDbStatus::kMissing), "missing");
+  EXPECT_STREQ(tune_db_status_name(TuneDbStatus::kCorrupt), "corrupt");
+  EXPECT_STREQ(tune_db_status_name(TuneDbStatus::kSchemaMismatch),
+               "schema-mismatch");
+  EXPECT_STREQ(tune_db_status_name(TuneDbStatus::kFingerprintMismatch),
+               "fingerprint-mismatch");
+}
+
+TEST_F(TuneDbTest, CurrentFingerprintIsPopulated) {
+  const TuneDbFingerprint fp = TuneDbFingerprint::current();
+  EXPECT_FALSE(fp.isas.empty());
+  EXPECT_NE(fp.isas.find("scalar"), std::string::npos);
+  EXPECT_GT(fp.cores, 0);
+  EXPECT_EQ(fp.f32_bytes, 4);
+  EXPECT_EQ(fp.f64_bytes, 8);
+  EXPECT_TRUE(fp == TuneDbFingerprint::current());
+}
+
+TEST_F(TuneDbTest, RoundTripRestoresEntries) {
+  const std::string path = db_path("roundtrip");
+  const TuneKey key = sample_key();
+  const TunedBlocks blocks{1024, 0, 0, 4};
+  tune_cache_store(key, blocks);
+
+  ASSERT_TRUE(tune_db_save(path));
+  tune_cache_clear();
+  ASSERT_EQ(tune_cache_size(), 0u);
+
+  const TuneDbLoadResult r = tune_db_load(path);
+  EXPECT_TRUE(r.loaded()) << r.detail;
+  EXPECT_EQ(r.entries, 1u);
+  const auto hit = tune_cache_lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, blocks);
+  std::remove(path.c_str());
+}
+
+// The headline guarantee: a warm-started plan performs ZERO timed trials,
+// proven by the trial_executions counter staying flat — and its memo hit is
+// attributed to the db (db_warm_hits), not to an in-process trial.
+TEST_F(TuneDbTest, WarmStartRunsZeroTimedTrials) {
+  const std::string path = db_path("warmstart");
+  Options o;
+  o.method = Method::kTranspose;
+  o.tiling = Tiling::kTessellate;
+  o.steps = 12;
+  o.tune = Tune::kCached;
+  const auto s = make_1d3p(0.3);
+  const Shape shape = shape1d(2048);
+
+  // Cold: the trial search runs and pays timed executions.
+  const auto cold = make_plan(shape, s, o);
+  const TuneCounters after_cold = tune_counters();
+  EXPECT_GE(after_cold.trial_searches, 1u);
+  EXPECT_GT(after_cold.trial_executions, 0u);
+  EXPECT_EQ(after_cold.db_warm_hits, 0u);
+  ASSERT_TRUE(tune_db_save(path));
+
+  // Simulated restart: empty memo cache, fresh counters, db on disk.
+  tune_cache_clear();
+  tune_counters_reset();
+  const TuneDbLoadResult r = tune_db_load(path);
+  ASSERT_TRUE(r.loaded()) << r.detail;
+  EXPECT_GE(r.entries, 1u);
+
+  const auto warm = make_plan(shape, s, o);
+  const TuneCounters after_warm = tune_counters();
+  EXPECT_EQ(after_warm.trial_executions, 0u)
+      << "warm start must not re-run timed trials";
+  EXPECT_EQ(after_warm.trial_searches, 0u);
+  EXPECT_GE(after_warm.db_warm_hits, 1u);
+  EXPECT_LE(after_warm.db_warm_hits, after_warm.memo_hits);
+  EXPECT_LE(after_warm.memo_hits, after_warm.lookups);
+
+  // Same blocks as the cold plan: the db replayed the decision.
+  EXPECT_EQ(warm.config().bx, cold.config().bx);
+  EXPECT_EQ(warm.config().bt, cold.config().bt);
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, ForeignFingerprintIsRejected) {
+  const std::string path = db_path("foreign");
+  tune_cache_store(sample_key(), {1024, 0, 0, 4});
+  ASSERT_TRUE(tune_db_save(path));
+
+  // Forge another machine's db by doubling the core count.
+  std::string body = slurp_file(path);
+  const std::string cores =
+      "\"cores\":" + std::to_string(TuneDbFingerprint::current().cores);
+  const auto pos = body.find(cores);
+  ASSERT_NE(pos, std::string::npos);
+  body.replace(pos, cores.size(),
+               "\"cores\":" +
+                   std::to_string(TuneDbFingerprint::current().cores * 2));
+  write_file(path, body);
+
+  tune_cache_clear();
+  tune_counters_reset();
+  const TuneDbLoadResult r = tune_db_load(path);
+  EXPECT_EQ(r.status, TuneDbStatus::kFingerprintMismatch);
+  EXPECT_EQ(tune_cache_size(), 0u) << "nothing merged from a foreign db";
+  EXPECT_EQ(tune_counters().db_load_rejects, 1u);
+  EXPECT_EQ(tune_counters().db_entries_loaded, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, UnknownSchemaIsRejectedAndPreserved) {
+  const std::string path = db_path("schema");
+  const std::string future =
+      "{\n \"schema\": 99,\n \"something\": \"this build cannot read\"\n}\n";
+  write_file(path, future);
+
+  // Load: rejected as a schema mismatch, not corrupt.
+  const TuneDbLoadResult r = tune_db_load(path);
+  EXPECT_EQ(r.status, TuneDbStatus::kSchemaMismatch);
+  EXPECT_EQ(tune_cache_size(), 0u);
+
+  // Save: must FAIL and leave the future file byte-identical.
+  tune_cache_store(sample_key(), {1024, 0, 0, 4});
+  std::string err;
+  EXPECT_FALSE(tune_db_save(path, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos) << err;
+  EXPECT_EQ(slurp_file(path), future) << "future-schema db was clobbered";
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, CorruptTruncatedAndEmptyFilesAreIgnored) {
+  const std::string path = db_path("corrupt");
+  tune_cache_store(sample_key(), {1024, 0, 0, 4});
+  ASSERT_TRUE(tune_db_save(path));
+  const std::string good = slurp_file(path);
+
+  const std::string cases[] = {
+      "",                            // empty
+      "not json at all",             // garbage
+      good.substr(0, good.size() / 2),  // truncated mid-envelope
+      "{\"schema\": true}",          // wrong type where a number belongs
+      good + "trailing garbage",     // valid prefix, trailing junk
+  };
+  for (const std::string& c : cases) {
+    write_file(path, c);
+    tune_cache_clear();
+    tune_counters_reset();
+    const TuneDbLoadResult r = tune_db_load(path);
+    EXPECT_EQ(r.status, TuneDbStatus::kCorrupt)
+        << "case: " << c.substr(0, 32);
+    EXPECT_EQ(tune_cache_size(), 0u)
+        << "corrupt db must never poison the memo cache";
+    EXPECT_EQ(tune_counters().db_load_rejects, 1u);
+  }
+
+  // A corrupt file is replaced by the next save (its content is
+  // unreadable; preserving it helps no one).
+  write_file(path, "garbage");
+  tune_cache_clear();
+  tune_cache_store(sample_key(), {512, 0, 0, 2});
+  ASSERT_TRUE(tune_db_save(path));
+  tune_cache_clear();
+  EXPECT_TRUE(tune_db_load(path).loaded());
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, MissingFileIsSilentlyMissing) {
+  tune_counters_reset();
+  const TuneDbLoadResult r = tune_db_load(db_path("missing"));
+  EXPECT_EQ(r.status, TuneDbStatus::kMissing);
+  EXPECT_FALSE(r.loaded());
+  EXPECT_EQ(tune_counters().db_load_rejects, 0u)
+      << "a cold start is normal, not a reject";
+}
+
+// Save merges the file's existing same-fingerprint entries underneath the
+// process snapshot: disjoint keys union, conflicting keys take the newer
+// process's value (last writer wins).
+TEST_F(TuneDbTest, SaveMergesUnionAndLastWriterWins) {
+  const std::string path = db_path("merge");
+  const TuneKey a = sample_key(1024);
+  const TuneKey b = sample_key(2048);
+  tune_cache_store(a, {111, 0, 0, 2});
+  ASSERT_TRUE(tune_db_save(path));
+
+  // "Second process": knows b, and disagrees about a.
+  tune_cache_clear();
+  tune_cache_store(a, {222, 0, 0, 4});
+  tune_cache_store(b, {333, 0, 0, 8});
+  ASSERT_TRUE(tune_db_save(path));
+
+  tune_cache_clear();
+  const TuneDbLoadResult r = tune_db_load(path);
+  ASSERT_TRUE(r.loaded()) << r.detail;
+  EXPECT_EQ(r.entries, 2u) << "disjoint keys must union";
+  EXPECT_EQ(tune_cache_lookup(a)->bx, 222) << "last writer must win";
+  EXPECT_EQ(tune_cache_lookup(b)->bx, 333);
+  std::remove(path.c_str());
+}
+
+// User pins are part of the tune key; a db round trip must keep pinned and
+// unpinned entries for the same shape distinct.
+TEST_F(TuneDbTest, PinsSurviveReload) {
+  const std::string path = db_path("pins");
+  const TuneKey unpinned = sample_key();
+  TuneKey pinned = sample_key();
+  pinned.pin_bx = 256;
+  tune_cache_store(unpinned, {1024, 0, 0, 4});
+  tune_cache_store(pinned, {256, 0, 0, 4});
+  ASSERT_TRUE(tune_db_save(path));
+
+  tune_cache_clear();
+  ASSERT_TRUE(tune_db_load(path).loaded());
+  ASSERT_TRUE(tune_cache_lookup(unpinned).has_value());
+  ASSERT_TRUE(tune_cache_lookup(pinned).has_value());
+  EXPECT_EQ(tune_cache_lookup(unpinned)->bx, 1024);
+  EXPECT_EQ(tune_cache_lookup(pinned)->bx, 256);
+  std::remove(path.c_str());
+}
+
+// Racing writers must never produce a torn file: every save writes a
+// private temp and renames it into place, so a concurrent load (or the
+// final state) always parses. The race's loser loses whole-file.
+TEST_F(TuneDbTest, RacingWritersNeverTearTheFile) {
+  const std::string path = db_path("race");
+  constexpr int kWriters = 8;
+  for (int i = 0; i < kWriters; ++i)
+    tune_cache_store(sample_key(index{256} << i), {64, 0, 0, 2});
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWriters; ++i)
+    threads.emplace_back([&] { EXPECT_TRUE(tune_db_save(path)); });
+  for (auto& t : threads) t.join();
+
+  tune_cache_clear();
+  const TuneDbLoadResult r = tune_db_load(path);
+  ASSERT_TRUE(r.loaded()) << "racing saves tore the file: " << r.detail;
+  EXPECT_EQ(r.entries, std::size_t{kWriters});
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, EnvEntryPointsAreInertWhenUnset) {
+  ASSERT_EQ(::unsetenv(kTuneDbEnvVar), 0);
+  EXPECT_FALSE(tune_db_env_path().has_value());
+  EXPECT_EQ(tune_db_load_env().status, TuneDbStatus::kMissing);
+  EXPECT_FALSE(tune_db_save_env());
+  TuneDbSession inert;  // no path: loads nothing, saves nothing
+  EXPECT_FALSE(inert.active());
+}
+
+TEST_F(TuneDbTest, SessionLoadsOnConstructionAndSavesOnDestruction) {
+  const std::string path = db_path("session");
+  tune_cache_store(sample_key(), {1024, 0, 0, 4});
+  {
+    TuneDbSession db(path);
+    EXPECT_TRUE(db.active());
+    EXPECT_EQ(db.load_result().status, TuneDbStatus::kMissing);
+  }  // dtor saves the cache
+  tune_cache_clear();
+  {
+    TuneDbSession db(path);
+    EXPECT_TRUE(db.load_result().loaded());
+    EXPECT_EQ(tune_cache_size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TuneDbTest, SaveFailsCleanlyOnUnwritablePath) {
+  tune_cache_store(sample_key(), {1024, 0, 0, 4});
+  std::string err;
+  EXPECT_FALSE(tune_db_save("/nonexistent-dir/sub/db.json", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace tsv
